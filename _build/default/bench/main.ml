@@ -1,0 +1,218 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (Section 4), the headline summary, the design-choice
+   ablations from DESIGN.md, and a Bechamel micro-benchmark group (one
+   Test.make per table/figure) measuring the harness itself.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- fig8 table3  # selected sections
+     dune exec bench/main.exe -- quick        # skip AlexNet/NiN scale
+   Sections: table1 table2 fig8 fig9 fig10 table3 summary training
+             throughput ablation-tiling ablation-lut ablation-lanes
+             ablation-fixed report bechamel
+   (report writes RESULTS.md and is skipped by the default run) *)
+
+module Experiments = Db_report.Experiments
+
+let section_header title = Printf.printf "\n=== %s ===\n\n%!" title
+
+let quick = ref false
+
+let config () =
+  if !quick then Experiments.quick_config else Experiments.default_config
+
+(* fig8/fig9 share the generation+simulation work; memoise per run. *)
+let perf_rows : Experiments.perf_row list option ref = ref None
+
+let get_perf () =
+  match !perf_rows with
+  | Some rows -> rows
+  | None ->
+      let rows = Experiments.fig8_fig9 (config ()) in
+      perf_rows := Some rows;
+      rows
+
+let accuracy_rows : Experiments.accuracy_row list option ref = ref None
+
+let get_accuracy () =
+  match !accuracy_rows with
+  | Some rows -> rows
+  | None ->
+      let rows = Experiments.fig10 (config ()) in
+      accuracy_rows := Some rows;
+      rows
+
+let run_table1 () =
+  section_header "Table 1: decomposition of the typical neural networks";
+  print_string (Experiments.render_table1 (Experiments.table1 ()))
+
+let run_table2 () =
+  section_header "Table 2: benchmarks";
+  print_string (Experiments.render_table2 (Experiments.table2 ()))
+
+let run_fig8 () =
+  section_header "Fig. 8: performance comparison (forward-propagation time)";
+  print_string (Experiments.render_fig8 (get_perf ()))
+
+let run_fig9 () =
+  section_header "Fig. 9: energy comparison";
+  print_string (Experiments.render_fig9 (get_perf ()))
+
+let run_fig10 () =
+  section_header "Fig. 10: accuracy comparison";
+  print_string (Experiments.render_fig10 (get_accuracy ()))
+
+let run_table3 () =
+  section_header "Table 3: hardware resource occupation";
+  print_string (Experiments.render_table3 (Experiments.table3 (config ())))
+
+let run_summary () =
+  section_header "Headline summary (paper's claimed relations)";
+  print_string
+    (Experiments.render_summary
+       (Experiments.summarise (get_perf ()) (get_accuracy ())))
+
+let run_training () =
+  section_header
+    "Training acceleration (the intro's model-search motivation)";
+  print_string (Experiments.render_training (Experiments.training (config ())))
+
+let run_throughput () =
+  section_header "Batch throughput (pipelined processing of an input set)";
+  print_string (Experiments.render_throughput (Experiments.throughput (config ())))
+
+let run_ablation_tiling () =
+  section_header "Ablation: Method-1 data tiling on vs off";
+  let rows = Experiments.ablation_tiling (config ()) in
+  if rows = [] then
+    print_string
+      "all selected benchmarks fit on-chip; tiling has no effect at this scale\n"
+  else print_string (Experiments.render_ablation_tiling rows)
+
+let run_ablation_lut () =
+  section_header "Ablation: Approx LUT size vs approximation error";
+  print_string
+    (Experiments.render_ablation_lut
+       (Experiments.ablation_lut
+          ~entries_list:[ 16; 32; 64; 128; 256; 512; 1024 ]))
+
+let run_ablation_lanes () =
+  section_header "Ablation: spatial-folding lane sweep (MNIST)";
+  print_string
+    (Experiments.render_ablation_lanes
+       (Experiments.ablation_lanes ~benchmark:"MNIST"
+          ~lanes_list:[ 1; 2; 4; 8; 16 ]))
+
+let run_ablation_fixed () =
+  section_header "Ablation: fixed-point width vs accuracy";
+  let cfg =
+    {
+      (config ()) with
+      Experiments.benchmarks =
+        List.filter
+          (fun n -> n <> "Alexnet" && n <> "NiN")
+          (config ()).Experiments.benchmarks;
+    }
+  in
+  print_string
+    (Experiments.render_ablation_fixed_point
+       (Experiments.ablation_fixed_point cfg
+          ~widths:[ (8, 4); (12, 6); (16, 8); (24, 12) ]))
+
+let run_report () =
+  section_header "Writing RESULTS.md (generated markdown report)";
+  Db_report.Report_writer.write ~path:"RESULTS.md" (config ());
+  Printf.printf "wrote %s/RESULTS.md\n" (Sys.getcwd ())
+
+let run_bechamel () =
+  section_header "Bechamel micro-benchmarks (harness regeneration latency)";
+  let open Bechamel in
+  let cfg_small = { Experiments.seed = 42; benchmarks = [ "ANN-0"; "CMAC" ] } in
+  let bench_of name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    Test.make_grouped ~name:"deepburning"
+      [
+        bench_of "table1" (fun () -> ignore (Experiments.table1 ()));
+        bench_of "table2" (fun () -> ignore (Experiments.table2 ()));
+        bench_of "fig8-fig9" (fun () -> ignore (Experiments.fig8_fig9 cfg_small));
+        bench_of "table3" (fun () -> ignore (Experiments.table3 cfg_small));
+        bench_of "generate-ann0" (fun () ->
+            ignore
+              (Experiments.design_for (Db_workloads.Benchmarks.find "ANN-0")));
+        bench_of "simulate-mnist" (fun () ->
+            ignore
+              (Db_sim.Simulator.timing
+                 (Experiments.design_for (Db_workloads.Benchmarks.find "MNIST"))));
+      ]
+  in
+  let benchmark_cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw =
+    Benchmark.all benchmark_cfg [ Toolkit.Instance.monotonic_clock ] tests
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> Printf.sprintf "%.0f ns/run" est
+        | Some [] | None -> "n/a"
+      in
+      rows := [ name; ns ] :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  print_string
+    (Db_report.Table.render ~headers:[ "benchmark"; "monotonic clock" ] ~rows)
+
+let sections =
+  [
+    ("table1", run_table1);
+    ("table2", run_table2);
+    ("fig8", run_fig8);
+    ("fig9", run_fig9);
+    ("fig10", run_fig10);
+    ("table3", run_table3);
+    ("summary", run_summary);
+    ("training", run_training);
+    ("throughput", run_throughput);
+    ("ablation-tiling", run_ablation_tiling);
+    ("ablation-lut", run_ablation_lut);
+    ("ablation-lanes", run_ablation_lanes);
+    ("ablation-fixed", run_ablation_fixed);
+    ("report", run_report);
+    ("bechamel", run_bechamel);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a -> if a = "quick" then begin quick := true; false end else true)
+      args
+  in
+  let selected =
+    match args with
+    | [] ->
+        (* [report] re-runs every experiment to build RESULTS.md; run it
+           only when asked for explicitly. *)
+        List.filter (fun n -> n <> "report") (List.map fst sections)
+    | names ->
+        List.iter
+          (fun n ->
+            if not (List.mem_assoc n sections) then begin
+              Printf.eprintf "unknown section %S; available: %s\n" n
+                (String.concat " " (List.map fst sections));
+              exit 1
+            end)
+          names;
+        names
+  in
+  Printf.printf "DeepBurning (DAC'16) evaluation reproduction%s — seed %d\n"
+    (if !quick then " [quick]" else "")
+    (config ()).Experiments.seed;
+  List.iter (fun name -> (List.assoc name sections) ()) selected

@@ -1,0 +1,195 @@
+(* The DeepBurning command-line tool: the "one-click" interface of Fig. 3.
+
+     deepburning generate -m model.prototxt -c constraint.prototxt -o accel.v
+     deepburning simulate -m model.prototxt -c constraint.prototxt
+     deepburning zoo list
+     deepburning zoo show alexnet > alexnet.prototxt
+     deepburning stats -m model.prototxt *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let default_constraint_script =
+  {|constraint { device: "zynq-7045" dsps: 16 luts: 60000 ffs: 40000 bram_kb: 1024 }|}
+
+let load ~model_path ~constraint_path ~tiling =
+  let model = read_file model_path in
+  let constraint_script =
+    match constraint_path with
+    | Some path -> read_file path
+    | None -> default_constraint_script
+  in
+  Db_core.Generator.generate_from_script ~tiling_enabled:tiling ~model
+    ~constraint_script ()
+
+let model_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "m"; "model" ] ~docv:"MODEL"
+        ~doc:"Caffe-compatible model description (.prototxt).")
+
+let constraint_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "c"; "constraint" ] ~docv:"CONSTRAINT"
+        ~doc:
+          "Design-constraint script; defaults to a 16-DSP budget on the \
+           Zynq-7045.")
+
+let tiling_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "tiling" ] ~docv:"BOOL"
+        ~doc:"Enable Method-1 data tiling (default true).")
+
+let wrap f =
+  try f (); 0
+  with
+  | Db_util.Error.Deepburning_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+
+let generate_cmd =
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the generated Verilog here (default: stdout).")
+  in
+  let run model_path constraint_path tiling output =
+    wrap (fun () ->
+        let design = load ~model_path ~constraint_path ~tiling in
+        Format.eprintf "%a@." Db_core.Design.pp_summary design;
+        let verilog = Db_core.Design.verilog design in
+        match output with
+        | None -> print_string verilog
+        | Some path ->
+            let oc = open_out path in
+            output_string oc verilog;
+            close_out oc;
+            Printf.eprintf "wrote %s\n" path)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate an accelerator (RTL to stdout or a file).")
+    Term.(const run $ model_arg $ constraint_arg $ tiling_arg $ output_arg)
+
+let simulate_cmd =
+  let run model_path constraint_path tiling =
+    wrap (fun () ->
+        let design = load ~model_path ~constraint_path ~tiling in
+        Format.printf "%a@." Db_core.Design.pp_summary design;
+        let report = Db_sim.Simulator.timing design in
+        Format.printf "%a@." Db_sim.Simulator.pp_report report;
+        let cpu = Db_baseline.Cpu_model.xeon_2_4ghz in
+        let cpu_s =
+          Db_baseline.Cpu_model.forward_seconds cpu design.Db_core.Design.network
+        in
+        Printf.printf "CPU reference (%s): %s per forward pass\n"
+          cpu.Db_baseline.Cpu_model.cpu_name
+          (Db_report.Table.ms cpu_s))
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Generate and report one forward pass's latency, traffic and power.")
+    Term.(const run $ model_arg $ constraint_arg $ tiling_arg)
+
+let stats_cmd =
+  let run model_path =
+    wrap (fun () ->
+        let net = Db_nn.Caffe.import_string (read_file model_path) in
+        Format.printf "%a@." Db_nn.Network.pp net;
+        Format.printf "%a@." Db_nn.Model_stats.pp (Db_nn.Model_stats.compute net))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Show a model's layers, MACs and parameter counts.")
+    Term.(const run $ model_arg)
+
+let zoo_models =
+  [
+    ("mlp", Db_workloads.Model_zoo.mlp_prototxt);
+    ("cmac", Db_workloads.Model_zoo.cmac_prototxt);
+    ("mnist", Db_workloads.Model_zoo.mnist_prototxt);
+    ("cifar", Db_workloads.Model_zoo.cifar_prototxt);
+    ("cifar-lite", Db_workloads.Model_zoo.cifar_lite_prototxt);
+    ("alexnet", Db_workloads.Model_zoo.alexnet_prototxt);
+    ("nin", Db_workloads.Model_zoo.nin_prototxt);
+    ("googlenet-like", Db_workloads.Model_zoo.googlenet_like_prototxt);
+    ("hopfield", Db_workloads.Model_zoo.hopfield_prototxt ~cities:5);
+    ("lenet5", Db_workloads.Model_zoo.lenet5_prototxt);
+    ("vgg16", Db_workloads.Model_zoo.vgg16_prototxt);
+    ( "ann0",
+      Db_workloads.Model_zoo.ann_prototxt ~name:"ann0" ~inputs:1 ~hidden1:8
+        ~hidden2:8 ~outputs:2 );
+  ]
+
+let zoo_cmd =
+  let action_arg =
+    Arg.(
+      value
+      & pos 0 (enum [ ("list", `List); ("show", `Show) ]) `List
+      & info [] ~docv:"ACTION" ~doc:"$(b,list) or $(b,show) NAME.")
+  in
+  let name_arg =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"NAME")
+  in
+  let run action name =
+    wrap (fun () ->
+        match action with
+        | `List ->
+            List.iter (fun (n, _) -> print_endline n) zoo_models
+        | `Show -> begin
+            match name with
+            | None -> Db_util.Error.fail "zoo show: missing model name"
+            | Some n -> begin
+                match List.assoc_opt n zoo_models with
+                | Some src -> print_string src
+                | None -> Db_util.Error.fail "unknown zoo model %S" n
+              end
+          end)
+  in
+  Cmd.v
+    (Cmd.info "zoo" ~doc:"List or print the bundled model scripts.")
+    Term.(const run $ action_arg $ name_arg)
+
+let verify_cmd =
+  let run model_path constraint_path tiling =
+    wrap (fun () ->
+        let design = load ~model_path ~constraint_path ~tiling in
+        let r = Db_sim.Control_playback.playback design in
+        Printf.printf
+          "playback: %d folds, %d addresses issued over %d AGU cycles\n"
+          r.Db_sim.Control_playback.folds_executed
+          r.Db_sim.Control_playback.addresses_issued
+          r.Db_sim.Control_playback.agu_cycles;
+        match r.Db_sim.Control_playback.violations with
+        | [] -> print_endline "memory-safe: every address inside its region"
+        | vs ->
+            List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) vs;
+            exit 2)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Replay the generated control path cycle by cycle and bound-check \
+          every AGU address against the data layout.")
+    Term.(const run $ model_arg $ constraint_arg $ tiling_arg)
+
+let main_cmd =
+  let doc = "automatic generation of FPGA-based NN accelerators (DAC'16 reproduction)" in
+  Cmd.group
+    (Cmd.info "deepburning" ~version:"1.0.0" ~doc)
+    [ generate_cmd; simulate_cmd; verify_cmd; stats_cmd; zoo_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/approximate_computing.ml: Array Db_baseline Db_core Db_nn Db_report Db_sim Db_tensor Db_workloads Format Printf

@@ -1,0 +1,1 @@
+examples/design_space.ml: Db_core Db_fpga Db_report Db_sim Db_workloads List Printf Stdlib String

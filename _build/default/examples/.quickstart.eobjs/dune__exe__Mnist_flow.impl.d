@@ -1,0 +1,1 @@
+examples/mnist_flow.ml: Array Db_core Db_nn Db_sim Db_tensor Db_workloads Format Printf Stdlib

@@ -1,0 +1,1 @@
+examples/model_search.ml: Array Db_baseline Db_core Db_fpga Db_nn Db_report Db_sim Db_tensor Db_train Db_util Db_workloads Float List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Db_core Db_mem Db_nn Db_sched Db_sim Db_tensor Db_util Filename Float Format List Printf String

@@ -1,0 +1,1 @@
+examples/robot_arm.ml: Array Db_core Db_nn Db_report Db_sim Db_tensor Db_util Db_workloads Float Format Printf

@@ -1,0 +1,1 @@
+lib/baseline/cpu_model.mli: Db_nn

@@ -1,0 +1,1 @@
+lib/baseline/custom.ml: Db_core Db_fpga Db_sim

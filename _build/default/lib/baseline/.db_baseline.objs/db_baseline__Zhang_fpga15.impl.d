@@ -1,0 +1,1 @@
+lib/baseline/zhang_fpga15.ml: Db_fpga

@@ -1,0 +1,1 @@
+lib/baseline/zhang_fpga15.mli: Db_fpga

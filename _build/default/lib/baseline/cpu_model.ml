@@ -1,0 +1,49 @@
+type t = {
+  cpu_name : string;
+  peak_gmacs : float;
+  half_rate_macs : float;
+  min_gmacs : float;
+  layer_overhead_s : float;
+  invocation_overhead_s : float;
+  active_power_w : float;
+}
+
+let xeon_2_4ghz =
+  {
+    cpu_name = "Xeon 2.4GHz";
+    peak_gmacs = 6.0;
+    half_rate_macs = 1.25e6;
+    min_gmacs = 0.05;
+    layer_overhead_s = 3.0e-6;
+    invocation_overhead_s = 10.0e-6;
+    active_power_w = Db_fpga.Power.cpu_xeon_power_w;
+  }
+
+let effective_gmacs t ~macs =
+  let m = float_of_int macs in
+  Float.max t.min_gmacs (t.peak_gmacs *. m /. (m +. t.half_rate_macs))
+
+let layer_seconds t ~macs ~other_ops =
+  let work = macs + (other_ops / 4) in
+  if work = 0 then t.layer_overhead_s
+  else
+    t.layer_overhead_s
+    +. (float_of_int work /. (effective_gmacs t ~macs:work *. 1e9))
+
+let forward_seconds t net =
+  let stats = Db_nn.Model_stats.compute net in
+  List.fold_left
+    (fun acc (s : Db_nn.Model_stats.layer_stat) ->
+      acc
+      +. layer_seconds t ~macs:s.Db_nn.Model_stats.macs
+           ~other_ops:s.Db_nn.Model_stats.other_ops)
+    t.invocation_overhead_s stats.Db_nn.Model_stats.per_layer
+
+let forward_energy_j t net = forward_seconds t net *. t.active_power_w
+
+let training_iteration_seconds t net =
+  let stats = Db_nn.Model_stats.compute net in
+  let update =
+    layer_seconds t ~macs:stats.Db_nn.Model_stats.total_params ~other_ops:0
+  in
+  (3.0 *. forward_seconds t net) +. update

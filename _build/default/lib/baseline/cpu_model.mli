@@ -1,0 +1,37 @@
+(** Software baseline: the paper's Xeon 2.4 GHz running the NN in
+    Caffe/Matlab.
+
+    An analytic execution model: each layer pays a framework dispatch
+    overhead plus its arithmetic at an effective MAC rate that grows with
+    the layer's size (small layers are overhead- and cache-miss-bound,
+    large GEMMs approach the tuned-BLAS peak).  Calibrated so the
+    DeepBurning-vs-CPU envelope matches the paper: a few-fold speed-up for
+    the small and mid-size models, CPU competitive on AlexNet-class nets
+    against a 9-lane DB accelerator, and a ~58x average energy gap from
+    the 95 W active power. *)
+
+type t = {
+  cpu_name : string;
+  peak_gmacs : float;  (** asymptotic effective rate, GMAC/s *)
+  half_rate_macs : float;  (** layer size at which half the peak is reached *)
+  min_gmacs : float;  (** floor for tiny layers *)
+  layer_overhead_s : float;  (** per-layer dispatch cost *)
+  invocation_overhead_s : float;  (** per-forward-pass cost *)
+  active_power_w : float;
+}
+
+val xeon_2_4ghz : t
+
+val effective_gmacs : t -> macs:int -> float
+
+val forward_seconds : t -> Db_nn.Network.t -> float
+(** One forward propagation of the whole network. *)
+
+val forward_energy_j : t -> Db_nn.Network.t -> float
+
+val training_iteration_seconds : t -> Db_nn.Network.t -> float
+(** One SGD iteration in software: forward + ~2x backward arithmetic at
+    the same effective rates, plus one pass over the parameters for the
+    update. *)
+
+val layer_seconds : t -> macs:int -> other_ops:int -> float

@@ -1,0 +1,40 @@
+module Resource = Db_fpga.Resource
+
+let speedup_over_generated = 1.5
+
+let lut_ff_saving = 0.8
+
+type result = {
+  custom_seconds : float;
+  custom_energy_j : float;
+  custom_resources : Resource.t;
+}
+
+let of_design design (report : Db_sim.Simulator.report) =
+  let used = Db_core.Design.resource_usage design in
+  let custom_resources =
+    {
+      used with
+      Resource.luts =
+        int_of_float (float_of_int used.Resource.luts *. lut_ff_saving);
+      ffs = int_of_float (float_of_int used.Resource.ffs *. lut_ff_saving);
+    }
+  in
+  let custom_seconds =
+    report.Db_sim.Simulator.seconds /. speedup_over_generated
+  in
+  let power =
+    Db_fpga.Power.accelerator_power
+      ~device:design.Db_core.Design.constraints.Db_core.Constraints.device
+      ~used:custom_resources
+      ~clock_mhz:design.Db_core.Design.constraints.Db_core.Constraints.clock_mhz
+      ()
+  in
+  {
+    custom_seconds;
+    (* Same board, same managing ARM core as the generated design. *)
+    custom_energy_j =
+      Db_fpga.Power.energy_j power ~seconds:custom_seconds
+      +. (Db_fpga.Power.arm_host_power_w *. custom_seconds);
+    custom_resources;
+  }

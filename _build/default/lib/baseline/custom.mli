@@ -1,0 +1,26 @@
+(** The "Custom" comparison point: accelerators hand-written by an
+    experienced graduate student for each application (Section 4.2).
+
+    Modelled as the same datapath freed of the generator's generality tax:
+    a hand-crafted design replaces the generic connection box and AGU
+    pattern machinery with fixed wiring, which buys back a fraction of the
+    cycles and of the LUT/FF cost.  The factors below reproduce the
+    paper's relations (Custom mostly beats DB; DB consumes somewhat more
+    resources than CU in Table 3). *)
+
+val speedup_over_generated : float
+(** Hand-tuned cycles = generated cycles / this factor (1.5). *)
+
+val lut_ff_saving : float
+(** CU luts/ffs = DB luts/ffs * this factor (0.8); DSP and BRAM are
+    dictated by the arithmetic and stay equal. *)
+
+type result = {
+  custom_seconds : float;
+  custom_energy_j : float;
+  custom_resources : Db_fpga.Resource.t;
+}
+
+val of_design : Db_core.Design.t -> Db_sim.Simulator.report -> result
+(** Derive the hand-written accelerator's numbers from the generated
+    design evaluated on the same workload. *)

@@ -1,0 +1,5 @@
+let alexnet_seconds = 21.6e-3
+
+let alexnet_energy_j = 0.5
+
+let device = Db_fpga.Device.virtex7_485t

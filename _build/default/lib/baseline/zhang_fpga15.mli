@@ -1,0 +1,15 @@
+(** Zhang et al., "Optimizing FPGA-based accelerator design for deep
+    convolutional neural networks", FPGA 2015 — reference [7].
+
+    The paper quotes it as the customised AlexNet accelerator at 100 MHz
+    that is "much faster than DB" (~20 ms) but burns more energy (~0.5 J)
+    on a much larger Virtex-7 device.  Reproduced as published constants;
+    no generator run is involved. *)
+
+val alexnet_seconds : float
+(** ~ 21.6 ms per forward pass. *)
+
+val alexnet_energy_j : float
+(** ~ 0.5 J per forward pass (paper's own citation). *)
+
+val device : Db_fpga.Device.t

@@ -1,0 +1,1 @@
+lib/blocks/approx_lut.ml: Array Db_fixed Db_fpga Db_hdl Db_util Float List Printf Stdlib

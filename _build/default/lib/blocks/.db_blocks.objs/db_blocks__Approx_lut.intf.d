@@ -1,0 +1,1 @@
+lib/blocks/approx_lut.mli: Db_fixed Db_fpga Db_hdl

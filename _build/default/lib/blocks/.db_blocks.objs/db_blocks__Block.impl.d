@@ -1,0 +1,1 @@
+lib/blocks/block.ml: Approx_lut Db_fixed Db_fpga Db_util Float Format Stdlib Templates

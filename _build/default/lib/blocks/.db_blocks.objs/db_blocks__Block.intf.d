@@ -1,0 +1,1 @@
+lib/blocks/block.mli: Approx_lut Db_fixed Db_fpga Db_hdl Format

@@ -1,0 +1,1 @@
+lib/blocks/templates.ml: Approx_lut Db_fixed Db_hdl Float List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/blocks/templates.mli: Approx_lut Db_fixed Db_hdl

@@ -1,0 +1,95 @@
+type t = {
+  lut_name : string;
+  lo : float;
+  hi : float;
+  keys : float array;
+  values : float array;
+}
+
+let build ~name ~f ~lo ~hi ~entries =
+  if entries < 2 then invalid_arg "Approx_lut.build: need at least 2 entries";
+  if lo >= hi then invalid_arg "Approx_lut.build: lo must be below hi";
+  let step = (hi -. lo) /. float_of_int (entries - 1) in
+  let keys = Array.init entries (fun i -> lo +. (float_of_int i *. step)) in
+  { lut_name = name; lo; hi; keys; values = Array.map f keys }
+
+let entries t = Array.length t.keys
+
+let eval t x =
+  let n = Array.length t.keys in
+  let x = Float.min t.hi (Float.max t.lo x) in
+  let step = (t.hi -. t.lo) /. float_of_int (n - 1) in
+  let idx = int_of_float ((x -. t.lo) /. step) in
+  let idx = Stdlib.min (n - 2) (Stdlib.max 0 idx) in
+  let x0 = t.keys.(idx) in
+  let frac = (x -. x0) /. step in
+  t.values.(idx) +. (frac *. (t.values.(idx + 1) -. t.values.(idx)))
+
+let probe_errors t ~f ~probes =
+  if probes < 2 then invalid_arg "Approx_lut: need at least 2 probes";
+  Array.init probes (fun i ->
+      let x = t.lo +. ((t.hi -. t.lo) *. float_of_int i /. float_of_int (probes - 1)) in
+      Float.abs (eval t x -. f x))
+
+let max_error t ~f ~probes =
+  Array.fold_left Float.max 0.0 (probe_errors t ~f ~probes)
+
+let mean_error t ~f ~probes = Db_util.Stats.mean (probe_errors t ~f ~probes)
+
+let resource t ~word_bits =
+  (* Table in BRAM, one subtract + one multiply + one add of interpolation
+     logic in LUTs (kept out of the DSP column so the paper's DSP counts
+     reflect the MAC lanes alone). *)
+  Db_fpga.Resource.make
+    ~luts:(40 + (word_bits * 6))
+    ~ffs:(2 * word_bits)
+    ~bram_bits:(entries t * word_bits)
+    ()
+
+let to_module t ~fmt =
+  let word_bits = fmt.Db_fixed.Fixed.total_bits in
+  let n = entries t in
+  let addr_bits =
+    Stdlib.max 1 (int_of_float (Float.ceil (log (float_of_int n) /. log 2.0)))
+  in
+  let lines = ref [] in
+  let emit fmt_ = Printf.ksprintf (fun s -> lines := s :: !lines) fmt_ in
+  emit "reg signed [%d:0] rom [0:%d];" (word_bits - 1) (n - 1);
+  emit "initial begin";
+  Array.iteri
+    (fun i v ->
+      let q = Db_fixed.Fixed.of_float fmt v in
+      let masked = q land ((1 lsl word_bits) - 1) in
+      emit "  rom[%d] = %d'h%x;" i word_bits masked)
+    t.values;
+  emit "end";
+  emit "wire [%d:0] base = rom[key];" (word_bits - 1);
+  emit "wire [%d:0] next = rom[key == %d ? key : key + 1];" (word_bits - 1) (n - 1);
+  emit "// super-linear interpolation between adjacent keys";
+  emit "wire signed [%d:0] delta = next - base;" word_bits;
+  emit "assign value = base + ((delta * frac) >>> %d);" fmt.Db_fixed.Fixed.frac_bits;
+  {
+    Db_hdl.Rtl.mod_name = "approx_lut_" ^ t.lut_name;
+    ports =
+      [
+        { Db_hdl.Rtl.port_name = "key"; direction = Db_hdl.Rtl.Input; width = addr_bits };
+        { Db_hdl.Rtl.port_name = "frac"; direction = Db_hdl.Rtl.Input; width = word_bits };
+        { Db_hdl.Rtl.port_name = "value"; direction = Db_hdl.Rtl.Output; width = word_bits };
+      ];
+    localparams = [ ("ENTRIES", n) ];
+    body = Db_hdl.Rtl.Behavioral (List.rev !lines);
+  }
+
+let sigmoid ~entries =
+  build ~name:"sigmoid" ~f:(fun x -> 1.0 /. (1.0 +. exp (-.x))) ~lo:(-8.0)
+    ~hi:8.0 ~entries
+
+let tanh_lut ~entries = build ~name:"tanh" ~f:Float.tanh ~lo:(-4.0) ~hi:4.0 ~entries
+
+let reciprocal ~entries =
+  (* Tabulated over one binade [1, 2): the evaluator range-reduces any
+     positive input by a power of two (a shift in hardware), so one small
+     table covers the whole dynamic range with uniform relative error. *)
+  build ~name:"reciprocal" ~f:(fun x -> 1.0 /. x) ~lo:1.0 ~hi:2.0 ~entries
+
+let exp_lut ~entries = build ~name:"exp" ~f:exp ~lo:(-16.0) ~hi:0.0 ~entries

@@ -1,0 +1,163 @@
+module Resource = Db_fpga.Resource
+
+type pool_kind = Max_pool | Avg_pool
+
+type agu_kind = Main_agu | Data_agu | Weight_agu
+
+type kind =
+  | Synergy_neuron of { simd : int }
+  | Accumulator of { depth : int }
+  | Pooling_unit of { window : int; pool : pool_kind }
+  | Activation_unit of { lut : Approx_lut.t }
+  | Lrn_unit of { local_size : int; lut : Approx_lut.t }
+  | Dropout_unit
+  | Connection_box of { in_ports : int; out_ports : int; shift_latch : bool }
+  | Classifier_ksorter of { k : int; fan_in : int }
+  | Agu of { agu_kind : agu_kind; pattern_count : int; addr_bits : int }
+  | Coordinator of { n_states : int; n_signals : int }
+  | Feature_buffer of { words : int; port_words : int }
+  | Weight_buffer of { words : int; port_words : int }
+
+type t = { block_name : string; kind : kind; fmt : Db_fixed.Fixed.format }
+
+let fail fmt = Db_util.Error.failf_at ~component:"block" fmt
+
+let validate_kind = function
+  | Synergy_neuron { simd } ->
+      if simd <= 0 then fail "synergy neuron needs simd >= 1"
+  | Accumulator { depth } -> if depth <= 0 then fail "accumulator needs depth >= 1"
+  | Pooling_unit { window; _ } ->
+      if window <= 0 then fail "pooling unit needs window >= 1"
+  | Activation_unit _ -> ()
+  | Lrn_unit { local_size; _ } ->
+      if local_size <= 0 then fail "LRN unit needs local_size >= 1"
+  | Dropout_unit -> ()
+  | Connection_box { in_ports; out_ports; _ } ->
+      if in_ports <= 0 || out_ports <= 0 then
+        fail "connection box needs positive port counts"
+  | Classifier_ksorter { k; fan_in } ->
+      if k <= 0 || fan_in < k then fail "k-sorter needs 0 < k <= fan_in"
+  | Agu { pattern_count; addr_bits; _ } ->
+      if pattern_count <= 0 || addr_bits <= 0 then
+        fail "AGU needs positive pattern count and address width"
+  | Coordinator { n_states; n_signals } ->
+      if n_states <= 0 || n_signals < 0 then fail "coordinator needs states"
+  | Feature_buffer { words; port_words } | Weight_buffer { words; port_words } ->
+      if words <= 0 || port_words <= 0 then fail "buffer needs positive sizes"
+
+let make ~name ~fmt kind =
+  validate_kind kind;
+  { block_name = name; kind; fmt }
+
+let kind_label = function
+  | Synergy_neuron _ -> "synergy_neuron"
+  | Accumulator _ -> "accumulator"
+  | Pooling_unit _ -> "pooling_unit"
+  | Activation_unit _ -> "activation_unit"
+  | Lrn_unit _ -> "lrn_unit"
+  | Dropout_unit -> "dropout_unit"
+  | Connection_box _ -> "connection_box"
+  | Classifier_ksorter _ -> "classifier_ksorter"
+  | Agu { agu_kind = Main_agu; _ } -> "main_agu"
+  | Agu { agu_kind = Data_agu; _ } -> "data_agu"
+  | Agu { agu_kind = Weight_agu; _ } -> "weight_agu"
+  | Coordinator _ -> "coordinator"
+  | Feature_buffer _ -> "feature_buffer"
+  | Weight_buffer _ -> "weight_buffer"
+
+(* Resource calibration.  Anchors (Table 3 of the paper): a 2-lane MLP
+   accelerator lands near 2 DSP / 64 LUT / 48 FF; lane-count growth is
+   DSP-linear with modest LUT/FF per lane; the connection-box crossbar is
+   the quadratic term that dominates wide (DB-L, NiN-class) designs. *)
+let resource t =
+  let w = t.fmt.Db_fixed.Fixed.total_bits in
+  match t.kind with
+  | Synergy_neuron { simd } ->
+      Resource.make ~dsps:simd
+        ~luts:(10 + (6 * simd) + ((simd - 1) * 8))
+        ~ffs:(8 + (4 * simd))
+        ()
+  | Accumulator { depth } ->
+      Resource.make ~luts:((w / 2) + 2 + (depth / 8)) ~ffs:w ()
+  | Pooling_unit { window; _ } ->
+      Resource.make ~luts:((4 * window) + (w / 2)) ~ffs:w ()
+  | Activation_unit { lut } ->
+      Resource.add (Approx_lut.resource lut ~word_bits:w) (Resource.make ~luts:10 ())
+  | Lrn_unit { local_size; lut } ->
+      Resource.add
+        (Approx_lut.resource lut ~word_bits:w)
+        (Resource.make ~luts:(120 + (8 * local_size)) ~ffs:(3 * w) ())
+  | Dropout_unit -> Resource.make ~luts:4 ~ffs:2 ()
+  | Connection_box { in_ports; out_ports; shift_latch } ->
+      Resource.make
+        ~luts:((in_ports * out_ports * 2) + if shift_latch then w else 0)
+        ~ffs:(out_ports * (w / 4))
+        ()
+  | Classifier_ksorter { k; fan_in } ->
+      let log_k =
+        Stdlib.max 1
+          (int_of_float (Float.ceil (log (float_of_int (k + 1)) /. log 2.0)))
+      in
+      Resource.make ~luts:(fan_in * log_k * (w / 4)) ~ffs:(k * w) ()
+  | Agu { pattern_count; addr_bits; _ } ->
+      Resource.make
+        ~luts:((pattern_count * addr_bits * 2) + (addr_bits * 4))
+        ~ffs:((addr_bits * 3) + (pattern_count * 2))
+        ()
+  | Coordinator { n_states; n_signals } ->
+      Resource.make ~luts:((n_states * 3) + (n_signals * 2)) ~ffs:(n_states + n_signals) ()
+  | Feature_buffer { words; port_words } | Weight_buffer { words; port_words } ->
+      Resource.make ~luts:(port_words * 8) ~ffs:(port_words * w)
+        ~bram_bits:(words * w) ()
+
+let pipeline_latency t =
+  match t.kind with
+  | Synergy_neuron { simd } ->
+      (* multiplier + ceil(log2 simd) adder-tree stages *)
+      2
+      + (if simd <= 1 then 0
+         else int_of_float (Float.ceil (log (float_of_int simd) /. log 2.0)))
+  | Accumulator _ -> 1
+  | Pooling_unit _ -> 1
+  | Activation_unit _ -> 2
+  | Lrn_unit { local_size; _ } -> 3 + local_size
+  | Dropout_unit -> 1
+  | Connection_box _ -> 1
+  | Classifier_ksorter { k; _ } ->
+      1 + Stdlib.max 1 (int_of_float (Float.ceil (log (float_of_int (k + 1)) /. log 2.0)))
+  | Agu _ -> 1
+  | Coordinator _ -> 1
+  | Feature_buffer _ | Weight_buffer _ -> 1
+
+let macs_per_cycle t =
+  match t.kind with Synergy_neuron { simd } -> simd | _ -> 0
+
+let to_module t =
+  let name = t.block_name and fmt = t.fmt in
+  match t.kind with
+  | Synergy_neuron { simd } -> Templates.synergy_neuron ~name ~fmt ~simd
+  | Accumulator { depth } -> Templates.accumulator ~name ~fmt ~depth
+  | Pooling_unit { window; pool } ->
+      Templates.pooling_unit ~name ~fmt ~window ~average:(pool = Avg_pool)
+  | Activation_unit { lut } -> Templates.activation_unit ~name ~fmt ~lut
+  | Lrn_unit { local_size; lut } -> Templates.lrn_unit ~name ~fmt ~local_size ~lut
+  | Dropout_unit -> Templates.dropout_unit ~name ~fmt
+  | Connection_box { in_ports; out_ports; shift_latch } ->
+      Templates.connection_box ~name ~fmt ~in_ports ~out_ports ~shift_latch
+  | Classifier_ksorter { k; fan_in } ->
+      Templates.classifier_ksorter ~name ~fmt ~k ~fan_in
+  | Agu { agu_kind; pattern_count; addr_bits } ->
+      let kind_label =
+        match agu_kind with
+        | Main_agu -> "main AGU"
+        | Data_agu -> "data AGU"
+        | Weight_agu -> "weight AGU"
+      in
+      Templates.agu ~name ~kind_label ~pattern_count ~addr_bits
+  | Coordinator { n_states; n_signals } ->
+      Templates.coordinator ~name ~n_states ~n_signals
+  | Feature_buffer { words; port_words } | Weight_buffer { words; port_words } ->
+      Templates.buffer ~name ~fmt ~words ~port_words
+
+let pp fmt_ t =
+  Format.fprintf fmt_ "%s<%s>" t.block_name (kind_label t.kind)

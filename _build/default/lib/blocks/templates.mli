@@ -1,0 +1,57 @@
+(** Behavioural Verilog templates for the component library.
+
+    One function per block class; the hardware generator has already fixed
+    every parameter, so these produce concrete [Rtl.module_decl]s. *)
+
+val synergy_neuron :
+  name:string -> fmt:Db_fixed.Fixed.format -> simd:int -> Db_hdl.Rtl.module_decl
+
+val accumulator :
+  name:string -> fmt:Db_fixed.Fixed.format -> depth:int -> Db_hdl.Rtl.module_decl
+
+val pooling_unit :
+  name:string ->
+  fmt:Db_fixed.Fixed.format ->
+  window:int ->
+  average:bool ->
+  Db_hdl.Rtl.module_decl
+
+val activation_unit :
+  name:string -> fmt:Db_fixed.Fixed.format -> lut:Approx_lut.t -> Db_hdl.Rtl.module_decl
+
+val lrn_unit :
+  name:string ->
+  fmt:Db_fixed.Fixed.format ->
+  local_size:int ->
+  lut:Approx_lut.t ->
+  Db_hdl.Rtl.module_decl
+
+val dropout_unit : name:string -> fmt:Db_fixed.Fixed.format -> Db_hdl.Rtl.module_decl
+
+val connection_box :
+  name:string ->
+  fmt:Db_fixed.Fixed.format ->
+  in_ports:int ->
+  out_ports:int ->
+  shift_latch:bool ->
+  Db_hdl.Rtl.module_decl
+
+val classifier_ksorter :
+  name:string -> fmt:Db_fixed.Fixed.format -> k:int -> fan_in:int -> Db_hdl.Rtl.module_decl
+
+val agu :
+  name:string ->
+  kind_label:string ->
+  pattern_count:int ->
+  addr_bits:int ->
+  Db_hdl.Rtl.module_decl
+
+val coordinator :
+  name:string -> n_states:int -> n_signals:int -> Db_hdl.Rtl.module_decl
+
+val buffer :
+  name:string ->
+  fmt:Db_fixed.Fixed.format ->
+  words:int ->
+  port_words:int ->
+  Db_hdl.Rtl.module_decl

@@ -1,0 +1,1 @@
+lib/core/block_set.ml: Db_blocks Db_fpga Db_mem Db_nn Db_sched Db_tensor Float Format List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/block_set.mli: Db_blocks Db_fpga Db_mem Db_nn Db_sched Format

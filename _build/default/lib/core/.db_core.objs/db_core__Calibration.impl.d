@@ -1,0 +1,1 @@
+lib/core/calibration.ml: Constraints Db_fixed Db_nn Db_tensor Db_util Float List Stdlib

@@ -1,0 +1,1 @@
+lib/core/calibration.mli: Constraints Db_fixed Db_nn Db_tensor

@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Db_blocks Db_mem Db_nn Db_sched Db_tensor Db_util Hashtbl List Option Printf Stdlib

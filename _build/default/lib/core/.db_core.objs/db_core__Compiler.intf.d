@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Db_blocks Db_hdl Db_mem Db_nn Db_sched

@@ -1,0 +1,1 @@
+lib/core/config_search.ml: Block_set Constraints Db_fixed Db_fpga Db_mem Db_nn Db_sched Db_tensor Db_util Stdlib

@@ -1,0 +1,1 @@
+lib/core/config_search.mli: Block_set Constraints Db_mem Db_nn Db_sched

@@ -1,0 +1,1 @@
+lib/core/constraints.ml: Db_fixed Db_fpga Db_prototxt Db_util Option Stdlib

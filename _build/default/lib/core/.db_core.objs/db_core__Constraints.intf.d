@@ -1,0 +1,1 @@
+lib/core/constraints.mli: Db_fixed Db_fpga

@@ -1,0 +1,1 @@
+lib/core/design.ml: Block_set Compiler Constraints Db_blocks Db_fpga Db_hdl Db_mem Db_nn Db_sched Format List String

@@ -1,0 +1,1 @@
+lib/core/generator.ml: Block_set Compiler Config_search Constraints Db_blocks Db_fixed Db_hdl Db_nn Db_sched Design Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/generator.mli: Block_set Compiler Constraints Db_hdl Db_nn Db_sched Design

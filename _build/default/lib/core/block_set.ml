@@ -1,0 +1,207 @@
+module Block = Db_blocks.Block
+module Layer = Db_nn.Layer
+module Network = Db_nn.Network
+module Resource = Db_fpga.Resource
+
+type t = { blocks : Block.t list; total : Resource.t }
+
+let addr_bits_for words =
+  Stdlib.max 4
+    (int_of_float
+       (Float.ceil (log (float_of_int (Stdlib.max 2 words)) /. log 2.0)))
+
+let activation_lut dp act =
+  let entries = dp.Db_sched.Datapath.lut_entries in
+  match act with
+  | Layer.Relu ->
+      (* ReLU itself is a comparator, but the unit still carries the LUT
+         infrastructure so new functions can be loaded (Section 3.2). *)
+      Db_blocks.Approx_lut.build ~name:"relu" ~f:(fun x -> Float.max 0.0 x)
+        ~lo:(-8.0) ~hi:8.0 ~entries
+  | Layer.Sigmoid -> Db_blocks.Approx_lut.sigmoid ~entries
+  | Layer.Tanh -> Db_blocks.Approx_lut.tanh_lut ~entries
+  | Layer.Sign ->
+      Db_blocks.Approx_lut.build ~name:"sign"
+        ~f:(fun x -> if x >= 0.0 then 1.0 else -1.0)
+        ~lo:(-1.0) ~hi:1.0 ~entries
+
+let distinct_activations net =
+  Network.fold net ~init:[] ~f:(fun acc node ->
+      match node.Network.layer with
+      | Layer.Activation act when not (List.mem act acc) -> act :: acc
+      | Layer.Recurrent _ when not (List.mem Layer.Tanh acc) ->
+          Layer.Tanh :: acc
+      | _ -> acc)
+  |> List.rev
+
+let max_pool_window net =
+  Network.fold net ~init:0 ~f:(fun acc node ->
+      match node.Network.layer with
+      | Layer.Pooling { kernel_size; _ } -> Stdlib.max acc kernel_size
+      | _ -> acc)
+
+let has net pred = Network.has_layer net pred
+
+let classifier_config net shapes =
+  Network.fold net ~init:None ~f:(fun acc node ->
+      match node.Network.layer, acc with
+      | Layer.Classifier { top_k }, None -> begin
+          match node.Network.bottoms with
+          | [ bottom ] ->
+              let n =
+                Db_tensor.Shape.numel (Db_nn.Shape_infer.blob_shape shapes bottom)
+              in
+              Some (top_k, n)
+          | [] | _ :: _ :: _ -> acc
+        end
+      | _ -> acc)
+
+let build net dp ~schedule ~layout =
+  let fmt = dp.Db_sched.Datapath.fmt in
+  let mk name kind = Block.make ~name ~fmt kind in
+  let lanes = dp.Db_sched.Datapath.lanes in
+  let shapes = Db_nn.Shape_infer.infer net in
+  let blocks = ref [] in
+  let push b = blocks := b :: !blocks in
+  (* MAC lanes and their per-lane accumulators. *)
+  for i = 0 to lanes - 1 do
+    push
+      (mk
+         (Printf.sprintf "neuron_%d" i)
+         (Block.Synergy_neuron { simd = dp.Db_sched.Datapath.simd }));
+    push
+      (mk (Printf.sprintf "accum_%d" i) (Block.Accumulator { depth = 16 }))
+  done;
+  (* Pooling units, one per lane, sized to the widest window in the model. *)
+  let window = max_pool_window net in
+  if window > 0 then begin
+    let avg =
+      has net (function
+        | Layer.Pooling { method_ = Layer.Average; _ }
+        | Layer.Global_pooling Layer.Average ->
+            true
+        | _ -> false)
+    in
+    let pool = if avg then Block.Avg_pool else Block.Max_pool in
+    for i = 0 to lanes - 1 do
+      push (mk (Printf.sprintf "pool_%d" i) (Block.Pooling_unit { window; pool }))
+    done
+  end;
+  (* One activation unit per distinct activation function. *)
+  List.iter
+    (fun act ->
+      let lut = activation_lut dp act in
+      push
+        (mk
+           ("act_" ^ String.lowercase_ascii (Layer.activation_name act))
+           (Block.Activation_unit { lut })))
+    (distinct_activations net);
+  (* The paper maps both LRN and LCN onto the LRN unit. *)
+  if has net (function Layer.Lrn _ | Layer.Lcn _ -> true | _ -> false) then begin
+    let local_size =
+      Network.fold net ~init:5 ~f:(fun acc node ->
+          match node.Network.layer with
+          | Layer.Lrn { local_size; _ } -> Stdlib.max acc local_size
+          | _ -> acc)
+    in
+    let lut =
+      Db_blocks.Approx_lut.build ~name:"lrn_power"
+        ~f:(fun x -> (1.0 +. x) ** -0.75)
+        ~lo:0.0 ~hi:64.0 ~entries:dp.Db_sched.Datapath.lut_entries
+    in
+    push (mk "lrn" (Block.Lrn_unit { local_size; lut }))
+  end;
+  if has net (function Layer.Dropout _ -> true | _ -> false) then
+    push (mk "dropout" Block.Dropout_unit);
+  if
+    has net (function
+      | Layer.Softmax | Layer.Pooling { method_ = Layer.Average; _ }
+      | Layer.Global_pooling Layer.Average | Layer.Lcn _ ->
+          true
+      | _ -> false)
+  then begin
+    let lut =
+      Db_blocks.Approx_lut.reciprocal
+        ~entries:dp.Db_sched.Datapath.lut_entries
+    in
+    push (mk "recip" (Block.Activation_unit { lut }))
+  end;
+  (* The crossbar between producers and consumers; the shifting latch is
+     needed whenever approximate division appears (average pooling, LRN). *)
+  let shift_latch =
+    has net (function
+      | Layer.Pooling { method_ = Layer.Average; _ }
+      | Layer.Global_pooling Layer.Average | Layer.Lrn _ | Layer.Lcn _ ->
+          true
+      | _ -> false)
+  in
+  push
+    (mk "connection_box"
+       (Block.Connection_box { in_ports = lanes; out_ports = lanes; shift_latch }));
+  (match classifier_config net shapes with
+  | Some (k, fan_in) ->
+      push (mk "ksorter" (Block.Classifier_ksorter { k; fan_in }))
+  | None -> ());
+  (* AGUs: the pattern memory scales with the number of layers; addresses
+     cover the whole DRAM layout (main) or the on-chip buffers. *)
+  let n_layers = Network.layer_count net in
+  let dram_addr_bits = addr_bits_for layout.Db_mem.Layout.total_words in
+  let fbuf_addr_bits = addr_bits_for dp.Db_sched.Datapath.feature_buffer_words in
+  let wbuf_addr_bits = addr_bits_for dp.Db_sched.Datapath.weight_buffer_words in
+  push
+    (mk "main_agu"
+       (Block.Agu
+          {
+            agu_kind = Block.Main_agu;
+            pattern_count = 3 * n_layers;
+            addr_bits = dram_addr_bits;
+          }));
+  push
+    (mk "data_agu"
+       (Block.Agu
+          {
+            agu_kind = Block.Data_agu;
+            pattern_count = n_layers;
+            addr_bits = fbuf_addr_bits;
+          }));
+  push
+    (mk "weight_agu"
+       (Block.Agu
+          {
+            agu_kind = Block.Weight_agu;
+            pattern_count = n_layers;
+            addr_bits = wbuf_addr_bits;
+          }));
+  push
+    (mk "coordinator"
+       (Block.Coordinator
+          {
+            n_states = 1 + Db_sched.Schedule.fold_count schedule;
+            n_signals = Db_sched.Schedule.fold_count schedule;
+          }));
+  push
+    (mk "feature_buffer"
+       (Block.Feature_buffer
+          {
+            words = dp.Db_sched.Datapath.feature_buffer_words;
+            port_words = dp.Db_sched.Datapath.port_words;
+          }));
+  push
+    (mk "weight_buffer"
+       (Block.Weight_buffer
+          {
+            words = dp.Db_sched.Datapath.weight_buffer_words;
+            port_words = dp.Db_sched.Datapath.port_words;
+          }));
+  let blocks = List.rev !blocks in
+  { blocks; total = Resource.sum (List.map Block.resource blocks) }
+
+let find t ~kind_label =
+  List.filter (fun b -> Block.kind_label b.Block.kind = kind_label) t.blocks
+
+let lane_blocks t = find t ~kind_label:"synergy_neuron"
+
+let pp fmt t =
+  Format.fprintf fmt "block set (%d blocks, %a):@." (List.length t.blocks)
+    Resource.pp t.total;
+  List.iter (fun b -> Format.fprintf fmt "  %a@." Block.pp b) t.blocks

@@ -1,0 +1,45 @@
+(** Fixed-point format calibration.
+
+    NN-Gen leaves the datapath bit-width as a reconfigurable block
+    parameter; this compiler pass picks the binary point for it.  Sample
+    inputs are run through the float reference, the largest magnitude seen
+    anywhere (activations and weights) determines the integer bits needed,
+    and the rest of the word goes to fraction — the precision/saturation
+    trade the ablation bench sweeps by hand, automated. *)
+
+val profile_max_abs :
+  Db_nn.Network.t ->
+  Db_nn.Params.t ->
+  input_blob:string ->
+  samples:Db_tensor.Tensor.t list ->
+  float
+(** Largest |value| over every intermediate blob and every weight tensor,
+    across all samples.  Raises {!Db_util.Error.Deepburning_error} when
+    [samples] is empty. *)
+
+val choose_format :
+  ?margin_bits:int -> total_bits:int -> max_abs:float -> unit -> Db_fixed.Fixed.format
+(** Smallest integer field (plus [margin_bits] of headroom, default 1)
+    that represents [max_abs] without saturation; everything else becomes
+    fraction bits.  Clamps to at least 0 fraction bits. *)
+
+val calibrate :
+  ?margin_bits:int ->
+  ?total_bits:int ->
+  Db_nn.Network.t ->
+  Db_nn.Params.t ->
+  input_blob:string ->
+  samples:Db_tensor.Tensor.t list ->
+  Db_fixed.Fixed.format
+(** [profile_max_abs] then [choose_format]; default [total_bits] 16. *)
+
+val calibrated_constraints :
+  ?margin_bits:int ->
+  Constraints.t ->
+  Db_nn.Network.t ->
+  Db_nn.Params.t ->
+  input_blob:string ->
+  samples:Db_tensor.Tensor.t list ->
+  Constraints.t
+(** The same constraint with its number format replaced by the calibrated
+    one (keeping the constraint's word width). *)

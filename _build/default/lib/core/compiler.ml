@@ -1,0 +1,311 @@
+module Shape = Db_tensor.Shape
+module Layer = Db_nn.Layer
+module Network = Db_nn.Network
+module Folding = Db_sched.Folding
+module Access_pattern = Db_mem.Access_pattern
+module Layout = Db_mem.Layout
+module Tiling = Db_mem.Tiling
+
+type transfer = {
+  stream : [ `Feature_in | `Weight_in | `Output_back ];
+  words : int;
+  seq_fraction : float;
+  pattern : Access_pattern.t;
+}
+
+type fold_program = {
+  event : string;
+  fold : Folding.fold;
+  transfers : transfer list;
+  buffer_feature_reads : int;
+  buffer_weight_reads : int;
+  windows_streamed : bool;
+}
+
+type t = {
+  programs : fold_program list;
+  luts : Db_blocks.Approx_lut.t list;
+  layout : Layout.t;
+}
+
+let fail fmt = Db_util.Error.failf_at ~component:"compiler" fmt
+
+let build_luts net ~entries =
+  let acc = ref [] in
+  let add lut =
+    if not (List.exists (fun l -> l.Db_blocks.Approx_lut.lut_name = lut.Db_blocks.Approx_lut.lut_name) !acc)
+    then acc := lut :: !acc
+  in
+  Network.iter net (fun node ->
+      match node.Network.layer with
+      | Layer.Activation Layer.Sigmoid -> add (Db_blocks.Approx_lut.sigmoid ~entries)
+      | Layer.Activation Layer.Tanh | Layer.Recurrent _ ->
+          add (Db_blocks.Approx_lut.tanh_lut ~entries)
+      | Layer.Softmax ->
+          add (Db_blocks.Approx_lut.exp_lut ~entries);
+          add (Db_blocks.Approx_lut.reciprocal ~entries)
+      | Layer.Pooling { method_ = Layer.Average; _ }
+      | Layer.Global_pooling Layer.Average | Layer.Lcn _ ->
+          add (Db_blocks.Approx_lut.reciprocal ~entries)
+      | Layer.Lrn _ ->
+          add
+            (Db_blocks.Approx_lut.build ~name:"lrn_power"
+               ~f:(fun x -> (1.0 +. x) ** -0.75)
+               ~lo:0.0 ~hi:64.0 ~entries)
+      | Layer.Input _ | Layer.Convolution _
+      | Layer.Pooling { method_ = Layer.Max; _ }
+      | Layer.Global_pooling Layer.Max
+      | Layer.Inner_product _ | Layer.Activation Layer.Relu
+      | Layer.Activation Layer.Sign | Layer.Dropout _ | Layer.Associative _
+      | Layer.Concat | Layer.Classifier _ ->
+          ());
+  List.rev !acc
+
+let node_of net name =
+  try Network.find_node net name
+  with Not_found -> fail "schedule references unknown layer %S" name
+
+let input_blob node =
+  match node.Network.bottoms with
+  | bottom :: _ -> bottom
+  | [] -> fail "layer %S has no bottom" node.Network.node_name
+
+(* Sequential fraction of a bulk (whole-region) fetch: the region is stored
+   contiguously in layout order, so it streams at full efficiency. *)
+let bulk_fetch blob_entry ~name ~words ~offset =
+  {
+    stream = `Feature_in;
+    words;
+    seq_fraction = 1.0;
+    pattern =
+      Access_pattern.contiguous ~name
+        ~start:(blob_entry.Layout.base + offset)
+        ~length:(Stdlib.max 1 words);
+  }
+
+(* The per-blob fraction is pure in (blob, plan, shape); memoise it so the
+   many folds of one layer don't re-walk the window sweep. *)
+let seq_fraction_cache : (string * string * bool, float) Hashtbl.t =
+  Hashtbl.create 64
+
+let window_seq_fraction ~tiling_enabled entry ~bottoms_shape =
+  let shape_sig =
+    match bottoms_shape with
+    | Some s -> Shape.to_string s
+    | None -> "none"
+  in
+  let plan_sig =
+    match entry.Layout.tile_plan with
+    | Some p ->
+        Printf.sprintf "t%d_k%d_s%d_d%d_m%d" p.Tiling.tile
+          p.Tiling.plan_spec.Tiling.kernel p.Tiling.plan_spec.Tiling.stride
+          p.Tiling.plan_spec.Tiling.port_width
+          p.Tiling.plan_spec.Tiling.map_count
+    | None -> "row"
+  in
+  let key = (shape_sig ^ "/" ^ plan_sig, entry.Layout.entry_name, tiling_enabled) in
+  match Hashtbl.find_opt seq_fraction_cache key with
+  | Some f -> f
+  | None ->
+      let f =
+        match entry.Layout.tile_plan, bottoms_shape with
+        | Some plan, Some shape when Shape.rank shape = 3 ->
+            let plan =
+              if tiling_enabled then plan
+              else Tiling.row_major plan.Tiling.plan_spec
+            in
+            Tiling.window_sequential_fraction plan ~height:(Shape.height shape)
+              ~width:(Shape.width shape)
+        | Some _, _ | None, _ -> if tiling_enabled then 0.9 else 0.4
+      in
+      Hashtbl.replace seq_fraction_cache key f;
+      f
+
+let compile ?(tiling_enabled = true) net ~datapath ~schedule ~layout =
+  let shapes = Db_nn.Shape_infer.infer net in
+  let fbuf = datapath.Db_sched.Datapath.feature_buffer_words in
+  let previous_layer = ref "" in
+  let weight_cursor : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let programs =
+    List.map
+      (fun (fold : Folding.fold) ->
+        let node = node_of net fold.Folding.fold_layer in
+        let blob = input_blob node in
+        let entry = Layout.feature_entry layout ~blob in
+        let bshape = Db_nn.Shape_infer.blob_shape shapes blob in
+        let first_fold_of_layer = !previous_layer <> fold.Folding.fold_layer in
+        previous_layer := fold.Folding.fold_layer;
+        let fits = entry.Layout.words <= fbuf in
+        let transfers = ref [] in
+        let windows_streamed = ref false in
+        (* Feature input. *)
+        (if fits then begin
+           if first_fold_of_layer then
+             transfers :=
+               bulk_fetch entry
+                 ~name:(fold.Folding.event ^ "_feat")
+                 ~words:entry.Layout.words ~offset:0
+               :: !transfers
+           (* else: resident from the first fold of this layer *)
+         end
+         else begin
+           (* Input exceeds the buffer: stream the kernel windows this fold
+              needs straight from DRAM.  Method-1 decides both the
+              row-buffer locality (seq fraction) and the bandwidth utility:
+              without tiling, each window row costs a whole burst of which
+              only [kernel] words are useful (the paper's 57-vs-12-pixel
+              example); with tiling the fetched blocks are fully used. *)
+           windows_streamed := true;
+           let seq =
+             window_seq_fraction ~tiling_enabled entry
+               ~bottoms_shape:(Some bshape)
+           in
+           let burst = 16 in
+           let window_words, waste =
+             match node.Network.layer with
+             | Layer.Convolution { kernel_size = k; group; _ } ->
+                 let cin_g = Shape.channels bshape / group in
+                 let osh =
+                   Db_nn.Shape_infer.layer_output_shape node.Network.layer
+                     [ bshape ]
+                 in
+                 let sweeps = Shape.height osh * Shape.width osh in
+                 let useful = sweeps * k * k * cin_g in
+                 let waste =
+                   if tiling_enabled then 1.0
+                   else
+                     float_of_int (((k + burst - 1) / burst) * burst)
+                     /. float_of_int k
+                 in
+                 (useful, waste)
+             | _ -> (fold.Folding.feature_words, 1.0)
+           in
+           transfers :=
+             {
+               stream = `Feature_in;
+               words =
+                 Stdlib.max fold.Folding.feature_words
+                   (int_of_float (float_of_int window_words *. waste));
+               seq_fraction = seq;
+               pattern =
+                 Access_pattern.rows
+                   ~name:(fold.Folding.event ^ "_feat")
+                   ~start:entry.Layout.base
+                   ~x_length:
+                     (Stdlib.max 1
+                        (Stdlib.min fold.Folding.feature_words
+                           (Shape.width bshape)))
+                   ~y_length:
+                     (Stdlib.max 1
+                        (fold.Folding.feature_words
+                        / Stdlib.max 1
+                            (Stdlib.min fold.Folding.feature_words
+                               (Shape.width bshape))))
+                   ~stride:(Shape.width bshape);
+             }
+             :: !transfers
+         end);
+        (* Weights: streamed once per fold, contiguous in layout order. *)
+        if fold.Folding.weight_words > 0 then begin
+          let wentries =
+            Layout.weight_entries layout ~node:fold.Folding.fold_layer
+          in
+          match wentries with
+          | [] -> fail "no weight layout for %S" fold.Folding.fold_layer
+          | first :: _ ->
+              (* Folds walk the layer's weight region cumulatively (tail
+                 folds are narrower than full ones). *)
+              let offset =
+                Option.value ~default:0
+                  (Hashtbl.find_opt weight_cursor fold.Folding.fold_layer)
+              in
+              Hashtbl.replace weight_cursor fold.Folding.fold_layer
+                (offset + fold.Folding.weight_words);
+              let total_weight_words =
+                List.fold_left (fun a e -> a + e.Layout.words) 0 wentries
+              in
+              let words =
+                Stdlib.min fold.Folding.weight_words
+                  (Stdlib.max 0 (total_weight_words - offset))
+              in
+              if words > 0 then
+                transfers :=
+                  {
+                    stream = `Weight_in;
+                    words;
+                    seq_fraction = 1.0;
+                    pattern =
+                      Access_pattern.contiguous
+                        ~name:(fold.Folding.event ^ "_wt")
+                        ~start:(first.Layout.base + offset)
+                        ~length:words;
+                  }
+                  :: !transfers
+        end;
+        (* Output write-back. *)
+        (match node.Network.tops with
+        | top :: _ ->
+            let oentry = Layout.feature_entry layout ~blob:top in
+            let offset = fold.Folding.fold_index * fold.Folding.output_words in
+            let words =
+              Stdlib.min fold.Folding.output_words
+                (Stdlib.max 0 (oentry.Layout.words - offset))
+            in
+            if words > 0 then
+              transfers :=
+                {
+                  stream = `Output_back;
+                  words;
+                  seq_fraction = 1.0;
+                  pattern =
+                    Access_pattern.contiguous
+                      ~name:(fold.Folding.event ^ "_out")
+                      ~start:(oentry.Layout.base + offset)
+                      ~length:words;
+                }
+                :: !transfers
+        | [] -> ());
+        {
+          event = fold.Folding.event;
+          fold;
+          transfers = List.rev !transfers;
+          buffer_feature_reads = fold.Folding.feature_words;
+          buffer_weight_reads = fold.Folding.weight_words;
+          windows_streamed = !windows_streamed;
+        })
+      schedule.Db_sched.Schedule.folds
+  in
+  {
+    programs;
+    luts = build_luts net ~entries:datapath.Db_sched.Datapath.lut_entries;
+    layout;
+  }
+
+let total_dram_words t =
+  List.fold_left
+    (fun acc p ->
+      acc + List.fold_left (fun a tr -> a + tr.words) 0 p.transfers)
+    0 t.programs
+
+let agu_pattern_fsms t =
+  (* Pattern shapes repeat heavily across folds; deduplicate on the
+     (x_length, y_length, stride, offset, repeat) signature. *)
+  let seen = Hashtbl.create 64 in
+  List.concat_map
+    (fun p ->
+      List.filter_map
+        (fun tr ->
+          let key =
+            ( tr.pattern.Access_pattern.x_length,
+              tr.pattern.Access_pattern.y_length,
+              tr.pattern.Access_pattern.stride,
+              tr.pattern.Access_pattern.offset,
+              tr.pattern.Access_pattern.repeat )
+          in
+          if Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.add seen key ();
+            Some (Access_pattern.to_fsm tr.pattern)
+          end)
+        p.transfers)
+    t.programs

@@ -1,0 +1,49 @@
+(** The DeepBurning compiler (software half of NN-Gen).
+
+    From the fixed datapath and schedule it derives, per fold, the memory
+    traffic and the AGU address patterns; globally it fills the Approx
+    LUTs.  The patterns' FSM descriptions are what the hardware generator
+    lowers into the AGU RTL. *)
+
+type transfer = {
+  stream : [ `Feature_in | `Weight_in | `Output_back ];
+  words : int;
+  seq_fraction : float;  (** DRAM row-buffer friendliness of this stream *)
+  pattern : Db_mem.Access_pattern.t;
+}
+
+type fold_program = {
+  event : string;
+  fold : Db_sched.Folding.fold;
+  transfers : transfer list;
+      (** off-chip traffic this fold causes; empty when everything it needs
+          is already resident on chip *)
+  buffer_feature_reads : int;  (** words the data AGU feeds the datapath *)
+  buffer_weight_reads : int;
+  windows_streamed : bool;
+      (** true when the layer input exceeds the feature buffer and kernel
+          windows are streamed straight from DRAM (tiling decides the
+          [seq_fraction] then) *)
+}
+
+type t = {
+  programs : fold_program list;
+  luts : Db_blocks.Approx_lut.t list;
+  layout : Db_mem.Layout.t;
+}
+
+val compile :
+  ?tiling_enabled:bool ->
+  Db_nn.Network.t ->
+  datapath:Db_sched.Datapath.t ->
+  schedule:Db_sched.Schedule.t ->
+  layout:Db_mem.Layout.t ->
+  t
+(** [tiling_enabled] (default true) switches Method-1 on; the ablation
+    bench turns it off to quantify the locality loss. *)
+
+val total_dram_words : t -> int
+
+val agu_pattern_fsms : t -> Db_hdl.Fsm.t list
+(** One FSM per distinct transfer pattern shape (deduplicated), ready for
+    RTL lowering. *)

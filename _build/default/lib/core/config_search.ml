@@ -1,0 +1,88 @@
+module Resource = Db_fpga.Resource
+module Shape = Db_tensor.Shape
+module Layer = Db_nn.Layer
+module Network = Db_nn.Network
+
+type result = {
+  datapath : Db_sched.Datapath.t;
+  schedule : Db_sched.Schedule.t;
+  layout : Db_mem.Layout.t;
+  block_set : Block_set.t;
+}
+
+let fail fmt = Db_util.Error.failf_at ~component:"config-search" fmt
+
+let useful_lanes net =
+  let shapes = Db_nn.Shape_infer.infer net in
+  Network.fold net ~init:1 ~f:(fun acc node ->
+      match node.Network.layer with
+      | Layer.Convolution { num_output; _ } -> Stdlib.max acc num_output
+      | Layer.Inner_product { num_output; _ }
+      | Layer.Recurrent { num_output; _ } ->
+          Stdlib.max acc num_output
+      | Layer.Pooling _ | Layer.Global_pooling _ -> begin
+          match node.Network.bottoms with
+          | [ bottom ] ->
+              Stdlib.max acc
+                (Shape.channels (Db_nn.Shape_infer.blob_shape shapes bottom))
+          | [] | _ :: _ :: _ -> acc
+        end
+      | Layer.Input _ | Layer.Activation _ | Layer.Lrn _ | Layer.Lcn _
+      | Layer.Dropout _ | Layer.Softmax | Layer.Associative _ | Layer.Concat
+      | Layer.Classifier _ ->
+          acc)
+
+let rec pow2_at_most n = if n < 2 then 1 else 2 * pow2_at_most (n / 2)
+
+let port_words_for lanes = Stdlib.min 16 (Stdlib.max 2 (pow2_at_most lanes))
+
+(* Buffers: a quarter of the BRAM budget each (leaving headroom for the
+   Approx-LUT ROMs), power-of-two words, at least 1K.
+   Capped at 64K words (1 Mb per buffer at 16 bits): a single monolithic
+   buffer wider than that would not meet timing at 100 MHz, and the cap is
+   what makes ImageNet-scale feature maps spill — the situation the
+   paper's folding and Method-1 tiling exist for. *)
+let buffer_words_cap = 65536
+
+let buffer_words_for (cons : Constraints.t) =
+  let word_bits = cons.Constraints.fmt.Db_fixed.Fixed.total_bits in
+  let budget_words = cons.Constraints.budget.Resource.bram_bits / word_bits in
+  Stdlib.min buffer_words_cap (Stdlib.max 1024 (pow2_at_most (budget_words / 4)))
+
+let evaluate cons net ~lanes =
+  let buffer_words = buffer_words_for cons in
+  let datapath =
+    Db_sched.Datapath.make ~lanes ~simd:1 ~port_words:(port_words_for lanes)
+      ~fmt:cons.Constraints.fmt ~feature_buffer_words:buffer_words
+      ~weight_buffer_words:buffer_words
+      ~lut_entries:cons.Constraints.lut_entries ()
+  in
+  let schedule = Db_sched.Schedule.build datapath net in
+  let layout =
+    Db_mem.Layout.build
+      ~bytes_per_word:((cons.Constraints.fmt.Db_fixed.Fixed.total_bits + 7) / 8)
+      ~port_width:datapath.Db_sched.Datapath.port_words net
+  in
+  let block_set = Block_set.build net datapath ~schedule ~layout in
+  { datapath; schedule; layout; block_set }
+
+let search cons net =
+  let cap = Stdlib.max 1 cons.Constraints.budget.Resource.dsps in
+  let upper = Stdlib.min cap (useful_lanes net) in
+  let rec try_lanes lanes =
+    if lanes < 1 then
+      fail "no datapath fits budget %a for network %S" Resource.pp
+        cons.Constraints.budget net.Network.net_name
+    else begin
+      let candidate = evaluate cons net ~lanes in
+      if
+        Resource.fits candidate.block_set.Block_set.total
+          ~within:cons.Constraints.budget
+      then candidate
+      else
+        (* Large steps far from fitting, fine steps close by. *)
+        let next = if lanes > 16 then lanes * 7 / 8 else lanes - 1 in
+        try_lanes (Stdlib.min (lanes - 1) next)
+    end
+  in
+  try_lanes upper

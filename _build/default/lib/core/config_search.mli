@@ -1,0 +1,26 @@
+(** Datapath configuration search: "determining the best hardware
+    configurations for the network and resource constraint".
+
+    Lanes are the dominant axis (DSP-bound); the port width tracks the
+    lane count, and the buffers take the remaining BRAM budget.  The
+    search walks lane counts downward from the DSP cap and returns the
+    widest datapath whose full block set fits the budget. *)
+
+type result = {
+  datapath : Db_sched.Datapath.t;
+  schedule : Db_sched.Schedule.t;
+  layout : Db_mem.Layout.t;
+  block_set : Block_set.t;
+}
+
+val search : Constraints.t -> Db_nn.Network.t -> result
+(** Raises {!Db_util.Error.Deepburning_error} if even a one-lane datapath
+    exceeds the budget. *)
+
+val evaluate : Constraints.t -> Db_nn.Network.t -> lanes:int -> result
+(** Build the full configuration for an explicit lane count (used by the
+    lane-sweep ablation).  Does not check the budget. *)
+
+val useful_lanes : Db_nn.Network.t -> int
+(** Lane count beyond which no layer has any more output-channel / neuron
+    parallelism to exploit. *)

@@ -1,0 +1,67 @@
+module Resource = Db_fpga.Resource
+module Device = Db_fpga.Device
+
+type t = {
+  device : Device.t;
+  budget : Resource.t;
+  clock_mhz : float;
+  fmt : Db_fixed.Fixed.format;
+  lut_entries : int;
+}
+
+let fail fmt = Db_util.Error.failf_at ~component:"constraints" fmt
+
+let make ?(clock_mhz = 100.0) ?(fmt = Db_fixed.Fixed.q16_8) ?(lut_entries = 256)
+    ~device ~budget () =
+  if not (Resource.fits budget ~within:device.Device.capacity) then
+    fail "budget %a exceeds device %s capacity %a" Resource.pp budget
+      device.Device.device_name Resource.pp device.Device.capacity;
+  { device; budget; clock_mhz; fmt; lut_entries }
+
+let of_fraction ~device ~fraction =
+  if fraction <= 0.0 || fraction > 1.0 then
+    fail "fraction %g out of (0, 1]" fraction;
+  make ~device ~budget:(Resource.fraction fraction device.Device.capacity) ()
+
+let db_medium = of_fraction ~device:Device.zynq_7045 ~fraction:0.25
+
+let db_large = of_fraction ~device:Device.zynq_7045 ~fraction:0.85
+
+let db_small = of_fraction ~device:Device.zynq_7020 ~fraction:0.5
+
+let with_dsp_cap t cap =
+  if cap <= 0 then fail "DSP cap must be positive";
+  { t with budget = { t.budget with Resource.dsps = Stdlib.min cap t.budget.Resource.dsps } }
+
+let parse src =
+  let doc = Db_prototxt.Parser.parse src in
+  match Db_prototxt.Ast.messages doc "constraint" with
+  | [] -> fail "no constraint { ... } block found"
+  | fields :: _ ->
+      let module Ast = Db_prototxt.Ast in
+      let device =
+        match Ast.opt_string fields "device" with
+        | None -> Device.zynq_7045
+        | Some name -> (
+            try Device.find name
+            with Not_found -> fail "unknown device %S" name)
+      in
+      let cap = device.Device.capacity in
+      let budget =
+        Resource.make
+          ~luts:(Option.value ~default:cap.Resource.luts (Ast.opt_int fields "luts"))
+          ~ffs:(Option.value ~default:cap.Resource.ffs (Ast.opt_int fields "ffs"))
+          ~dsps:(Option.value ~default:cap.Resource.dsps (Ast.opt_int fields "dsps"))
+          ~bram_bits:
+            (match Ast.opt_int fields "bram_kb" with
+            | Some kb -> kb * 1024 * 8
+            | None -> cap.Resource.bram_bits)
+          ()
+      in
+      let total_bits = Option.value ~default:16 (Ast.opt_int fields "word_bits") in
+      let frac_bits = Option.value ~default:8 (Ast.opt_int fields "frac_bits") in
+      make
+        ~clock_mhz:(Option.value ~default:100.0 (Ast.opt_float fields "clock_mhz"))
+        ~fmt:(Db_fixed.Fixed.format ~total_bits ~frac_bits)
+        ~lut_entries:(Option.value ~default:256 (Ast.opt_int fields "lut_entries"))
+        ~device ~budget ()

@@ -1,0 +1,59 @@
+(** The user-specified overhead constraint (Fig. 3: "Design constraint
+    script").
+
+    A constraint names the target device and caps the resources NN-Gen may
+    spend.  The paper's three evaluation points are presets here: [DB] is a
+    medium budget on the Zynq-7045, [DB-L] a high budget on the same
+    device, [DB-S] a low budget on the Zynq-7020. *)
+
+type t = {
+  device : Db_fpga.Device.t;
+  budget : Db_fpga.Resource.t;
+  clock_mhz : float;
+  fmt : Db_fixed.Fixed.format;
+  lut_entries : int;  (** Approx LUT size the compiler should emit *)
+}
+
+val make :
+  ?clock_mhz:float ->
+  ?fmt:Db_fixed.Fixed.format ->
+  ?lut_entries:int ->
+  device:Db_fpga.Device.t ->
+  budget:Db_fpga.Resource.t ->
+  unit ->
+  t
+(** Defaults: 100 MHz, Q16.8, 256 LUT entries.  Fails if the budget
+    exceeds the device capacity. *)
+
+val of_fraction : device:Db_fpga.Device.t -> fraction:float -> t
+(** Budget = the given fraction of the device's capacity. *)
+
+val db_medium : t
+(** The paper's [DB] point: medium budget on Zynq-7045. *)
+
+val db_large : t
+(** [DB-L]: high budget on Zynq-7045. *)
+
+val db_small : t
+(** [DB-S]: low budget on Zynq-7020. *)
+
+val with_dsp_cap : t -> int -> t
+(** Tighten the DSP budget (the per-application constraint files in the
+    evaluation mostly differ in how many MAC lanes they allow). *)
+
+val parse : string -> t
+(** Reads a constraint script such as
+    {v
+    constraint {
+      device: "zynq-7045"
+      dsps: 9
+      luts: 30000
+      ffs: 20000
+      bram_kb: 512
+      clock_mhz: 100
+      word_bits: 16
+      frac_bits: 8
+      lut_entries: 256
+    }
+    v}
+    Missing resource fields default to the whole device. *)

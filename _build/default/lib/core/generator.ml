@@ -1,0 +1,223 @@
+module Rtl = Db_hdl.Rtl
+module Block = Db_blocks.Block
+module Datapath = Db_sched.Datapath
+
+(* One RTL module serves every block instance with the same configuration;
+   the canonical name encodes the configuration. *)
+let canonical_module_name (b : Block.t) =
+  match b.Block.kind with
+  | Block.Synergy_neuron { simd } -> Printf.sprintf "synergy_neuron_s%d" simd
+  | Block.Accumulator { depth } -> Printf.sprintf "accumulator_d%d" depth
+  | Block.Pooling_unit { window; pool } ->
+      Printf.sprintf "pooling_unit_w%d_%s" window
+        (match pool with Block.Max_pool -> "max" | Block.Avg_pool -> "avg")
+  | Block.Activation_unit { lut } ->
+      "activation_unit_" ^ lut.Db_blocks.Approx_lut.lut_name
+  | Block.Lrn_unit { local_size; _ } -> Printf.sprintf "lrn_unit_n%d" local_size
+  | Block.Dropout_unit -> "dropout_unit"
+  | Block.Connection_box { in_ports; out_ports; shift_latch } ->
+      Printf.sprintf "connection_box_%dx%d%s" in_ports out_ports
+        (if shift_latch then "_sl" else "")
+  | Block.Classifier_ksorter { k; fan_in } ->
+      Printf.sprintf "ksorter_k%d_n%d" k fan_in
+  | Block.Agu { agu_kind; pattern_count; addr_bits } ->
+      Printf.sprintf "%s_p%d_a%d"
+        (match agu_kind with
+        | Block.Main_agu -> "main_agu"
+        | Block.Data_agu -> "data_agu"
+        | Block.Weight_agu -> "weight_agu")
+        pattern_count addr_bits
+  | Block.Coordinator { n_states; _ } -> Printf.sprintf "coordinator_%d" n_states
+  | Block.Feature_buffer { words; port_words } ->
+      Printf.sprintf "feature_buffer_%dx%d" words port_words
+  | Block.Weight_buffer { words; port_words } ->
+      Printf.sprintf "weight_buffer_%dx%d" words port_words
+
+let net name width = { Rtl.net_name = name; net_width = width }
+
+(* Connect every declared port of [decl]; control ports go to shared nets,
+   data ports to the given bus expressions. *)
+let connections_for (decl : Rtl.module_decl) ~bus_of =
+  List.map
+    (fun (p : Rtl.port) ->
+      let actual =
+        match p.Rtl.port_name with
+        | "clk" -> "clk"
+        | "rst" -> "rst"
+        | other -> bus_of other p.Rtl.width
+      in
+      (p.Rtl.port_name, actual))
+    decl.Rtl.ports
+
+let build_rtl network datapath ~block_set ~program =
+  let dp_w = datapath.Datapath.fmt.Db_fixed.Fixed.total_bits in
+  let lanes = datapath.Datapath.lanes in
+  let simd = datapath.Datapath.simd in
+  (* Deduplicated leaf modules. *)
+  let module_table = Hashtbl.create 32 in
+  let leaf_modules = ref [] in
+  let ensure_module (b : Block.t) =
+    let name = canonical_module_name b in
+    if not (Hashtbl.mem module_table name) then begin
+      Hashtbl.add module_table name ();
+      leaf_modules := Block.to_module { b with Block.block_name = name } :: !leaf_modules
+    end;
+    name
+  in
+  (* ROM modules for the compiler-filled LUTs. *)
+  let rom_modules =
+    List.map
+      (fun lut -> Db_blocks.Approx_lut.to_module lut ~fmt:datapath.Datapath.fmt)
+      program.Compiler.luts
+  in
+  (* A bounded selection of AGU pattern FSMs lowered to RTL (the rest share
+     the same shapes by construction). *)
+  let pattern_fsms =
+    let all = Compiler.agu_pattern_fsms program in
+    List.filteri (fun i _ -> i < 48) all
+  in
+  let fsm_modules =
+    List.map (fun fsm -> Db_hdl.Fsm.to_module fsm ~clock:"clk" ~reset:"rst") pattern_fsms
+  in
+  (* Top-level nets. *)
+  let nets = ref [] in
+  let declare name width =
+    if not (List.exists (fun (n : Rtl.net) -> n.Rtl.net_name = name) !nets) then
+      nets := net name width :: !nets
+  in
+  declare "feature_bus" (lanes * simd * dp_w);
+  declare "weight_bus" (lanes * simd * dp_w);
+  declare "partial_bus" (lanes * dp_w);
+  declare "xbar_bus" (lanes * dp_w);
+  declare "post_act_bus" (lanes * dp_w);
+  declare "fold_done" 1;
+  declare "lane_clear" 1;
+  declare "lane_valid" 1;
+  let instances = ref [] in
+  let add_instance inst = instances := inst :: !instances in
+  let lane_index name =
+    (* "neuron_12" -> 12 *)
+    match String.rindex_opt name '_' with
+    | Some i -> int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1))
+    | None -> None
+  in
+  let slice bus ~index ~width = Printf.sprintf "%s[%d:%d]" bus (((index + 1) * width) - 1) (index * width) in
+  List.iter
+    (fun (b : Block.t) ->
+      let mod_ref = ensure_module b in
+      let decl = Block.to_module { b with Block.block_name = mod_ref } in
+      let idx = Option.value ~default:0 (lane_index b.Block.block_name) in
+      let bus_of port_name width =
+        match port_name with
+        | "feature" -> slice "feature_bus" ~index:idx ~width
+        | "weight" -> slice "weight_bus" ~index:idx ~width
+        | "partial_sum" | "value" when width = dp_w ->
+            slice "partial_bus" ~index:idx ~width
+        | "total" | "result" -> slice "xbar_bus" ~index:idx ~width
+        | "x" -> slice "xbar_bus" ~index:0 ~width
+        | "y" -> slice "post_act_bus" ~index:0 ~width
+        | "in_bus" -> "partial_bus"
+        | "out_bus" -> "xbar_bus"
+        | "clear" -> "lane_clear"
+        | "valid_in" -> "lane_valid"
+        | "fold_done" -> "fold_done"
+        | other ->
+            (* Dedicated net per remaining port of this instance. *)
+            let n = Printf.sprintf "%s_%s" b.Block.block_name other in
+            declare n width;
+            n
+      in
+      add_instance
+        {
+          Rtl.inst_name = b.Block.block_name;
+          module_ref = mod_ref;
+          parameters = [];
+          connections = connections_for decl ~bus_of;
+        })
+    block_set.Block_set.blocks;
+  (* Instantiate the lowered AGU pattern FSMs with per-instance nets. *)
+  List.iter
+    (fun (m : Rtl.module_decl) ->
+      let bus_of port width =
+        let n = Printf.sprintf "%s_%s" m.Rtl.mod_name port in
+        declare n width;
+        n
+      in
+      add_instance
+        {
+          Rtl.inst_name = "i_" ^ m.Rtl.mod_name;
+          module_ref = m.Rtl.mod_name;
+          parameters = [];
+          connections = connections_for m ~bus_of;
+        })
+    fsm_modules;
+  let top_name =
+    "accelerator_"
+    ^ String.map
+        (fun c -> if c = '-' || c = ' ' then '_' else c)
+        network.Db_nn.Network.net_name
+  in
+  let top =
+    {
+      Rtl.mod_name = top_name;
+      ports =
+        [
+          { Rtl.port_name = "clk"; direction = Rtl.Input; width = 1 };
+          { Rtl.port_name = "rst"; direction = Rtl.Input; width = 1 };
+          { Rtl.port_name = "start"; direction = Rtl.Input; width = 1 };
+          { Rtl.port_name = "m_axi_araddr"; direction = Rtl.Output; width = 32 };
+          { Rtl.port_name = "m_axi_rdata"; direction = Rtl.Input; width = 64 };
+          { Rtl.port_name = "m_axi_awaddr"; direction = Rtl.Output; width = 32 };
+          { Rtl.port_name = "m_axi_wdata"; direction = Rtl.Output; width = 64 };
+          { Rtl.port_name = "done"; direction = Rtl.Output; width = 1 };
+        ];
+      localparams =
+        [ ("LANES", lanes); ("SIMD", simd); ("WORD_BITS", dp_w) ];
+      body =
+        Rtl.Structural
+          {
+            nets = List.rev !nets;
+            instances = List.rev !instances;
+            assigns = [ ("done", "fold_done") ];
+          };
+    }
+  in
+  let design =
+    {
+      Rtl.top = top_name;
+      modules = List.rev !leaf_modules @ rom_modules @ fsm_modules @ [ top ];
+    }
+  in
+  Rtl.validate design;
+  design
+
+let assemble ?tiling_enabled cons network (picked : Config_search.result) =
+  let program =
+    Compiler.compile ?tiling_enabled network ~datapath:picked.Config_search.datapath
+      ~schedule:picked.Config_search.schedule ~layout:picked.Config_search.layout
+  in
+  let rtl =
+    build_rtl network picked.Config_search.datapath
+      ~block_set:picked.Config_search.block_set ~program
+  in
+  {
+    Design.network;
+    constraints = cons;
+    datapath = picked.Config_search.datapath;
+    schedule = picked.Config_search.schedule;
+    layout = picked.Config_search.layout;
+    block_set = picked.Config_search.block_set;
+    program;
+    rtl;
+  }
+
+let generate ?tiling_enabled cons network =
+  assemble ?tiling_enabled cons network (Config_search.search cons network)
+
+let generate_with_lanes ?tiling_enabled cons network ~lanes =
+  assemble ?tiling_enabled cons network (Config_search.evaluate cons network ~lanes)
+
+let generate_from_script ?tiling_enabled ~model ~constraint_script () =
+  let network = Db_nn.Caffe.import_string model in
+  let cons = Constraints.parse constraint_script in
+  generate ?tiling_enabled cons network

@@ -1,0 +1,29 @@
+(** NN-Gen: the "one-click" entry point (Fig. 3).
+
+    [generate] takes the parsed model and the overhead constraint, runs the
+    configuration search, folds the network, lays out the data, compiles
+    the AGU programs and LUT contents, and assembles the RTL — hardware and
+    software parts produced together, as the paper describes. *)
+
+val generate :
+  ?tiling_enabled:bool -> Constraints.t -> Db_nn.Network.t -> Design.t
+
+val generate_with_lanes :
+  ?tiling_enabled:bool -> Constraints.t -> Db_nn.Network.t -> lanes:int -> Design.t
+(** Fixed lane count (ablations); skips the budget check. *)
+
+val generate_from_script :
+  ?tiling_enabled:bool -> model:string -> constraint_script:string -> unit -> Design.t
+(** Both inputs as prototxt text: the Caffe-compatible model description
+    and the constraint script. *)
+
+val build_rtl :
+  Db_nn.Network.t ->
+  Db_sched.Datapath.t ->
+  block_set:Block_set.t ->
+  program:Compiler.t ->
+  Db_hdl.Rtl.design
+(** The hardware generator alone: one module per distinct block
+    configuration, a structural top that instantiates every block, and the
+    compiler's AGU pattern FSMs lowered to behavioural modules.  The
+    result passes {!Db_hdl.Rtl.validate}. *)

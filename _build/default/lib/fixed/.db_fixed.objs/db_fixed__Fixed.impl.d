@@ -1,0 +1,1 @@
+lib/fixed/fixed.ml: Array Db_tensor Float Format Stdlib

@@ -1,0 +1,65 @@
+(** Signed Q-format fixed-point arithmetic.
+
+    The generated accelerators compute in fixed point (the paper cites
+    "accuracy loss due to the fixed-point operation").  A format [q] has
+    [total_bits] including the sign and [frac_bits] fractional bits; values
+    are stored as plain OCaml [int]s holding the scaled integer, which is
+    exact because every supported width is at most 32 bits. *)
+
+type format = { total_bits : int; frac_bits : int }
+
+val format : total_bits:int -> frac_bits:int -> format
+(** Validates [2 <= total_bits <= 32] and [0 <= frac_bits < total_bits]. *)
+
+val q16_8 : format
+(** The generator's default datapath format (16 bits, 8 fractional). *)
+
+val q8_4 : format
+
+val q24_12 : format
+
+val q32_16 : format
+
+val max_value : format -> int
+(** Largest representable scaled integer. *)
+
+val min_value : format -> int
+
+val resolution : format -> float
+(** Value of one LSB, i.e. [2^-frac_bits]. *)
+
+val max_float : format -> float
+
+val min_float : format -> float
+
+val of_float : format -> float -> int
+(** Round-to-nearest with saturation. *)
+
+val to_float : format -> int -> float
+
+val saturate : format -> int -> int
+
+val add : format -> int -> int -> int
+(** Saturating addition. *)
+
+val sub : format -> int -> int -> int
+
+val mul : format -> int -> int -> int
+(** Fixed-point multiply: full product rescaled by [frac_bits] with
+    round-to-nearest, then saturated. *)
+
+val shift_right_approx : format -> int -> int -> int
+(** [shift_right_approx q v n] is the connection-box "shifting latch"
+    approximate division by [2^n] (arithmetic shift, rounds toward
+    negative infinity). *)
+
+val quantize_tensor : format -> Db_tensor.Tensor.t -> int array
+(** Element-wise {!of_float}. *)
+
+val dequantize_tensor : format -> shape:Db_tensor.Shape.t -> int array -> Db_tensor.Tensor.t
+
+val roundtrip_error_bound : format -> float
+(** Worst-case |x - to_float(of_float x)| for in-range x: half an LSB. *)
+
+val pp_format : Format.formatter -> format -> unit
+(** e.g. ["Q16.8"]. *)

@@ -1,0 +1,1 @@
+lib/fpga/power.ml: Device Resource

@@ -1,0 +1,41 @@
+type t = {
+  device_name : string;
+  capacity : Resource.t;
+  default_clock_mhz : float;
+  static_power_w : float;
+}
+
+let zynq_7045 =
+  {
+    device_name = "Zynq-7045";
+    capacity =
+      Resource.make ~luts:218600 ~ffs:437200 ~dsps:900
+        ~bram_bits:(19620 * 1024) ();
+    default_clock_mhz = 100.0;
+    static_power_w = 0.24;
+  }
+
+let zynq_7020 =
+  {
+    device_name = "Zynq-7020";
+    capacity =
+      Resource.make ~luts:53200 ~ffs:106400 ~dsps:220 ~bram_bits:(5040 * 1024) ();
+    default_clock_mhz = 100.0;
+    static_power_w = 0.14;
+  }
+
+let virtex7_485t =
+  {
+    device_name = "Virtex7-485T";
+    capacity =
+      Resource.make ~luts:303600 ~ffs:607200 ~dsps:2800
+        ~bram_bits:(37080 * 1024) ();
+    default_clock_mhz = 100.0;
+    static_power_w = 0.6;
+  }
+
+let all = [ zynq_7045; zynq_7020; virtex7_485t ]
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find (fun d -> String.lowercase_ascii d.device_name = lower) all

@@ -1,0 +1,23 @@
+(** FPGA device catalogue.
+
+    Capacities follow the public Xilinx data sheets for the devices the
+    paper evaluates on (Zynq-7045 and Zynq-7020) plus the Virtex-7 485T
+    used by Zhang et al. FPGA'15, which appears as a comparison point. *)
+
+type t = {
+  device_name : string;
+  capacity : Resource.t;
+  default_clock_mhz : float;
+  static_power_w : float;  (** device static power at nominal conditions *)
+}
+
+val zynq_7045 : t
+
+val zynq_7020 : t
+
+val virtex7_485t : t
+
+val all : t list
+
+val find : string -> t
+(** Case-insensitive lookup by name.  Raises [Not_found]. *)

@@ -1,0 +1,34 @@
+type t = { static_w : float; dynamic_w : float; total_w : float }
+
+(* Unit dynamic powers at 100 MHz, 50% activity.  Deliberately on the high
+   side of the Xilinx XPE ballparks: the paper measures board-level power,
+   which includes clock tree, AXI interconnect and I/O activity that scale
+   with the occupied fabric. *)
+let dsp_w = 4.0e-3
+let lut_w = 15.0e-6
+let ff_w = 8.0e-6
+let bram36_w = 1.0e-3
+
+let dynamic_of_resources ?(activity = 0.5) (r : Resource.t) ~clock_mhz =
+  let freq_scale = clock_mhz /. 100.0 in
+  let act_scale = activity /. 0.5 in
+  let bram36 = float_of_int r.Resource.bram_bits /. (36.0 *. 1024.0) in
+  freq_scale *. act_scale
+  *. ((float_of_int r.Resource.dsps *. dsp_w)
+     +. (float_of_int r.Resource.luts *. lut_w)
+     +. (float_of_int r.Resource.ffs *. ff_w)
+     +. (bram36 *. bram36_w))
+
+let accelerator_power ?activity ~(device : Device.t) ~used ~clock_mhz () =
+  let dynamic_w = dynamic_of_resources ?activity used ~clock_mhz in
+  {
+    static_w = device.static_power_w;
+    dynamic_w;
+    total_w = device.static_power_w +. dynamic_w;
+  }
+
+let energy_j t ~seconds = t.total_w *. seconds
+
+let cpu_xeon_power_w = 95.0
+
+let arm_host_power_w = 0.8

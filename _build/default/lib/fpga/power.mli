@@ -1,0 +1,33 @@
+(** Analytic power model.
+
+    Dynamic power scales with the resources that are actually toggling
+    (unit energies chosen to land Zynq-class accelerators in the paper's
+    reported envelope: a few hundred mW to a couple of W); energy is power
+    integrated over the run time.  This substitutes for the board-level
+    power measurements of the paper's evaluation. *)
+
+type t = {
+  static_w : float;
+  dynamic_w : float;
+  total_w : float;
+}
+
+val dynamic_of_resources : ?activity:float -> Resource.t -> clock_mhz:float -> float
+(** Dynamic watts for the given toggling resources.  [activity] in [0,1]
+    (default 0.5) scales the per-resource unit powers. *)
+
+val accelerator_power :
+  ?activity:float ->
+  device:Device.t ->
+  used:Resource.t ->
+  clock_mhz:float ->
+  unit ->
+  t
+
+val energy_j : t -> seconds:float -> float
+
+val cpu_xeon_power_w : float
+(** Active power of the Xeon 2.4 GHz baseline used in Figs. 8/9. *)
+
+val arm_host_power_w : float
+(** Cortex-A9 host managing the accelerator (included in board energy). *)

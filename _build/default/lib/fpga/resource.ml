@@ -1,0 +1,65 @@
+type t = { luts : int; ffs : int; dsps : int; bram_bits : int }
+
+let zero = { luts = 0; ffs = 0; dsps = 0; bram_bits = 0 }
+
+let make ?(luts = 0) ?(ffs = 0) ?(dsps = 0) ?(bram_bits = 0) () =
+  { luts; ffs; dsps; bram_bits }
+
+let add a b =
+  {
+    luts = a.luts + b.luts;
+    ffs = a.ffs + b.ffs;
+    dsps = a.dsps + b.dsps;
+    bram_bits = a.bram_bits + b.bram_bits;
+  }
+
+let sum = List.fold_left add zero
+
+let scale k t =
+  {
+    luts = k * t.luts;
+    ffs = k * t.ffs;
+    dsps = k * t.dsps;
+    bram_bits = k * t.bram_bits;
+  }
+
+let fits t ~within =
+  t.luts <= within.luts && t.ffs <= within.ffs && t.dsps <= within.dsps
+  && t.bram_bits <= within.bram_bits
+
+let headroom t ~within =
+  {
+    luts = Stdlib.max 0 (within.luts - t.luts);
+    ffs = Stdlib.max 0 (within.ffs - t.ffs);
+    dsps = Stdlib.max 0 (within.dsps - t.dsps);
+    bram_bits = Stdlib.max 0 (within.bram_bits - t.bram_bits);
+  }
+
+let ratio used cap =
+  if cap = 0 then if used = 0 then 0.0 else infinity
+  else float_of_int used /. float_of_int cap
+
+let utilisation t ~within =
+  List.fold_left Float.max 0.0
+    [
+      ratio t.luts within.luts;
+      ratio t.ffs within.ffs;
+      ratio t.dsps within.dsps;
+      ratio t.bram_bits within.bram_bits;
+    ]
+
+let fraction f t =
+  let part x =
+    if x = 0 then 0
+    else Stdlib.max 1 (int_of_float (f *. float_of_int x))
+  in
+  {
+    luts = part t.luts;
+    ffs = part t.ffs;
+    dsps = part t.dsps;
+    bram_bits = part t.bram_bits;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "{luts=%d; ffs=%d; dsps=%d; bram=%dKb}" t.luts t.ffs
+    t.dsps (t.bram_bits / 1024)

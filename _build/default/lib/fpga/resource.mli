@@ -1,0 +1,31 @@
+(** FPGA resource vectors: LUTs, flip-flops, DSP slices and block RAM.
+
+    Used both as capacities (what a device or budget offers) and as costs
+    (what a configured building block consumes). *)
+
+type t = { luts : int; ffs : int; dsps : int; bram_bits : int }
+
+val zero : t
+
+val make : ?luts:int -> ?ffs:int -> ?dsps:int -> ?bram_bits:int -> unit -> t
+
+val add : t -> t -> t
+
+val sum : t list -> t
+
+val scale : int -> t -> t
+
+val fits : t -> within:t -> bool
+(** Component-wise [<=]. *)
+
+val headroom : t -> within:t -> t
+(** Component-wise remaining capacity (clamped at zero). *)
+
+val utilisation : t -> within:t -> float
+(** Largest component-wise usage ratio, in [0, +inf). *)
+
+val fraction : float -> t -> t
+(** [fraction f caps] scales every component by [f] (rounding down, but
+    keeping at least 1 where the input was positive). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+type t = { clock_mhz : float }
+
+let at_mhz clock_mhz =
+  if clock_mhz <= 0.0 then invalid_arg "Timing.at_mhz: non-positive frequency";
+  { clock_mhz }
+
+let default = at_mhz 100.0
+
+let cycle_seconds t = 1.0 /. (t.clock_mhz *. 1e6)
+
+let cycles_to_seconds t cycles = float_of_int cycles *. cycle_seconds t
+
+let cycles_to_ms t cycles = cycles_to_seconds t cycles *. 1e3
+
+let seconds_to_cycles t seconds =
+  (* Guard the ceil against float noise (1e-5 s / 1e-8 s = 1000.0000...1). *)
+  int_of_float (Float.ceil ((seconds /. cycle_seconds t) -. 1e-9))

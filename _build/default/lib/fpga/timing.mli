@@ -1,0 +1,18 @@
+(** Clocking helpers: the generated accelerators run at a fixed operating
+    frequency (100 MHz on the paper's board). *)
+
+type t = { clock_mhz : float }
+
+val at_mhz : float -> t
+
+val default : t
+(** 100 MHz. *)
+
+val cycle_seconds : t -> float
+
+val cycles_to_seconds : t -> int -> float
+
+val cycles_to_ms : t -> int -> float
+
+val seconds_to_cycles : t -> float -> int
+(** Rounded up. *)

@@ -1,0 +1,1 @@
+lib/hdl/fsm.ml: Db_util Hashtbl List Option Printf Rtl Stdlib String

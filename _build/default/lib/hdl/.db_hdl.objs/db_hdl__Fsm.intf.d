@@ -1,0 +1,1 @@
+lib/hdl/fsm.mli: Rtl

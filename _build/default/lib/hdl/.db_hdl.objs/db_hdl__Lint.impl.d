@@ -1,0 +1,1 @@
+lib/hdl/lint.ml: Buffer Db_util List String

@@ -1,0 +1,1 @@
+lib/hdl/rtl.ml: Db_util Hashtbl List Printf String

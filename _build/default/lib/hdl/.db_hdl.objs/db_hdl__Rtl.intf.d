@@ -1,0 +1,1 @@
+lib/hdl/rtl.mli:

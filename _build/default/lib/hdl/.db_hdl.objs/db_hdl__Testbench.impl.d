@@ -1,0 +1,1 @@
+lib/hdl/testbench.ml: Buffer List Printf

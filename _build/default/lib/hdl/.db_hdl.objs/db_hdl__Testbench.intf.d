@@ -1,0 +1,1 @@
+lib/hdl/testbench.mli:

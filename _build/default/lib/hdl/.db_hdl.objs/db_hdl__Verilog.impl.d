@@ -1,0 +1,1 @@
+lib/hdl/verilog.ml: Buffer List Printf Rtl String

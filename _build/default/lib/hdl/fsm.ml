@@ -1,0 +1,168 @@
+type transition = {
+  from_state : string;
+  guard : string option;
+  to_state : string;
+  actions : string list;
+}
+
+type t = {
+  fsm_name : string;
+  states : string list;
+  initial : string;
+  inputs : string list;
+  outputs : string list;
+  transitions : transition list;
+}
+
+let fail fmt = Db_util.Error.failf_at ~component:"fsm" fmt
+
+let validate t =
+  if t.states = [] then fail "%s: no states" t.fsm_name;
+  let state_set = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem state_set s then fail "%s: duplicate state %S" t.fsm_name s;
+      Hashtbl.add state_set s ())
+    t.states;
+  if not (Hashtbl.mem state_set t.initial) then
+    fail "%s: initial state %S not declared" t.fsm_name t.initial;
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun tr ->
+      if not (Hashtbl.mem state_set tr.from_state) then
+        fail "%s: transition from unknown state %S" t.fsm_name tr.from_state;
+      if not (Hashtbl.mem state_set tr.to_state) then
+        fail "%s: transition to unknown state %S" t.fsm_name tr.to_state;
+      (match tr.guard with
+      | Some g when not (List.mem g t.inputs) ->
+          fail "%s: guard %S is not a declared input" t.fsm_name g
+      | Some _ | None -> ());
+      List.iter
+        (fun a ->
+          if not (List.mem a t.outputs) then
+            fail "%s: action %S is not a declared output" t.fsm_name a)
+        tr.actions;
+      let key = (tr.from_state, tr.guard) in
+      if Hashtbl.mem seen key then
+        fail "%s: nondeterministic transitions out of %S" t.fsm_name
+          tr.from_state;
+      Hashtbl.add seen key ())
+    t.transitions
+
+let step t ~state ~asserted =
+  let candidates = List.filter (fun tr -> tr.from_state = state) t.transitions in
+  let fired =
+    match
+      List.find_opt
+        (fun tr ->
+          match tr.guard with
+          | Some g -> List.mem g asserted
+          | None -> false)
+        candidates
+    with
+    | Some tr -> Some tr
+    | None -> List.find_opt (fun tr -> tr.guard = None) candidates
+  in
+  match fired with
+  | Some tr -> (tr.to_state, tr.actions)
+  | None -> (state, [])
+
+let run t ~asserted =
+  let rec go state inputs acc =
+    match inputs with
+    | [] -> List.rev acc
+    | cycle :: rest ->
+        let next, actions = step t ~state ~asserted:cycle in
+        go next rest ((next, actions) :: acc)
+  in
+  go t.initial asserted []
+
+let reachable_states t =
+  let visited = Hashtbl.create 16 in
+  let rec visit s =
+    if not (Hashtbl.mem visited s) then begin
+      Hashtbl.add visited s ();
+      List.iter
+        (fun tr -> if tr.from_state = s then visit tr.to_state)
+        t.transitions
+    end
+  in
+  visit t.initial;
+  List.filter (Hashtbl.mem visited) t.states
+
+let state_const states s =
+  let width = Stdlib.max 1 (List.length states) in
+  let idx =
+    match List.find_index (String.equal s) states with
+    | Some i -> i
+    | None -> 0
+  in
+  Printf.sprintf "%d'b%s" width
+    (String.init width (fun i -> if width - 1 - i = idx then '1' else '0'))
+
+let to_module t ~clock ~reset =
+  validate t;
+  let state_width = Stdlib.max 1 (List.length t.states) in
+  let lines = ref [] in
+  let emit fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+  emit "reg [%d:0] state;" (state_width - 1);
+  List.iter (fun o -> emit "reg %s;" o) t.outputs;
+  emit "always @(posedge %s) begin" clock;
+  emit "  if (%s) begin" reset;
+  emit "    state <= %s;" (state_const t.states t.initial);
+  List.iter (fun o -> emit "    %s <= 1'b0;" o) t.outputs;
+  emit "  end else begin";
+  List.iter (fun o -> emit "    %s <= 1'b0;" o) t.outputs;
+  emit "    case (state)";
+  List.iter
+    (fun s ->
+      emit "      %s: begin" (state_const t.states s);
+      let out = List.filter (fun tr -> tr.from_state = s) t.transitions in
+      let guarded = List.filter (fun tr -> tr.guard <> None) out in
+      let unguarded = List.find_opt (fun tr -> tr.guard = None) out in
+      let emit_actions indent tr =
+        emit "%sstate <= %s;" indent (state_const t.states tr.to_state);
+        List.iter (fun a -> emit "%s%s <= 1'b1;" indent a) tr.actions
+      in
+      let rec emit_guards first = function
+        | [] -> begin
+            match unguarded with
+            | Some tr ->
+                if first then emit_actions "        " tr
+                else begin
+                  emit "        else begin";
+                  emit_actions "          " tr;
+                  emit "        end"
+                end
+            | None -> ()
+          end
+        | tr :: rest ->
+            let g = Option.get tr.guard in
+            emit "        %s (%s) begin" (if first then "if" else "else if") g;
+            emit_actions "          " tr;
+            emit "        end";
+            emit_guards false rest
+      in
+      emit_guards true guarded;
+      emit "      end")
+    t.states;
+  emit "      default: state <= %s;" (state_const t.states t.initial);
+  emit "    endcase";
+  emit "  end";
+  emit "end";
+  {
+    Rtl.mod_name = t.fsm_name;
+    ports =
+      [
+        { Rtl.port_name = clock; direction = Rtl.Input; width = 1 };
+        { Rtl.port_name = reset; direction = Rtl.Input; width = 1 };
+      ]
+      @ List.map
+          (fun i -> { Rtl.port_name = i; direction = Rtl.Input; width = 1 })
+          t.inputs
+      @ List.map
+          (fun o -> { Rtl.port_name = o; direction = Rtl.Output; width = 1 })
+          t.outputs;
+    localparams = [];
+    body = Rtl.Behavioral (List.rev !lines);
+  }

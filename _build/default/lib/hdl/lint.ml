@@ -1,0 +1,96 @@
+type issue = { line : int; message : string }
+
+(* Count keyword occurrences as whole words, outside comments/strings. *)
+let strip_comments_and_strings line =
+  let buf = Buffer.create (String.length line) in
+  let n = String.length line in
+  let rec go i in_string =
+    if i >= n then ()
+    else if in_string then begin
+      if line.[i] = '"' then go (i + 1) false else go (i + 1) true
+    end
+    else if i + 1 < n && line.[i] = '/' && line.[i + 1] = '/' then ()
+    else if line.[i] = '"' then begin
+      Buffer.add_char buf ' ';
+      go (i + 1) true
+    end
+    else begin
+      Buffer.add_char buf line.[i];
+      go (i + 1) false
+    end
+  in
+  go 0 false;
+  Buffer.contents buf
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+let count_word line word =
+  let n = String.length line and wl = String.length word in
+  let rec go i acc =
+    if i + wl > n then acc
+    else if
+      String.sub line i wl = word
+      && (i = 0 || not (is_word_char line.[i - 1]))
+      && (i + wl = n || not (is_word_char line.[i + wl]))
+    then go (i + wl) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let check text =
+  let issues = ref [] in
+  let report line message = issues := { line; message } :: !issues in
+  let modules = ref 0
+  and begins = ref 0
+  and cases = ref 0
+  and parens = ref 0
+  and brackets = ref 0 in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx raw ->
+      let line_no = idx + 1 in
+      let line = strip_comments_and_strings raw in
+      modules := !modules + count_word line "module" - count_word line "endmodule";
+      (* "endcase" contains no "case" word-match; count both separately. *)
+      cases := !cases + count_word line "case" - count_word line "endcase";
+      (* Whole-word matching keeps "endmodule"/"endcase" from counting as
+         "end". *)
+      begins := !begins + count_word line "begin" - count_word line "end";
+      String.iter
+        (fun c ->
+          match c with
+          | '(' -> incr parens
+          | ')' -> decr parens
+          | '[' -> incr brackets
+          | ']' -> decr brackets
+          | _ -> ())
+        line;
+      if !parens < 0 then begin
+        report line_no "unbalanced ')'";
+        parens := 0
+      end;
+      if !brackets < 0 then begin
+        report line_no "unbalanced ']'";
+        brackets := 0
+      end;
+      if !modules < 0 then begin
+        report line_no "endmodule without module";
+        modules := 0
+      end)
+    lines;
+  let final = List.length lines in
+  if !modules <> 0 then report final "module/endmodule imbalance";
+  if !begins <> 0 then report final "begin/end imbalance";
+  if !cases <> 0 then report final "case/endcase imbalance";
+  if !parens <> 0 then report final "parenthesis imbalance";
+  if !brackets <> 0 then report final "bracket imbalance";
+  List.rev !issues
+
+let assert_clean text =
+  match check text with
+  | [] -> ()
+  | { line; message } :: rest ->
+      Db_util.Error.failf_at ~component:"verilog-lint"
+        "%d issue(s); first at line %d: %s" (1 + List.length rest) line message

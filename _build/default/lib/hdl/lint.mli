@@ -1,0 +1,17 @@
+(** Lightweight structural linting of emitted Verilog text.
+
+    Not a parser — a balance checker for the constructs the emitter and
+    the block templates produce: [module]/[endmodule], [begin]/[end],
+    [case]/[endcase], parentheses and brackets, plus a check that every
+    non-empty source line inside a module is properly terminated.  Run
+    over every generated design by the tests, it catches template
+    regressions (a dropped [end], an unbalanced port list) without needing
+    an external tool. *)
+
+type issue = { line : int; message : string }
+
+val check : string -> issue list
+(** Empty when the text passes every check. *)
+
+val assert_clean : string -> unit
+(** Raises {!Db_util.Error.Deepburning_error} quoting the first issue. *)

@@ -1,0 +1,118 @@
+type direction = Input | Output
+
+type port = { port_name : string; direction : direction; width : int }
+
+type net = { net_name : string; net_width : int }
+
+type instance = {
+  inst_name : string;
+  module_ref : string;
+  parameters : (string * int) list;
+  connections : (string * string) list;
+}
+
+type body =
+  | Behavioral of string list
+  | Structural of {
+      nets : net list;
+      instances : instance list;
+      assigns : (string * string) list;
+    }
+
+type module_decl = {
+  mod_name : string;
+  ports : port list;
+  localparams : (string * int) list;
+  body : body;
+}
+
+type design = { top : string; modules : module_decl list }
+
+let fail fmt = Db_util.Error.failf_at ~component:"rtl" fmt
+
+let find_module design name =
+  List.find (fun m -> m.mod_name = name) design.modules
+
+let is_identifier s =
+  s <> ""
+  && (let ok = ref true in
+      String.iteri
+        (fun i c ->
+          let alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+          let digit = c >= '0' && c <= '9' in
+          if i = 0 then begin if not alpha then ok := false end
+          else if not (alpha || digit) then ok := false)
+        s;
+      !ok)
+
+let validate design =
+  let names = List.map (fun m -> m.mod_name) design.modules in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem tbl n then fail "duplicate module %S" n
+      else Hashtbl.add tbl n ())
+    names;
+  if not (Hashtbl.mem tbl design.top) then
+    fail "top module %S is not declared" design.top;
+  List.iter
+    (fun m ->
+      match m.body with
+      | Behavioral _ -> ()
+      | Structural { nets; instances; assigns } ->
+          let known = Hashtbl.create 64 in
+          List.iter (fun p -> Hashtbl.replace known p.port_name ()) m.ports;
+          List.iter (fun n -> Hashtbl.replace known n.net_name ()) nets;
+          let check_actual context actual =
+            (* Expressions (slices, concatenations, literals) are accepted
+               as-is; only bare identifiers are checked against the
+               declared nets. *)
+            if is_identifier actual && not (Hashtbl.mem known actual) then
+              fail "module %S, %s: unknown net %S" m.mod_name context actual
+          in
+          List.iter
+            (fun inst ->
+              let callee =
+                try find_module design inst.module_ref
+                with Not_found ->
+                  fail "module %S instantiates undeclared module %S"
+                    m.mod_name inst.module_ref
+              in
+              List.iter
+                (fun (formal, actual) ->
+                  if
+                    not
+                      (List.exists (fun p -> p.port_name = formal) callee.ports)
+                  then
+                    fail "instance %S: module %S has no port %S"
+                      inst.inst_name inst.module_ref formal;
+                  check_actual
+                    (Printf.sprintf "instance %S port %S" inst.inst_name formal)
+                    actual)
+                inst.connections)
+            instances;
+          List.iter
+            (fun (lhs, _rhs) -> check_actual "assign" lhs)
+            assigns)
+    design.modules
+
+let instances_of design name =
+  match (find_module design name).body with
+  | Behavioral _ -> []
+  | Structural { instances; _ } -> instances
+
+let count_instances design ~module_prefix =
+  List.fold_left
+    (fun acc m ->
+      match m.body with
+      | Behavioral _ -> acc
+      | Structural { instances; _ } ->
+          acc
+          + List.length
+              (List.filter
+                 (fun i ->
+                   String.length i.module_ref >= String.length module_prefix
+                   && String.sub i.module_ref 0 (String.length module_prefix)
+                      = module_prefix)
+                 instances))
+    0 design.modules

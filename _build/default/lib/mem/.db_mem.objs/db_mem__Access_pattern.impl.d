@@ -1,0 +1,1 @@
+lib/mem/access_pattern.ml: Db_hdl Db_util List Seq

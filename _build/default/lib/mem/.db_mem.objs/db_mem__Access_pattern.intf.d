@@ -1,0 +1,1 @@
+lib/mem/access_pattern.mli: Db_hdl Seq

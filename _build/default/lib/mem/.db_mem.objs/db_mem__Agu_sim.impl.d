@@ -1,0 +1,1 @@
+lib/mem/agu_sim.ml: Access_pattern Db_util List

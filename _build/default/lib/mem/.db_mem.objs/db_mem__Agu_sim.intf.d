@@ -1,0 +1,1 @@
+lib/mem/agu_sim.mli: Access_pattern

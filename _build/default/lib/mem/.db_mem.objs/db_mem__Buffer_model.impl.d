@@ -1,0 +1,1 @@
+lib/mem/buffer_model.ml: Option

@@ -1,0 +1,1 @@
+lib/mem/dram.ml: Access_pattern Float

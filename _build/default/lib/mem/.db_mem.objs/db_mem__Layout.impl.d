@@ -1,0 +1,1 @@
+lib/mem/layout.ml: Db_nn Db_tensor Format List Printf String Tiling

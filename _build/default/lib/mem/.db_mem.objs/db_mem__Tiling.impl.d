@@ -1,0 +1,1 @@
+lib/mem/tiling.ml: Array Stdlib

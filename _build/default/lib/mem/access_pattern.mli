@@ -1,0 +1,53 @@
+(** AGU access patterns (Fig. 6 of the paper).
+
+    A pattern describes a rectangular walk through memory that an Address
+    Generation Unit replays when its trigger event fires:
+
+    - [x_length] consecutive words starting at [start] form one row;
+    - [y_length] rows, each [stride] words after the previous row's start;
+    - the whole rectangle repeats [repeat] times, displaced by [offset]
+      words each repetition.
+
+    [footprint] is the declared working-set span in words; generation
+    checks that every produced address falls inside
+    [start, start + footprint). *)
+
+type t = {
+  pattern_name : string;
+  start : int;
+  footprint : int;
+  x_length : int;
+  y_length : int;
+  stride : int;
+  offset : int;
+  repeat : int;
+}
+
+val validate : t -> unit
+(** Positive lengths, non-negative start/stride/offset, and the
+    address-range check described above.  Raises
+    {!Db_util.Error.Deepburning_error}. *)
+
+val word_count : t -> int
+(** Total number of addresses one trigger generates. *)
+
+val addresses : t -> int Seq.t
+(** The generated address stream, lazily. *)
+
+val addresses_list : t -> int list
+
+val contiguous : name:string -> start:int -> length:int -> t
+(** Single-row convenience pattern. *)
+
+val rows :
+  name:string -> start:int -> x_length:int -> y_length:int -> stride:int -> t
+
+val sequential_fraction : t -> float
+(** Fraction of generated addresses that directly follow their predecessor
+    (address = previous + 1); the DRAM model uses this to estimate row
+    buffer hits. *)
+
+val to_fsm : t -> Db_hdl.Fsm.t
+(** The pattern as the compiler's FSM description (states [idle] /
+    [burst_row] / [next_row] / [next_block]; input [trigger]; outputs
+    [addr_valid], [done_pulse]) ready to be lowered into the AGU RTL. *)

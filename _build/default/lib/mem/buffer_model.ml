@@ -1,0 +1,29 @@
+type t = {
+  buffer_name : string;
+  capacity_words : int;
+  read_words_per_cycle : int;
+  write_words_per_cycle : int;
+}
+
+let make ~name ~capacity_words ~read_words_per_cycle ?write_words_per_cycle () =
+  if capacity_words <= 0 then invalid_arg "Buffer_model.make: capacity";
+  if read_words_per_cycle <= 0 then invalid_arg "Buffer_model.make: read width";
+  let write_words_per_cycle =
+    Option.value ~default:read_words_per_cycle write_words_per_cycle
+  in
+  if write_words_per_cycle <= 0 then invalid_arg "Buffer_model.make: write width";
+  { buffer_name = name; capacity_words; read_words_per_cycle; write_words_per_cycle }
+
+let bram_bits t ~bytes_per_word = t.capacity_words * bytes_per_word * 8
+
+let div_ceil a b = (a + b - 1) / b
+
+let read_cycles t ~words =
+  if words < 0 then invalid_arg "Buffer_model.read_cycles: negative";
+  div_ceil words t.read_words_per_cycle
+
+let write_cycles t ~words =
+  if words < 0 then invalid_arg "Buffer_model.write_cycles: negative";
+  div_ceil words t.write_words_per_cycle
+
+let holds t ~words = words <= t.capacity_words

@@ -1,0 +1,32 @@
+(** On-chip BRAM buffer model.
+
+    The generated accelerator has (at least) a feature buffer and a weight
+    buffer (Fig. 2).  A buffer is characterised by its capacity, its
+    read-port width (words per cycle it can feed the datapath) and its
+    write-port width (words per cycle it accepts from the main AGU). *)
+
+type t = {
+  buffer_name : string;
+  capacity_words : int;
+  read_words_per_cycle : int;
+  write_words_per_cycle : int;
+}
+
+val make :
+  name:string ->
+  capacity_words:int ->
+  read_words_per_cycle:int ->
+  ?write_words_per_cycle:int ->
+  unit ->
+  t
+(** [write_words_per_cycle] defaults to the read width. *)
+
+val bram_bits : t -> bytes_per_word:int -> int
+(** BRAM bits this buffer occupies. *)
+
+val read_cycles : t -> words:int -> int
+
+val write_cycles : t -> words:int -> int
+
+val holds : t -> words:int -> bool
+(** Whether a working set fits entirely. *)

@@ -1,0 +1,38 @@
+type t = {
+  dram_name : string;
+  peak_bytes_per_cycle : float;
+  sequential_efficiency : float;
+  random_efficiency : float;
+  base_latency_cycles : int;
+}
+
+let zynq_ddr3 =
+  {
+    dram_name = "Zynq DDR3-1066 via AXI-HP";
+    peak_bytes_per_cycle = 32.0;
+    sequential_efficiency = 0.8;
+    random_efficiency = 0.12;
+    base_latency_cycles = 24;
+  }
+
+let transfer_cycles t ~bytes ~sequential_fraction =
+  if bytes < 0 then invalid_arg "Dram.transfer_cycles: negative bytes";
+  if sequential_fraction < 0.0 || sequential_fraction > 1.0 then
+    invalid_arg "Dram.transfer_cycles: fraction out of range";
+  if bytes = 0 then 0
+  else begin
+    let eff =
+      t.random_efficiency
+      +. (sequential_fraction *. (t.sequential_efficiency -. t.random_efficiency))
+    in
+    let rate = t.peak_bytes_per_cycle *. eff in
+    t.base_latency_cycles + int_of_float (Float.ceil (float_of_int bytes /. rate))
+  end
+
+let pattern_cycles t ~bytes_per_word pattern =
+  let words = Access_pattern.word_count pattern in
+  transfer_cycles t ~bytes:(words * bytes_per_word)
+    ~sequential_fraction:(Access_pattern.sequential_fraction pattern)
+
+let bandwidth_gbps t ~clock_mhz =
+  t.peak_bytes_per_cycle *. t.sequential_efficiency *. clock_mhz *. 1e6 /. 1e9

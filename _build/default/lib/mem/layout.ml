@@ -1,0 +1,109 @@
+module Shape = Db_tensor.Shape
+module Network = Db_nn.Network
+module Layer = Db_nn.Layer
+
+type entry = {
+  entry_name : string;
+  base : int;
+  words : int;
+  tile_plan : Tiling.plan option;
+}
+
+type t = {
+  entries : entry list;
+  total_words : int;
+  bytes_per_word : int;
+  port_width : int;
+}
+
+(* The tile plan of a blob follows its consumer: the first convolution (or
+   pooling window) that reads it decides the kernel/stride of Method-1. *)
+let consumer_plan net ~port_width blob shape =
+  if Shape.rank shape <> 3 then None
+  else begin
+    let consumer =
+      List.find_opt
+        (fun node -> List.mem blob node.Network.bottoms)
+        net.Network.nodes
+    in
+    match consumer with
+    | Some { Network.layer = Layer.Convolution { kernel_size; stride; _ }; _ } ->
+        Some
+          (Tiling.decide
+             {
+               Tiling.kernel = kernel_size;
+               stride;
+               port_width;
+               map_count = Shape.channels shape;
+             })
+    | Some { Network.layer = Layer.Pooling { kernel_size; stride; _ }; _ } ->
+        Some
+          (Tiling.decide
+             {
+               Tiling.kernel = kernel_size;
+               stride;
+               port_width;
+               map_count = Shape.channels shape;
+             })
+    | Some _ | None -> None
+  end
+
+let build ?(bytes_per_word = 2) ~port_width net =
+  let shapes = Db_nn.Shape_infer.infer net in
+  let next = ref 0 in
+  let entries = ref [] in
+  let alloc name words tile_plan =
+    let e = { entry_name = name; base = !next; words; tile_plan } in
+    next := !next + words;
+    entries := e :: !entries
+  in
+  (* Feature blobs in production order. *)
+  List.iter
+    (fun (blob, shape) ->
+      alloc ("feature:" ^ blob) (Shape.numel shape)
+        (consumer_plan net ~port_width blob shape))
+    (Db_nn.Shape_infer.all_blobs shapes);
+  (* Weight tensors, per node. *)
+  Network.iter net (fun node ->
+      match node.Network.bottoms with
+      | [ bottom ] ->
+          let bshape = Db_nn.Shape_infer.blob_shape shapes bottom in
+          List.iteri
+            (fun i shape ->
+              alloc
+                (Printf.sprintf "weights:%s:%d" node.Network.node_name i)
+                (Shape.numel shape) None)
+            (Db_nn.Params.expected_shapes node.Network.layer ~bottom:bshape)
+      | [] | _ :: _ :: _ -> ());
+  {
+    entries = List.rev !entries;
+    total_words = !next;
+    bytes_per_word;
+    port_width;
+  }
+
+let find t name = List.find (fun e -> e.entry_name = name) t.entries
+
+let feature_entry t ~blob = find t ("feature:" ^ blob)
+
+let weight_entries t ~node =
+  let prefix = "weights:" ^ node ^ ":" in
+  List.filter
+    (fun e ->
+      String.length e.entry_name > String.length prefix
+      && String.sub e.entry_name 0 (String.length prefix) = prefix)
+    t.entries
+
+let total_bytes t = t.total_words * t.bytes_per_word
+
+let pp fmt t =
+  Format.fprintf fmt "layout (%d words, %d B/word):@." t.total_words
+    t.bytes_per_word;
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  %-32s @%-10d %8d words%s@." e.entry_name e.base
+        e.words
+        (match e.tile_plan with
+        | None -> ""
+        | Some p -> Printf.sprintf "  tiled %dx%d" p.Tiling.tile p.Tiling.tile))
+    t.entries

@@ -1,0 +1,39 @@
+(** Whole-network DRAM data layout.
+
+    The compiler assigns every feature blob and every weight tensor a base
+    address in the off-chip memory and, where a convolution consumes the
+    blob, a Method-1 tile plan (so the host — the ARM core in the paper's
+    setup — can reorganise the data before the run).  Addresses are in
+    datapath words. *)
+
+type entry = {
+  entry_name : string;
+      (** ["feature:<blob>"] or ["weights:<node>:<index>"] *)
+  base : int;
+  words : int;
+  tile_plan : Tiling.plan option;
+}
+
+type t = {
+  entries : entry list;
+  total_words : int;
+  bytes_per_word : int;
+  port_width : int;
+}
+
+val build : ?bytes_per_word:int -> port_width:int -> Db_nn.Network.t -> t
+(** Walks the network in topological order; every blob gets a region sized
+    by shape inference, weight tensors follow their layer's expected
+    shapes.  A blob consumed by a convolution gets the Method-1 plan for
+    that convolution's kernel/stride.  Default [bytes_per_word] is 2. *)
+
+val find : t -> string -> entry
+(** Raises [Not_found]. *)
+
+val feature_entry : t -> blob:string -> entry
+
+val weight_entries : t -> node:string -> entry list
+
+val total_bytes : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,145 @@
+type case = Kernel_tiles | Stride_tiles | Gcd_tiles | Row_major
+
+type spec = { kernel : int; stride : int; port_width : int; map_count : int }
+
+type plan = {
+  plan_case : case;
+  tile : int;
+  interleave_maps : bool;
+  plan_spec : spec;
+}
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let check spec =
+  if spec.kernel <= 0 || spec.stride <= 0 || spec.port_width <= 0
+     || spec.map_count <= 0
+  then invalid_arg "Tiling: spec fields must be positive"
+
+let decide spec =
+  check spec;
+  if spec.kernel = spec.port_width then
+    { plan_case = Kernel_tiles; tile = spec.kernel; interleave_maps = false; plan_spec = spec }
+  else if
+    spec.stride > 1
+    && spec.kernel mod spec.stride = 0
+    && spec.port_width mod spec.stride = 0
+  then
+    { plan_case = Stride_tiles; tile = spec.stride; interleave_maps = false; plan_spec = spec }
+  else begin
+    let f = gcd (gcd spec.kernel spec.port_width) spec.stride in
+    { plan_case = Gcd_tiles; tile = Stdlib.max 1 f; interleave_maps = true; plan_spec = spec }
+  end
+
+let row_major spec =
+  check spec;
+  { plan_case = Row_major; tile = 1; interleave_maps = false; plan_spec = spec }
+
+let div_ceil a b = (a + b - 1) / b
+
+(* Enumerate pixels of one tile at tile-grid position (ty, tx), clipped. *)
+let tile_pixels ~tile ~height ~width ~ty ~tx emit =
+  let y0 = ty * tile and x0 = tx * tile in
+  for dy = 0 to tile - 1 do
+    let y = y0 + dy in
+    if y < height then
+      for dx = 0 to tile - 1 do
+        let x = x0 + dx in
+        if x < width then emit y x
+      done
+  done
+
+let pixel_order plan ~height ~width =
+  let spec = plan.plan_spec in
+  let total = spec.map_count * height * width in
+  let out = Array.make total (0, 0, 0) in
+  let pos = ref 0 in
+  let emit m y x =
+    out.(!pos) <- (m, y, x);
+    incr pos
+  in
+  (match plan.plan_case with
+  | Row_major ->
+      for m = 0 to spec.map_count - 1 do
+        for y = 0 to height - 1 do
+          for x = 0 to width - 1 do
+            emit m y x
+          done
+        done
+      done
+  | Kernel_tiles | Stride_tiles | Gcd_tiles ->
+      let tile = plan.tile in
+      let tiles_y = div_ceil height tile and tiles_x = div_ceil width tile in
+      if plan.interleave_maps then
+        for ty = 0 to tiles_y - 1 do
+          for tx = 0 to tiles_x - 1 do
+            for m = 0 to spec.map_count - 1 do
+              tile_pixels ~tile ~height ~width ~ty ~tx (emit m)
+            done
+          done
+        done
+      else
+        for m = 0 to spec.map_count - 1 do
+          for ty = 0 to tiles_y - 1 do
+            for tx = 0 to tiles_x - 1 do
+              tile_pixels ~tile ~height ~width ~ty ~tx (emit m)
+            done
+          done
+        done);
+  assert (!pos = total);
+  out
+
+let address_table plan ~height ~width =
+  let order = pixel_order plan ~height ~width in
+  let spec = plan.plan_spec in
+  let table = Array.make (spec.map_count * height * width) (-1) in
+  Array.iteri
+    (fun addr (m, y, x) -> table.(((m * height) + y) * width + x) <- addr)
+    order;
+  table
+
+(* Walk every kernel window in raster order; a window spans all input maps
+   (a convolution consumes every channel at each output position).  The AGU
+   fetches a window's words in stream-address order (its pattern follows
+   the layout), so each window's addresses are sorted before counting which
+   steps stream sequentially — this is where Method-1's partitioning pays
+   off, including the map-interleaved case-3 layout whose f=1 degenerate
+   form is channel interleaving (NHWC). *)
+let window_sequential_fraction plan ~height ~width =
+  let spec = plan.plan_spec in
+  let k = spec.kernel and s = spec.stride and maps = spec.map_count in
+  if height < k || width < k then 1.0
+  else begin
+    let table = address_table plan ~height ~width in
+    let seq = ref 0 and steps = ref 0 in
+    let oy_max = (height - k) / s and ox_max = (width - k) / s in
+    (* Cap the sweep for very large maps: locality statistics converge after
+       a few hundred windows. *)
+    let oy_max = Stdlib.min oy_max 23 and ox_max = Stdlib.min ox_max 23 in
+    let window = Array.make (k * k * maps) 0 in
+    let prev = ref (-2) in
+    for oy = 0 to oy_max do
+      for ox = 0 to ox_max do
+        let pos = ref 0 in
+        for m = 0 to maps - 1 do
+          for ky = 0 to k - 1 do
+            for kx = 0 to k - 1 do
+              window.(!pos) <-
+                table.(((m * height) + (oy * s) + ky) * width + (ox * s) + kx);
+              incr pos
+            done
+          done
+        done;
+        Array.sort compare window;
+        Array.iter
+          (fun a ->
+            if !prev >= 0 then begin
+              incr steps;
+              if a = !prev + 1 then incr seq
+            end;
+            prev := a)
+          window
+      done
+    done;
+    if !steps = 0 then 1.0 else float_of_int !seq /. float_of_int !steps
+  end

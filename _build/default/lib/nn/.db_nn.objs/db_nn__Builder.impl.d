@@ -1,0 +1,1 @@
+lib/nn/builder.ml: Layer List Network Printf String

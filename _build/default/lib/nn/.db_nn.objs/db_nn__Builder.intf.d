@@ -1,0 +1,1 @@
+lib/nn/builder.mli: Db_tensor Layer Network

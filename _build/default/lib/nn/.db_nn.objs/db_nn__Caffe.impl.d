@@ -1,0 +1,1 @@
+lib/nn/caffe.ml: Db_prototxt Db_tensor Db_util Layer List Network Option String

@@ -1,0 +1,1 @@
+lib/nn/caffe.mli: Db_prototxt Network

@@ -1,0 +1,1 @@
+lib/nn/interpreter.ml: Array Db_tensor Db_util Float Layer List Network Params Stdlib

@@ -1,0 +1,1 @@
+lib/nn/interpreter.mli: Db_tensor Layer Network Params

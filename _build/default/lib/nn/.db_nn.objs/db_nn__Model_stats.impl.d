@@ -1,0 +1,1 @@
+lib/nn/model_stats.ml: Db_tensor Float Format Layer List Network Params Shape_infer Stdlib

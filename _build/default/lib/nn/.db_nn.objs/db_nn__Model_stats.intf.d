@@ -1,0 +1,1 @@
+lib/nn/model_stats.mli: Format Layer Network

@@ -1,0 +1,1 @@
+lib/nn/network.ml: Db_util Format Hashtbl Layer List Option Queue String

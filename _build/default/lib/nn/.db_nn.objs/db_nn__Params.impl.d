@@ -1,0 +1,1 @@
+lib/nn/params.ml: Db_tensor Db_util Hashtbl Layer List Network Option Shape_infer

@@ -1,0 +1,1 @@
+lib/nn/params.mli: Db_tensor Db_util Layer Network

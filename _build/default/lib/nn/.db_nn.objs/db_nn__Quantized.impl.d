@@ -1,0 +1,1 @@
+lib/nn/quantized.ml: Array Db_fixed Db_tensor Db_util Float Interpreter Layer List Network Params Stdlib

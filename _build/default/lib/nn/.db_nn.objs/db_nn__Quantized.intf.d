@@ -1,0 +1,1 @@
+lib/nn/quantized.mli: Db_fixed Db_tensor Layer Network Params

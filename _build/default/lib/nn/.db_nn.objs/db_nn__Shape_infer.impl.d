@@ -1,0 +1,1 @@
+lib/nn/shape_infer.ml: Db_tensor Db_util Layer List Network

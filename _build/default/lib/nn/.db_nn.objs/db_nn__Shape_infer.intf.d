@@ -1,0 +1,1 @@
+lib/nn/shape_infer.mli: Db_tensor Layer Network

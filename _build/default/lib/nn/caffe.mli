@@ -1,0 +1,23 @@
+(** Conversion between the Caffe-compatible descriptive script (Fig. 4 of
+    the paper) and the typed {!Network.t} representation.
+
+    Recognised layer [type] enums: [INPUT], [CONVOLUTION], [POOLING],
+    [GLOBAL_POOLING], [INNER_PRODUCT], [RELU], [SIGMOID], [TANH], [SIGN],
+    [LRN], [DROPOUT], [SOFTMAX], [RECURRENT], [ASSOCIATIVE], [CONCAT],
+    [CLASSIFIER].  Parameter sub-messages follow Caffe naming
+    ([convolution_param], [pooling_param], ...).  The DeepBurning
+    [connect { direction: recurrent }] extension is accepted and checked
+    for consistency with [RECURRENT] layers. *)
+
+val import : Db_prototxt.Ast.document -> Network.t
+(** Raises {!Db_util.Error.Deepburning_error} on an unknown layer type or a
+    missing mandatory parameter. *)
+
+val import_string : string -> Network.t
+(** Parse then {!import}. *)
+
+val export : Network.t -> Db_prototxt.Ast.document
+(** Inverse of {!import} up to field ordering; [import (export n)]
+    reproduces [n]. *)
+
+val export_string : Network.t -> string

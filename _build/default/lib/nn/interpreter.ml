@@ -1,0 +1,190 @@
+module Tensor = Db_tensor.Tensor
+module Shape = Db_tensor.Shape
+module Ops = Db_tensor.Ops
+
+type env = (string * Tensor.t) list
+
+let fail fmt = Db_util.Error.failf_at ~component:"interpreter" fmt
+
+let associative_encode ~cells_per_dim ~active_cells input =
+  let n = Tensor.numel input in
+  let out = Tensor.create (Shape.vector (n * cells_per_dim)) in
+  let weight = 1.0 /. float_of_int active_cells in
+  let half = active_cells / 2 in
+  for i = 0 to n - 1 do
+    let x = Float.min 1.0 (Float.max 0.0 (Tensor.get input i)) in
+    let centre =
+      Stdlib.min (cells_per_dim - 1)
+        (int_of_float (x *. float_of_int (cells_per_dim - 1) +. 0.5))
+    in
+    for d = -half to active_cells - half - 1 do
+      let cell = centre + d in
+      if cell >= 0 && cell < cells_per_dim then
+        Tensor.set out ((i * cells_per_dim) + cell) weight
+    done
+  done;
+  out
+
+let classify_top_k ~top_k input =
+  let n = Tensor.numel input in
+  let indices = Array.init n (fun i -> i) in
+  (* Stable selection: larger value first, lower index wins ties, matching
+     the hardware k-sorter's deterministic comparator network. *)
+  Array.sort
+    (fun a b ->
+      let va = Tensor.get input a and vb = Tensor.get input b in
+      if va > vb then -1 else if va < vb then 1 else compare a b)
+    indices;
+  Tensor.init (Shape.vector top_k) (fun i -> float_of_int indices.(i))
+
+let recurrent_forward ~w_in ~w_rec ~bias ~steps input =
+  let num_output = Shape.dim (Tensor.shape w_in) 0 in
+  let state = ref (Tensor.create (Shape.vector num_output)) in
+  for _step = 1 to steps do
+    let drive = Ops.fully_connected ~input ~weights:w_in ~bias in
+    let feedback = Ops.fully_connected ~input:!state ~weights:w_rec ~bias:None in
+    state := Ops.tanh_act (Tensor.add drive feedback)
+  done;
+  !state
+
+(* Local contrast normalisation: per channel, subtract the spatial window
+   mean and divide by the window standard deviation floored at epsilon.
+   Window edges are clipped (smaller effective windows at the borders). *)
+let lcn ~window ~epsilon input =
+  let shape = Tensor.shape input in
+  let c = Shape.channels shape
+  and h = Shape.height shape
+  and w = Shape.width shape in
+  let half = window / 2 in
+  let out = Tensor.create shape in
+  for ch = 0 to c - 1 do
+    for y = 0 to h - 1 do
+      for x = 0 to w - 1 do
+        let sum = ref 0.0 and sumsq = ref 0.0 and count = ref 0 in
+        for dy = -half to half do
+          for dx = -half to half do
+            let yy = y + dy and xx = x + dx in
+            if yy >= 0 && yy < h && xx >= 0 && xx < w then begin
+              let v = Tensor.get3 input ~c:ch ~y:yy ~x:xx in
+              sum := !sum +. v;
+              sumsq := !sumsq +. (v *. v);
+              incr count
+            end
+          done
+        done;
+        let n = float_of_int !count in
+        let mean = !sum /. n in
+        let var = Float.max 0.0 ((!sumsq /. n) -. (mean *. mean)) in
+        let denom = Float.max epsilon (sqrt var) in
+        Tensor.set3 out ~c:ch ~y ~x
+          ((Tensor.get3 input ~c:ch ~y ~x -. mean) /. denom)
+      done
+    done
+  done;
+  out
+
+let eval_layer layer ~params ~bottoms =
+  let one () =
+    match bottoms with
+    | [ b ] -> b
+    | _ -> fail "layer %s expects one bottom" (Layer.name layer)
+  in
+  match layer with
+  | Layer.Input _ -> fail "input layers are not evaluated"
+  | Layer.Convolution { stride; pad; group; bias = has_bias; _ } -> begin
+      match params, has_bias with
+      | [ w ], false ->
+          Ops.conv2d ~input:(one ()) ~weights:w ~bias:None ~stride
+            ~padding:(Ops.symmetric_padding pad) ~group
+      | [ w; b ], true ->
+          Ops.conv2d ~input:(one ()) ~weights:w ~bias:(Some b) ~stride
+            ~padding:(Ops.symmetric_padding pad) ~group
+      | _ -> fail "convolution: wrong parameter tensors"
+    end
+  | Layer.Pooling { method_ = Layer.Max; kernel_size; stride } ->
+      Ops.max_pool ~input:(one ()) ~kernel:kernel_size ~stride
+  | Layer.Pooling { method_ = Layer.Average; kernel_size; stride } ->
+      Ops.avg_pool ~input:(one ()) ~kernel:kernel_size ~stride
+  | Layer.Global_pooling Layer.Average -> Ops.global_avg_pool ~input:(one ())
+  | Layer.Global_pooling Layer.Max ->
+      let input = one () in
+      let c = Shape.channels (Tensor.shape input) in
+      let hw = Tensor.numel input / c in
+      Tensor.init (Shape.vector c) (fun ch ->
+          let best = ref neg_infinity in
+          for i = 0 to hw - 1 do
+            best := Float.max !best (Tensor.get input ((ch * hw) + i))
+          done;
+          !best)
+  | Layer.Inner_product { bias = has_bias; _ } -> begin
+      match params, has_bias with
+      | [ w ], false ->
+          Ops.fully_connected ~input:(Ops.flatten (one ())) ~weights:w ~bias:None
+      | [ w; b ], true ->
+          Ops.fully_connected ~input:(Ops.flatten (one ())) ~weights:w
+            ~bias:(Some b)
+      | _ -> fail "inner product: wrong parameter tensors"
+    end
+  | Layer.Activation Layer.Relu -> Ops.relu (one ())
+  | Layer.Activation Layer.Sigmoid -> Ops.sigmoid (one ())
+  | Layer.Activation Layer.Tanh -> Ops.tanh_act (one ())
+  | Layer.Activation Layer.Sign ->
+      Tensor.map (fun x -> if x >= 0.0 then 1.0 else -1.0) (one ())
+  | Layer.Lrn { local_size; alpha; beta; k } ->
+      Ops.lrn ~input:(one ()) ~local_size ~alpha ~beta ~k
+  | Layer.Lcn { window; epsilon } -> lcn ~window ~epsilon (one ())
+  | Layer.Dropout { ratio } -> Ops.dropout_inference ~ratio (one ())
+  | Layer.Softmax -> Ops.softmax (one ())
+  | Layer.Recurrent { steps; bias = has_bias; _ } -> begin
+      let input = Ops.flatten (one ()) in
+      match params, has_bias with
+      | [ w_in; w_rec ], false ->
+          recurrent_forward ~w_in ~w_rec ~bias:None ~steps input
+      | [ w_in; w_rec; b ], true ->
+          recurrent_forward ~w_in ~w_rec ~bias:(Some b) ~steps input
+      | _ -> fail "recurrent: wrong parameter tensors"
+    end
+  | Layer.Associative { cells_per_dim; active_cells } ->
+      associative_encode ~cells_per_dim ~active_cells (Ops.flatten (one ()))
+  | Layer.Concat -> Ops.concat_channels bottoms
+  | Layer.Classifier { top_k } -> classify_top_k ~top_k (Ops.flatten (one ()))
+
+let forward net params ~inputs =
+  let env = ref [] in
+  let blob name =
+    match List.assoc_opt name !env with
+    | Some t -> t
+    | None -> fail "blob %S not available" name
+  in
+  Network.iter net (fun node ->
+      let out =
+        match node.Network.layer with
+        | Layer.Input { shape } -> begin
+            match node.Network.tops with
+            | [ top ] -> begin
+                match List.assoc_opt top inputs with
+                | Some t ->
+                    if not (Shape.equal (Tensor.shape t) shape) then
+                      fail "input %S: expected shape %s, got %s" top
+                        (Shape.to_string shape)
+                        (Shape.to_string (Tensor.shape t));
+                    t
+                | None -> fail "missing input tensor for blob %S" top
+              end
+            | [] | _ :: _ :: _ -> fail "input node must have exactly one top"
+          end
+        | layer ->
+            let bottoms = List.map blob node.Network.bottoms in
+            let params = Params.get params node.Network.node_name in
+            eval_layer layer ~params ~bottoms
+      in
+      List.iter (fun top -> env := (top, out) :: !env) node.Network.tops);
+  List.rev !env
+
+let output net params ~inputs =
+  let env = forward net params ~inputs in
+  match Network.output_blobs net with
+  | [ blob ] -> List.assoc blob env
+  | blobs ->
+      fail "network has %d output blobs, expected exactly one"
+        (List.length blobs)

@@ -1,0 +1,92 @@
+type pool_method = Max | Average
+
+type activation = Relu | Sigmoid | Tanh | Sign
+
+type t =
+  | Input of { shape : Db_tensor.Shape.t }
+  | Convolution of {
+      num_output : int;
+      kernel_size : int;
+      stride : int;
+      pad : int;
+      group : int;
+      bias : bool;
+    }
+  | Pooling of { method_ : pool_method; kernel_size : int; stride : int }
+  | Global_pooling of pool_method
+  | Inner_product of { num_output : int; bias : bool }
+  | Activation of activation
+  | Lrn of { local_size : int; alpha : float; beta : float; k : float }
+  | Lcn of { window : int; epsilon : float }
+  | Dropout of { ratio : float }
+  | Softmax
+  | Recurrent of { num_output : int; steps : int; bias : bool }
+  | Associative of { cells_per_dim : int; active_cells : int }
+  | Concat
+  | Classifier of { top_k : int }
+
+let activation_name = function
+  | Relu -> "RELU"
+  | Sigmoid -> "SIGMOID"
+  | Tanh -> "TANH"
+  | Sign -> "SIGN"
+
+let name = function
+  | Input _ -> "INPUT"
+  | Convolution _ -> "CONVOLUTION"
+  | Pooling _ -> "POOLING"
+  | Global_pooling _ -> "GLOBAL_POOLING"
+  | Inner_product _ -> "INNER_PRODUCT"
+  | Activation act -> activation_name act
+  | Lrn _ -> "LRN"
+  | Lcn _ -> "LCN"
+  | Dropout _ -> "DROPOUT"
+  | Softmax -> "SOFTMAX"
+  | Recurrent _ -> "RECURRENT"
+  | Associative _ -> "ASSOCIATIVE"
+  | Concat -> "CONCAT"
+  | Classifier _ -> "CLASSIFIER"
+
+let is_weighted = function
+  | Convolution _ | Inner_product _ | Recurrent _ -> true
+  | Input _ | Pooling _ | Global_pooling _ | Activation _ | Lrn _ | Lcn _
+  | Dropout _ | Softmax | Associative _ | Concat | Classifier _ ->
+      false
+
+let equal a b =
+  match a, b with
+  | Input { shape = sa }, Input { shape = sb } -> Db_tensor.Shape.equal sa sb
+  | (a, b) -> a = b
+
+let pp fmt t =
+  match t with
+  | Input { shape } ->
+      Format.fprintf fmt "INPUT(%s)" (Db_tensor.Shape.to_string shape)
+  | Convolution { num_output; kernel_size; stride; pad; group; bias } ->
+      Format.fprintf fmt "CONV(out=%d k=%d s=%d p=%d g=%d%s)" num_output
+        kernel_size stride pad group
+        (if bias then "" else " nobias")
+  | Pooling { method_; kernel_size; stride } ->
+      Format.fprintf fmt "POOL(%s k=%d s=%d)"
+        (match method_ with Max -> "max" | Average -> "ave")
+        kernel_size stride
+  | Global_pooling method_ ->
+      Format.fprintf fmt "GLOBAL_POOL(%s)"
+        (match method_ with Max -> "max" | Average -> "ave")
+  | Inner_product { num_output; bias } ->
+      Format.fprintf fmt "FC(out=%d%s)" num_output (if bias then "" else " nobias")
+  | Activation act -> Format.pp_print_string fmt (activation_name act)
+  | Lrn { local_size; alpha; beta; k } ->
+      Format.fprintf fmt "LRN(n=%d a=%g b=%g k=%g)" local_size alpha beta k
+  | Lcn { window; epsilon } ->
+      Format.fprintf fmt "LCN(w=%d eps=%g)" window epsilon
+  | Dropout { ratio } -> Format.fprintf fmt "DROPOUT(%g)" ratio
+  | Softmax -> Format.pp_print_string fmt "SOFTMAX"
+  | Recurrent { num_output; steps; bias } ->
+      Format.fprintf fmt "RECURRENT(out=%d steps=%d%s)" num_output steps
+        (if bias then "" else " nobias")
+  | Associative { cells_per_dim; active_cells } ->
+      Format.fprintf fmt "ASSOCIATIVE(cells=%d active=%d)" cells_per_dim
+        active_cells
+  | Concat -> Format.pp_print_string fmt "CONCAT"
+  | Classifier { top_k } -> Format.fprintf fmt "CLASSIFIER(top%d)" top_k

@@ -1,0 +1,66 @@
+(** Layer vocabulary of the DeepBurning model family.
+
+    Covers every layer class the paper names (Section 3.1-3.2): convolution,
+    pooling, full connection, recurrent, associative (CMAC), LRN, drop-out,
+    activation functions, classification (k-sorter) and inception-style
+    concatenation. *)
+
+type pool_method = Max | Average
+
+type activation =
+  | Relu
+  | Sigmoid
+  | Tanh
+  | Sign  (** hard threshold, used by Hopfield networks *)
+
+type t =
+  | Input of { shape : Db_tensor.Shape.t }
+      (** Source of the network; produces the input blob. *)
+  | Convolution of {
+      num_output : int;
+      kernel_size : int;
+      stride : int;
+      pad : int;
+      group : int;
+      bias : bool;
+    }
+  | Pooling of { method_ : pool_method; kernel_size : int; stride : int }
+  | Global_pooling of pool_method
+      (** NiN-style whole-map pooling down to one value per channel. *)
+  | Inner_product of { num_output : int; bias : bool }
+      (** Full-connection layer. *)
+  | Activation of activation
+  | Lrn of { local_size : int; alpha : float; beta : float; k : float }
+  | Lcn of { window : int; epsilon : float }
+      (** local contrast normalisation: subtract the spatial window mean
+          and divide by the window's standard deviation (floored at
+          [epsilon]), per channel.  The paper's "LRN/LCN layer" maps both
+          onto the LRN unit. *)
+  | Dropout of { ratio : float }
+  | Softmax
+  | Recurrent of { num_output : int; steps : int; bias : bool }
+      (** Elman-style recurrence unrolled [steps] times:
+          h <- tanh (w_in * x + w_rec * h + b), starting from h = 0.
+          Hopfield networks map to this with symmetric [w_rec] (tanh
+          saturates to the +-1 states), optionally followed by a {!Sign}
+          activation to discretise. *)
+  | Associative of { cells_per_dim : int; active_cells : int }
+      (** CMAC tile-coding: quantises each input dimension into
+          [cells_per_dim] cells and activates [active_cells] overlapping
+          tilings; produces a sparse binary feature vector. *)
+  | Concat  (** channel-wise concatenation of all bottoms (inception). *)
+  | Classifier of { top_k : int }
+      (** K-sorter classification layer: emits the indices of the [top_k]
+          largest inputs, in decreasing order of value. *)
+
+val name : t -> string
+(** Human-readable layer-class name, e.g. ["CONVOLUTION"]. *)
+
+val is_weighted : t -> bool
+(** Whether the layer owns trainable parameters. *)
+
+val activation_name : activation -> string
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,411 @@
+module Tensor = Db_tensor.Tensor
+module Shape = Db_tensor.Shape
+module Fixed = Db_fixed.Fixed
+
+type qtensor = { qshape : Shape.t; qdata : int array }
+
+type function_eval = {
+  eval_activation : Layer.activation -> float -> float;
+  eval_reciprocal : float -> float;
+  eval_power : float -> float -> float;
+  eval_exp : float -> float;
+}
+
+let exact_activation act x =
+  match act with
+  | Layer.Relu -> Float.max 0.0 x
+  | Layer.Sigmoid -> 1.0 /. (1.0 +. exp (-.x))
+  | Layer.Tanh -> Float.tanh x
+  | Layer.Sign -> if x >= 0.0 then 1.0 else -1.0
+
+let exact_eval =
+  {
+    eval_activation = exact_activation;
+    eval_reciprocal = (fun x -> 1.0 /. x);
+    eval_power = (fun x p -> x ** p);
+    eval_exp = exp;
+  }
+
+let fail fmt = Db_util.Error.failf_at ~component:"quantized" fmt
+
+let quantize fmt t =
+  { qshape = Tensor.shape t; qdata = Fixed.quantize_tensor fmt t }
+
+let dequantize fmt q = Fixed.dequantize_tensor fmt ~shape:q.qshape q.qdata
+
+(* Rescale a wide accumulator of frac*2 fractional bits back to the working
+   format, with round-to-nearest, then saturate. *)
+let rescale_acc fmt acc =
+  let frac = fmt.Fixed.frac_bits in
+  let half = if frac = 0 then 0 else 1 lsl (frac - 1) in
+  let rounded =
+    if frac = 0 then acc
+    else if acc >= 0 then (acc + half) asr frac
+    else -((-acc + half) asr frac)
+  in
+  Fixed.saturate fmt rounded
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2_exact n =
+  let rec go acc v = if v = 1 then acc else go (acc + 1) (v asr 1) in
+  go 0 n
+
+let qconv2d fmt ~input ~weights ~bias ~stride ~pad ~group =
+  let cin = Shape.channels input.qshape
+  and h = Shape.height input.qshape
+  and w = Shape.width input.qshape in
+  let wsh = weights.qshape in
+  let cout = Shape.dim wsh 0
+  and cin_g = Shape.dim wsh 1
+  and k = Shape.dim wsh 2 in
+  let oh = Db_tensor.Ops.conv_output_dim ~input:h ~kernel:k ~stride ~pad_lo:pad ~pad_hi:pad in
+  let ow = Db_tensor.Ops.conv_output_dim ~input:w ~kernel:k ~stride ~pad_lo:pad ~pad_hi:pad in
+  assert (cin mod group = 0 && cout mod group = 0 && cin_g = cin / group);
+  let out = Array.make (cout * oh * ow) 0 in
+  let cout_g = cout / group in
+  for oc = 0 to cout - 1 do
+    let g = oc / cout_g in
+    let base_ic = g * cin_g in
+    let b =
+      match bias with
+      | None -> 0
+      | Some bt -> bt.qdata.(oc) lsl fmt.Fixed.frac_bits
+    in
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let acc = ref b in
+        for ic = 0 to cin_g - 1 do
+          for ky = 0 to k - 1 do
+            let iy = (oy * stride) + ky - pad in
+            if iy >= 0 && iy < h then
+              for kx = 0 to k - 1 do
+                let ix = (ox * stride) + kx - pad in
+                if ix >= 0 && ix < w then begin
+                  let iv = input.qdata.(((base_ic + ic) * h * w) + (iy * w) + ix) in
+                  let wv = weights.qdata.((((oc * cin_g) + ic) * k * k) + (ky * k) + kx) in
+                  acc := !acc + (iv * wv)
+                end
+              done
+          done
+        done;
+        out.((oc * oh * ow) + (oy * ow) + ox) <- rescale_acc fmt !acc
+      done
+    done
+  done;
+  { qshape = Shape.chw ~channels:cout ~height:oh ~width:ow; qdata = out }
+
+let qfully_connected fmt ~input ~weights ~bias =
+  let nout = Shape.dim weights.qshape 0
+  and nin = Shape.dim weights.qshape 1 in
+  if Array.length input.qdata <> nin then fail "fc: input size mismatch";
+  let out = Array.make nout 0 in
+  for o = 0 to nout - 1 do
+    let acc =
+      ref
+        (match bias with
+        | None -> 0
+        | Some bt -> bt.qdata.(o) lsl fmt.Fixed.frac_bits)
+    in
+    for i = 0 to nin - 1 do
+      acc := !acc + (weights.qdata.((o * nin) + i) * input.qdata.(i))
+    done;
+    out.(o) <- rescale_acc fmt !acc
+  done;
+  { qshape = Shape.vector nout; qdata = out }
+
+let qpool fmt ~method_ ~input ~kernel ~stride ~eval =
+  let c = Shape.channels input.qshape
+  and h = Shape.height input.qshape
+  and w = Shape.width input.qshape in
+  let oh = Db_tensor.Ops.conv_output_dim ~input:h ~kernel ~stride ~pad_lo:0 ~pad_hi:0 in
+  let ow = Db_tensor.Ops.conv_output_dim ~input:w ~kernel ~stride ~pad_lo:0 ~pad_hi:0 in
+  let out = Array.make (c * oh * ow) 0 in
+  let area = kernel * kernel in
+  let recip_q =
+    Fixed.of_float fmt (eval.eval_reciprocal (float_of_int area))
+  in
+  for ch = 0 to c - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let value =
+          match method_ with
+          | Layer.Max ->
+              let best = ref min_int in
+              for ky = 0 to kernel - 1 do
+                for kx = 0 to kernel - 1 do
+                  let v = input.qdata.((ch * h * w) + (((oy * stride) + ky) * w) + (ox * stride) + kx) in
+                  if v > !best then best := v
+                done
+              done;
+              !best
+          | Layer.Average ->
+              let acc = ref 0 in
+              for ky = 0 to kernel - 1 do
+                for kx = 0 to kernel - 1 do
+                  acc := !acc + input.qdata.((ch * h * w) + (((oy * stride) + ky) * w) + (ox * stride) + kx)
+                done
+              done;
+              (* The connection box's shifting latch divides exactly for
+                 power-of-two areas; otherwise multiply by the (possibly
+                 LUT-approximated) reciprocal. *)
+              if is_power_of_two area then
+                Fixed.shift_right_approx fmt !acc (log2_exact area)
+              else Fixed.mul fmt (Fixed.saturate fmt !acc) recip_q
+        in
+        out.((ch * oh * ow) + (oy * ow) + ox) <- value
+      done
+    done
+  done;
+  { qshape = Shape.chw ~channels:c ~height:oh ~width:ow; qdata = out }
+
+let qmap fmt f input =
+  {
+    input with
+    qdata =
+      Array.map (fun v -> Fixed.of_float fmt (f (Fixed.to_float fmt v))) input.qdata;
+  }
+
+let qrecurrent fmt ~eval ~w_in ~w_rec ~bias ~steps input =
+  let nout = Shape.dim w_in.qshape 0 in
+  let state = ref { qshape = Shape.vector nout; qdata = Array.make nout 0 } in
+  for _step = 1 to steps do
+    let drive = qfully_connected fmt ~input ~weights:w_in ~bias in
+    let feedback = qfully_connected fmt ~input:!state ~weights:w_rec ~bias:None in
+    let summed =
+      Array.init nout (fun i ->
+          Fixed.add fmt drive.qdata.(i) feedback.qdata.(i))
+    in
+    state :=
+      qmap fmt
+        (eval.eval_activation Layer.Tanh)
+        { qshape = Shape.vector nout; qdata = summed }
+  done;
+  !state
+
+let qlrn fmt ~eval ~input ~local_size ~alpha ~beta ~k =
+  let c = Shape.channels input.qshape
+  and h = Shape.height input.qshape
+  and w = Shape.width input.qshape in
+  let half = local_size / 2 in
+  let out = Array.make (c * h * w) 0 in
+  for ch = 0 to c - 1 do
+    let lo = Stdlib.max 0 (ch - half) and hi = Stdlib.min (c - 1) (ch + half) in
+    for y = 0 to h - 1 do
+      for x = 0 to w - 1 do
+        let sq = ref 0.0 in
+        for j = lo to hi do
+          let v = Fixed.to_float fmt input.qdata.((j * h * w) + (y * w) + x) in
+          sq := !sq +. (v *. v)
+        done;
+        let scale = k +. (alpha /. float_of_int local_size *. !sq) in
+        let v = Fixed.to_float fmt input.qdata.((ch * h * w) + (y * w) + x) in
+        (* The hardware reads scale^-beta in one LUT lookup. *)
+        let inv_denom = eval.eval_power scale (-.beta) in
+        out.((ch * h * w) + (y * w) + x) <- Fixed.of_float fmt (v *. inv_denom)
+      done
+    done
+  done;
+  { qshape = input.qshape; qdata = out }
+
+let qsoftmax fmt ~eval input =
+  let floats = Array.map (Fixed.to_float fmt) input.qdata in
+  let m = Array.fold_left Float.max neg_infinity floats in
+  let exps = Array.map (fun x -> eval.eval_exp (x -. m)) floats in
+  let total = Array.fold_left ( +. ) 0.0 exps in
+  let inv = eval.eval_reciprocal total in
+  {
+    input with
+    qdata = Array.map (fun e -> Fixed.of_float fmt (e *. inv)) exps;
+  }
+
+let qclassifier ~top_k input =
+  let n = Array.length input.qdata in
+  let indices = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      if input.qdata.(a) > input.qdata.(b) then -1
+      else if input.qdata.(a) < input.qdata.(b) then 1
+      else compare a b)
+    indices;
+  (* Indices are integers: represent them exactly in the integer part. *)
+  { qshape = Shape.vector top_k; qdata = Array.init top_k (fun i -> indices.(i)) }
+
+let eval_node fmt eval layer ~params ~bottoms =
+  let one () =
+    match bottoms with
+    | [ b ] -> b
+    | _ -> fail "layer %s expects one bottom" (Layer.name layer)
+  in
+  let flat q = { q with qshape = Shape.vector (Array.length q.qdata) } in
+  match layer with
+  | Layer.Input _ -> fail "input layers are not evaluated"
+  | Layer.Convolution { stride; pad; group; bias = has_bias; _ } -> begin
+      match params, has_bias with
+      | [ w ], false ->
+          qconv2d fmt ~input:(one ()) ~weights:w ~bias:None ~stride ~pad ~group
+      | [ w; b ], true ->
+          qconv2d fmt ~input:(one ()) ~weights:w ~bias:(Some b) ~stride ~pad
+            ~group
+      | _ -> fail "convolution: wrong parameter tensors"
+    end
+  | Layer.Pooling { method_; kernel_size; stride } ->
+      qpool fmt ~method_ ~input:(one ()) ~kernel:kernel_size ~stride ~eval
+  | Layer.Global_pooling method_ ->
+      let input = one () in
+      let c = Shape.channels input.qshape in
+      let hw = Array.length input.qdata / c in
+      let out =
+        Array.init c (fun ch ->
+            match method_ with
+            | Layer.Max ->
+                let best = ref min_int in
+                for i = 0 to hw - 1 do
+                  if input.qdata.((ch * hw) + i) > !best then
+                    best := input.qdata.((ch * hw) + i)
+                done;
+                !best
+            | Layer.Average ->
+                let acc = ref 0 in
+                for i = 0 to hw - 1 do
+                  acc := !acc + input.qdata.((ch * hw) + i)
+                done;
+                if is_power_of_two hw then
+                  Fixed.shift_right_approx fmt !acc (log2_exact hw)
+                else
+                  Fixed.mul fmt (Fixed.saturate fmt !acc)
+                    (Fixed.of_float fmt (eval.eval_reciprocal (float_of_int hw))))
+      in
+      { qshape = Shape.vector c; qdata = out }
+  | Layer.Inner_product { bias = has_bias; _ } -> begin
+      match params, has_bias with
+      | [ w ], false -> qfully_connected fmt ~input:(flat (one ())) ~weights:w ~bias:None
+      | [ w; b ], true ->
+          qfully_connected fmt ~input:(flat (one ())) ~weights:w ~bias:(Some b)
+      | _ -> fail "inner product: wrong parameter tensors"
+    end
+  | Layer.Activation act -> qmap fmt (eval.eval_activation act) (one ())
+  | Layer.Lrn { local_size; alpha; beta; k } ->
+      qlrn fmt ~eval ~input:(one ()) ~local_size ~alpha ~beta ~k
+  | Layer.Lcn { window; epsilon } ->
+      (* The mean/variance path runs on the accumulators; the division goes
+         through the reciprocal Approx LUT like average pooling does. *)
+      let input = one () in
+      let shape = input.qshape in
+      let c = Shape.channels shape
+      and h = Shape.height shape
+      and w = Shape.width shape in
+      let half = window / 2 in
+      let out = Array.make (c * h * w) 0 in
+      for ch = 0 to c - 1 do
+        for y = 0 to h - 1 do
+          for x = 0 to w - 1 do
+            let sum = ref 0.0 and sumsq = ref 0.0 and count = ref 0 in
+            for dy = -half to half do
+              for dx = -half to half do
+                let yy = y + dy and xx = x + dx in
+                if yy >= 0 && yy < h && xx >= 0 && xx < w then begin
+                  let v =
+                    Fixed.to_float fmt input.qdata.((ch * h * w) + (yy * w) + xx)
+                  in
+                  sum := !sum +. v;
+                  sumsq := !sumsq +. (v *. v);
+                  incr count
+                end
+              done
+            done;
+            let n = float_of_int !count in
+            let mean = !sum /. n in
+            let var = Float.max 0.0 ((!sumsq /. n) -. (mean *. mean)) in
+            let denom = Float.max epsilon (sqrt var) in
+            let v = Fixed.to_float fmt input.qdata.((ch * h * w) + (y * w) + x) in
+            out.((ch * h * w) + (y * w) + x) <-
+              Fixed.of_float fmt ((v -. mean) *. eval.eval_reciprocal denom)
+          done
+        done
+      done;
+      { qshape = shape; qdata = out }
+  | Layer.Dropout _ -> one ()
+  | Layer.Softmax -> qsoftmax fmt ~eval (one ())
+  | Layer.Recurrent { steps; bias = has_bias; _ } -> begin
+      match params, has_bias with
+      | [ w_in; w_rec ], false ->
+          qrecurrent fmt ~eval ~w_in ~w_rec ~bias:None ~steps (flat (one ()))
+      | [ w_in; w_rec; b ], true ->
+          qrecurrent fmt ~eval ~w_in ~w_rec ~bias:(Some b) ~steps (flat (one ()))
+      | _ -> fail "recurrent: wrong parameter tensors"
+    end
+  | Layer.Associative { cells_per_dim; active_cells } ->
+      let input = dequantize fmt (flat (one ())) in
+      quantize fmt
+        (Interpreter.associative_encode ~cells_per_dim ~active_cells input)
+  | Layer.Concat ->
+      let total = List.fold_left (fun acc b -> acc + Array.length b.qdata) 0 bottoms in
+      let first = match bottoms with b :: _ -> b | [] -> fail "concat: no bottoms" in
+      let h = Shape.height first.qshape and w = Shape.width first.qshape in
+      let channels = total / (h * w) in
+      let out = Array.make total 0 in
+      let offset = ref 0 in
+      List.iter
+        (fun b ->
+          Array.blit b.qdata 0 out !offset (Array.length b.qdata);
+          offset := !offset + Array.length b.qdata)
+        bottoms;
+      { qshape = Shape.chw ~channels ~height:h ~width:w; qdata = out }
+  | Layer.Classifier { top_k } -> qclassifier ~top_k (flat (one ()))
+
+let forward ?(eval = exact_eval) ~fmt net params ~inputs =
+  let env = ref [] in
+  let blob name =
+    match List.assoc_opt name !env with
+    | Some t -> t
+    | None -> fail "blob %S not available" name
+  in
+  Network.iter net (fun node ->
+      let out =
+        match node.Network.layer with
+        | Layer.Input { shape } -> begin
+            match node.Network.tops with
+            | [ top ] -> begin
+                match List.assoc_opt top inputs with
+                | Some t ->
+                    if not (Shape.equal (Tensor.shape t) shape) then
+                      fail "input %S: shape mismatch" top;
+                    quantize fmt t
+                | None -> fail "missing input tensor for blob %S" top
+              end
+            | [] | _ :: _ :: _ -> fail "input node must have exactly one top"
+          end
+        | layer ->
+            let bottoms = List.map blob node.Network.bottoms in
+            let qparams =
+              List.map (quantize fmt) (Params.get params node.Network.node_name)
+            in
+            eval_node fmt eval layer ~params:qparams ~bottoms
+      in
+      List.iter (fun top -> env := (top, out) :: !env) node.Network.tops);
+  List.rev !env
+
+let output ?(eval = exact_eval) ~fmt net params ~inputs =
+  let env = forward ~eval ~fmt net params ~inputs in
+  match Network.output_blobs net with
+  | [ blob ] -> begin
+      match List.assoc_opt blob env with
+      | Some q ->
+          (* Classifier outputs carry integer indices, not Q-format values. *)
+          let is_classifier =
+            Network.has_layer net (function
+              | Layer.Classifier _ -> true
+              | _ -> false)
+            &&
+            (match List.rev net.Network.nodes with
+            | last :: _ -> (
+                match last.Network.layer with Layer.Classifier _ -> true | _ -> false)
+            | [] -> false)
+          in
+          if is_classifier then
+            Tensor.of_array q.qshape (Array.map float_of_int q.qdata)
+          else dequantize fmt q
+      | None -> fail "output blob missing from environment"
+    end
+  | blobs -> fail "network has %d output blobs, expected one" (List.length blobs)

@@ -1,0 +1,44 @@
+(** Fixed-point forward propagation: the functional model of the generated
+    accelerator's datapath.
+
+    Every blob and weight is quantised to one Q-format; multiply-accumulate
+    chains use a wide accumulator (as the DSP slices do) and rescale once
+    per output.  Non-linear functions go through a pluggable evaluator so
+    the simulator can substitute Approx-LUT interpolation for exact math;
+    the default evaluator computes them exactly in float and requantises
+    (zero LUT error). *)
+
+type qtensor = { qshape : Db_tensor.Shape.t; qdata : int array }
+
+type function_eval = {
+  eval_activation : Layer.activation -> float -> float;
+  eval_reciprocal : float -> float;
+      (** used by average pooling (non power-of-two areas) and LRN *)
+  eval_power : float -> float -> float;  (** LRN's x^beta *)
+  eval_exp : float -> float;  (** softmax *)
+}
+
+val exact_eval : function_eval
+(** Exact float evaluation of every non-linear function. *)
+
+val quantize : Db_fixed.Fixed.format -> Db_tensor.Tensor.t -> qtensor
+
+val dequantize : Db_fixed.Fixed.format -> qtensor -> Db_tensor.Tensor.t
+
+val forward :
+  ?eval:function_eval ->
+  fmt:Db_fixed.Fixed.format ->
+  Network.t ->
+  Params.t ->
+  inputs:(string * Db_tensor.Tensor.t) list ->
+  (string * qtensor) list
+(** Full fixed-point forward pass.  Weights are quantised on entry. *)
+
+val output :
+  ?eval:function_eval ->
+  fmt:Db_fixed.Fixed.format ->
+  Network.t ->
+  Params.t ->
+  inputs:(string * Db_tensor.Tensor.t) list ->
+  Db_tensor.Tensor.t
+(** Dequantised tensor of the single output blob. *)

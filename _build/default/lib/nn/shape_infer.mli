@@ -1,0 +1,21 @@
+(** Static shape inference over a network's blobs. *)
+
+type t
+(** Map from blob name to its inferred shape. *)
+
+val infer : Network.t -> t
+(** Walks the network in topological order, checking layer-specific
+    constraints (kernel fits inside input, channel divisibility for groups,
+    matching spatial extents for [Concat], ...).  Raises
+    {!Db_util.Error.Deepburning_error} on any inconsistency. *)
+
+val blob_shape : t -> string -> Db_tensor.Shape.t
+(** Raises [Not_found] for an unknown blob. *)
+
+val layer_output_shape :
+  Layer.t -> Db_tensor.Shape.t list -> Db_tensor.Shape.t
+(** Output shape of one layer given its bottom shapes (the reusable core of
+    {!infer}). *)
+
+val all_blobs : t -> (string * Db_tensor.Shape.t) list
+(** In insertion (topological) order. *)

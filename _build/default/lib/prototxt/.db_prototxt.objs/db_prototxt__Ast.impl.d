@@ -1,0 +1,1 @@
+lib/prototxt/ast.ml: Db_util List String

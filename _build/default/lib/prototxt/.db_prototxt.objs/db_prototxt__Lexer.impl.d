@@ -1,0 +1,1 @@
+lib/prototxt/lexer.ml: Buffer Db_util List Printf String

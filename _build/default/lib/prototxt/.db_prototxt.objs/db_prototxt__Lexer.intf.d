@@ -1,0 +1,1 @@
+lib/prototxt/lexer.mli:

@@ -1,0 +1,1 @@
+lib/prototxt/parser.ml: Ast Db_util Lexer List String

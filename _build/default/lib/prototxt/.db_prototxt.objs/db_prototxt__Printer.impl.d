@@ -1,0 +1,1 @@
+lib/prototxt/printer.ml: Ast Format List Printf String

@@ -1,0 +1,1 @@
+lib/prototxt/printer.mli: Ast Format

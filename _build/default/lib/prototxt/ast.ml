@@ -1,0 +1,123 @@
+type value =
+  | Int of int
+  | Float of float
+  | String of string
+  | Enum of string
+  | Bool of bool
+
+type field =
+  | Scalar of string * value
+  | Message of string * field list
+
+type document = field list
+
+let equal_value a b =
+  match a, b with
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | String x, String y -> String.equal x y
+  | Enum x, Enum y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | (Int _ | Float _ | String _ | Enum _ | Bool _), _ -> false
+
+let rec equal_field a b =
+  match a, b with
+  | Scalar (na, va), Scalar (nb, vb) -> String.equal na nb && equal_value va vb
+  | Message (na, fa), Message (nb, fb) ->
+      String.equal na nb && equal_document fa fb
+  | (Scalar _ | Message _), _ -> false
+
+and equal_document a b =
+  List.length a = List.length b && List.for_all2 equal_field a b
+
+let messages doc name =
+  List.filter_map
+    (function
+      | Message (n, fields) when String.equal n name -> Some fields
+      | Message _ | Scalar _ -> None)
+    doc
+
+let value_kind = function
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | String _ -> "string"
+  | Enum _ -> "enum"
+  | Bool _ -> "bool"
+
+let lookup fields name =
+  List.find_map
+    (function
+      | Scalar (n, v) when String.equal n name -> Some (`Scalar v)
+      | Message (n, f) when String.equal n name -> Some (`Message f)
+      | Scalar _ | Message _ -> None)
+    fields
+
+let type_error name expected got =
+  Db_util.Error.failf_at ~component:"prototxt"
+    "field %s: expected %s, got %s" name expected got
+
+let missing name =
+  Db_util.Error.failf_at ~component:"prototxt" "missing required field %s" name
+
+let opt_int fields name =
+  match lookup fields name with
+  | None -> None
+  | Some (`Scalar (Int i)) -> Some i
+  | Some (`Scalar v) -> type_error name "int" (value_kind v)
+  | Some (`Message _) -> type_error name "int" "message"
+
+let find_int fields name =
+  match opt_int fields name with Some i -> i | None -> missing name
+
+let opt_float fields name =
+  match lookup fields name with
+  | None -> None
+  | Some (`Scalar (Float f)) -> Some f
+  | Some (`Scalar (Int i)) -> Some (float_of_int i)
+  | Some (`Scalar v) -> type_error name "float" (value_kind v)
+  | Some (`Message _) -> type_error name "float" "message"
+
+let find_float fields name =
+  match opt_float fields name with Some f -> f | None -> missing name
+
+let opt_string fields name =
+  match lookup fields name with
+  | None -> None
+  | Some (`Scalar (String s)) -> Some s
+  | Some (`Scalar v) -> type_error name "string" (value_kind v)
+  | Some (`Message _) -> type_error name "string" "message"
+
+let find_string fields name =
+  match opt_string fields name with Some s -> s | None -> missing name
+
+let opt_enum fields name =
+  match lookup fields name with
+  | None -> None
+  | Some (`Scalar (Enum e)) -> Some e
+  | Some (`Scalar (String s)) -> Some s
+  | Some (`Scalar (Bool b)) -> Some (string_of_bool b)
+  | Some (`Scalar v) -> type_error name "enum" (value_kind v)
+  | Some (`Message _) -> type_error name "enum" "message"
+
+let find_enum fields name =
+  match opt_enum fields name with Some e -> e | None -> missing name
+
+let opt_message fields name =
+  match lookup fields name with
+  | None -> None
+  | Some (`Message f) -> Some f
+  | Some (`Scalar v) -> type_error name "message" (value_kind v)
+
+let strings fields name =
+  List.filter_map
+    (function
+      | Scalar (n, String s) when String.equal n name -> Some s
+      | Scalar _ | Message _ -> None)
+    fields
+
+let ints fields name =
+  List.filter_map
+    (function
+      | Scalar (n, Int i) when String.equal n name -> Some i
+      | Scalar _ | Message _ -> None)
+    fields

@@ -1,0 +1,64 @@
+(** Abstract syntax of the Caffe-compatible descriptive script (Fig. 4 of
+    the paper).
+
+    A document is a flat sequence of fields.  Fields are either scalar
+    ([name: value]) or message ([name { ... }]).  DeepBurning extends Caffe
+    with [connect { ... }] blocks describing inter-layer wiring
+    (direction: forward / recurrent, type: full_per_channel /
+    file_specified / ...). *)
+
+type value =
+  | Int of int
+  | Float of float
+  | String of string  (** quoted in the source *)
+  | Enum of string  (** bare upper/lower-case identifier, e.g. [CONVOLUTION] *)
+  | Bool of bool
+
+type field =
+  | Scalar of string * value
+  | Message of string * field list
+
+type document = field list
+
+val equal_value : value -> value -> bool
+
+val equal_field : field -> field -> bool
+
+val equal_document : document -> document -> bool
+
+(** {2 Typed accessors}
+
+    All lookups are by field name; [find_*] raise
+    {!Db_util.Error.Deepburning_error} with a readable message when the
+    field is missing or has the wrong type, [opt_*] return [None] when the
+    field is absent (but still fail on a type mismatch). *)
+
+val messages : document -> string -> field list list
+(** All message fields with the given name, in order. *)
+
+val find_int : field list -> string -> int
+
+val opt_int : field list -> string -> int option
+
+val find_float : field list -> string -> float
+(** Accepts an [Int] field and widens it. *)
+
+val opt_float : field list -> string -> float option
+
+val find_string : field list -> string -> string
+
+val opt_string : field list -> string -> string option
+
+val find_enum : field list -> string -> string
+
+val opt_enum : field list -> string -> string option
+
+val opt_message : field list -> string -> field list option
+
+val strings : field list -> string -> string list
+(** All values of repeated string fields with the given name (Caffe's
+    repeated [bottom] / [top]). *)
+
+val ints : field list -> string -> int list
+(** All values of repeated int fields with the given name (Caffe's
+    repeated [dim]). *)

@@ -1,0 +1,109 @@
+type token =
+  | Ident of string
+  | Number of string
+  | Quoted of string
+  | Lbrace
+  | Rbrace
+  | Colon
+  | Eof
+
+type located = { token : token; line : int; column : int }
+
+let token_to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Number s -> Printf.sprintf "number %s" s
+  | Quoted s -> Printf.sprintf "string %S" s
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Colon -> "':'"
+  | Eof -> "end of input"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_number_start c = (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.'
+
+let is_number_char c =
+  (c >= '0' && c <= '9') || c = '.' || c = 'e' || c = 'E' || c = '-' || c = '+'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let tokens = ref [] in
+  let emit tok ~line ~column = tokens := { token = tok; line; column } :: !tokens in
+  let advance c =
+    if c = '\n' then begin line := !line + 1; col := 1 end
+    else col := !col + 1
+  in
+  let rec scan i =
+    if i >= n then emit Eof ~line:!line ~column:!col
+    else
+      let c = src.[i] in
+      let tok_line = !line and tok_col = !col in
+      if c = ' ' || c = '\t' || c = '\r' || c = '\n' || c = ',' then begin
+        advance c; scan (i + 1)
+      end
+      else if c = '#' then begin
+        let rec skip j =
+          if j >= n || src.[j] = '\n' then j
+          else begin advance src.[j]; skip (j + 1) end
+        in
+        scan (skip (i + 1))
+      end
+      else if c = '{' then begin
+        emit Lbrace ~line:tok_line ~column:tok_col; advance c; scan (i + 1)
+      end
+      else if c = '}' then begin
+        emit Rbrace ~line:tok_line ~column:tok_col; advance c; scan (i + 1)
+      end
+      else if c = ':' then begin
+        emit Colon ~line:tok_line ~column:tok_col; advance c; scan (i + 1)
+      end
+      else if c = '"' then begin
+        advance c;
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then
+            Db_util.Error.failf_at ~component:"prototxt"
+              "unterminated string at line %d, column %d" tok_line tok_col
+          else if src.[j] = '"' then begin
+            advance '"';
+            emit (Quoted (Buffer.contents buf)) ~line:tok_line ~column:tok_col;
+            scan (j + 1)
+          end
+          else begin
+            Buffer.add_char buf src.[j];
+            advance src.[j];
+            str (j + 1)
+          end
+        in
+        str (i + 1)
+      end
+      else if is_number_start c then begin
+        let rec num j =
+          if j < n && is_number_char src.[j] then begin advance src.[j]; num (j + 1) end
+          else j
+        in
+        advance c;
+        let stop = num (i + 1) in
+        emit (Number (String.sub src i (stop - i))) ~line:tok_line ~column:tok_col;
+        scan stop
+      end
+      else if is_ident_start c then begin
+        let rec ident j =
+          if j < n && is_ident_char src.[j] then begin advance src.[j]; ident (j + 1) end
+          else j
+        in
+        advance c;
+        let stop = ident (i + 1) in
+        emit (Ident (String.sub src i (stop - i))) ~line:tok_line ~column:tok_col;
+        scan stop
+      end
+      else
+        Db_util.Error.failf_at ~component:"prototxt"
+          "illegal character %C at line %d, column %d" c tok_line tok_col
+  in
+  scan 0;
+  List.rev !tokens

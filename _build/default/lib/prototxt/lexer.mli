@@ -1,0 +1,19 @@
+(** Tokeniser for the prototxt grammar. *)
+
+type token =
+  | Ident of string
+  | Number of string  (** raw spelling; the parser decides int vs float *)
+  | Quoted of string  (** contents without the quotes *)
+  | Lbrace
+  | Rbrace
+  | Colon
+  | Eof
+
+type located = { token : token; line : int; column : int }
+
+val tokenize : string -> located list
+(** Whole-input tokenisation.  Skips [#]-to-end-of-line comments and
+    whitespace.  Raises {!Db_util.Error.Deepburning_error} on an illegal
+    character or an unterminated string, with line/column in the message. *)
+
+val token_to_string : token -> string

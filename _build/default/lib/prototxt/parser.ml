@@ -1,0 +1,88 @@
+(* Grammar:
+     document := field*
+     field    := IDENT ':' value | IDENT '{' field* '}'
+     value    := NUMBER | QUOTED | IDENT          (IDENT covers enums/bools)
+   Numbers containing '.', 'e' or 'E' parse as floats, otherwise ints. *)
+
+type state = { mutable rest : Lexer.located list }
+
+let syntax_error (loc : Lexer.located) expected =
+  Db_util.Error.failf_at ~component:"prototxt"
+    "syntax error at line %d, column %d: expected %s, found %s" loc.line
+    loc.column expected
+    (Lexer.token_to_string loc.token)
+
+let peek st =
+  match st.rest with
+  | [] -> { Lexer.token = Lexer.Eof; line = 0; column = 0 }
+  | loc :: _ -> loc
+
+let advance st =
+  match st.rest with [] -> () | _ :: tl -> st.rest <- tl
+
+let number_value spelling loc =
+  let is_float =
+    String.exists (fun c -> c = '.' || c = 'e' || c = 'E') spelling
+  in
+  if is_float then
+    match float_of_string_opt spelling with
+    | Some f -> Ast.Float f
+    | None -> syntax_error loc "a float literal"
+  else
+    match int_of_string_opt spelling with
+    | Some i -> Ast.Int i
+    | None -> (
+        match float_of_string_opt spelling with
+        | Some f -> Ast.Float f
+        | None -> syntax_error loc "a numeric literal")
+
+let ident_value = function
+  | "true" -> Ast.Bool true
+  | "false" -> Ast.Bool false
+  | other -> Ast.Enum other
+
+let rec parse_fields st ~until_rbrace acc =
+  let loc = peek st in
+  match loc.token with
+  | Lexer.Eof ->
+      if until_rbrace then syntax_error loc "'}'" else List.rev acc
+  | Lexer.Rbrace ->
+      if until_rbrace then begin advance st; List.rev acc end
+      else syntax_error loc "a field name"
+  | Lexer.Ident name -> begin
+      advance st;
+      let next = peek st in
+      match next.token with
+      | Lexer.Colon ->
+          advance st;
+          let vloc = peek st in
+          let value =
+            match vloc.token with
+            | Lexer.Number s -> advance st; number_value s vloc
+            | Lexer.Quoted s -> advance st; Ast.String s
+            | Lexer.Ident s -> advance st; ident_value s
+            | Lexer.Lbrace | Lexer.Rbrace | Lexer.Colon | Lexer.Eof ->
+                syntax_error vloc "a value"
+          in
+          parse_fields st ~until_rbrace (Ast.Scalar (name, value) :: acc)
+      | Lexer.Lbrace ->
+          advance st;
+          let inner = parse_fields st ~until_rbrace:true [] in
+          parse_fields st ~until_rbrace (Ast.Message (name, inner) :: acc)
+      | Lexer.Ident _ | Lexer.Number _ | Lexer.Quoted _ | Lexer.Rbrace
+      | Lexer.Eof ->
+          syntax_error next "':' or '{'"
+    end
+  | Lexer.Number _ | Lexer.Quoted _ | Lexer.Lbrace | Lexer.Colon ->
+      syntax_error loc "a field name"
+
+let parse src =
+  let st = { rest = Lexer.tokenize src } in
+  parse_fields st ~until_rbrace:false []
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse src

@@ -1,0 +1,8 @@
+(** Recursive-descent parser for prototxt documents. *)
+
+val parse : string -> Ast.document
+(** Raises {!Db_util.Error.Deepburning_error} with line/column context on a
+    syntax error. *)
+
+val parse_file : string -> Ast.document
+(** Reads the file and parses it. *)

@@ -1,0 +1,25 @@
+let pp_value fmt = function
+  | Ast.Int i -> Format.fprintf fmt "%d" i
+  | Ast.Float f ->
+      (* Keep a decimal point so the value re-parses as a float. *)
+      let s = Printf.sprintf "%.17g" f in
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then
+        Format.pp_print_string fmt s
+      else Format.fprintf fmt "%s.0" s
+  | Ast.String s -> Format.fprintf fmt "%S" s
+  | Ast.Enum e -> Format.pp_print_string fmt e
+  | Ast.Bool b -> Format.pp_print_string fmt (if b then "true" else "false")
+
+let rec pp_field ~indent fmt field =
+  let pad = String.make indent ' ' in
+  match field with
+  | Ast.Scalar (name, value) ->
+      Format.fprintf fmt "%s%s: %a\n" pad name pp_value value
+  | Ast.Message (name, fields) ->
+      Format.fprintf fmt "%s%s {\n" pad name;
+      List.iter (pp_field ~indent:(indent + 2) fmt) fields;
+      Format.fprintf fmt "%s}\n" pad
+
+let pp_document fmt doc = List.iter (pp_field ~indent:0 fmt) doc
+
+let print doc = Format.asprintf "%a" pp_document doc

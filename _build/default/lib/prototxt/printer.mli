@@ -1,0 +1,6 @@
+(** Pretty-printer producing canonical prototxt text; [parse (print d)]
+    yields a document equal to [d]. *)
+
+val print : Ast.document -> string
+
+val pp_document : Format.formatter -> Ast.document -> unit

@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Array Db_baseline Db_blocks Db_core Db_fixed Db_fpga Db_nn Db_sim Db_tensor Db_util Db_workloads Float List Printf Stdlib String Table

@@ -1,0 +1,1 @@
+lib/report/experiments.mli: Db_core Db_fpga Db_nn Db_workloads

@@ -1,0 +1,12 @@
+(** One-call markdown report: every table and figure of the evaluation,
+    rendered into a single document (the generated counterpart of
+    EXPERIMENTS.md, with whatever configuration the caller picks). *)
+
+val markdown : Experiments.run_config -> string
+(** Runs table 1/2, fig 8/9/10, table 3, the summary, the training and
+    throughput extensions and the ablations, and renders them as markdown
+    sections with fenced tables.  This re-runs the experiments (about a
+    minute for the full configuration, seconds for
+    {!Experiments.quick_config}). *)
+
+val write : path:string -> Experiments.run_config -> unit

@@ -1,0 +1,37 @@
+let render ~headers ~rows =
+  let all = headers :: rows in
+  let cols = List.length headers in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> Stdlib.max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad cell w = cell ^ String.make (w - String.length cell) ' ' in
+  let line row =
+    String.concat "  " (List.mapi (fun c cell -> pad cell (List.nth widths c)) row)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line headers :: sep :: List.map line rows) ^ "\n"
+
+let ms seconds =
+  let v = seconds *. 1e3 in
+  if v < 0.01 then Printf.sprintf "%.4f ms" v
+  else if v < 1.0 then Printf.sprintf "%.3f ms" v
+  else if v < 100.0 then Printf.sprintf "%.2f ms" v
+  else Printf.sprintf "%.1f ms" v
+
+let joules j =
+  if j < 1e-4 then Printf.sprintf "%.1f uJ" (j *. 1e6)
+  else if j < 0.1 then Printf.sprintf "%.2f mJ" (j *. 1e3)
+  else Printf.sprintf "%.3f J" j
+
+let percent p = Printf.sprintf "%.1f%%" p
+
+let ratio r =
+  if r >= 10.0 then Printf.sprintf "%.0fx" r else Printf.sprintf "%.1fx" r

@@ -1,0 +1,14 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+val render : headers:string list -> rows:string list list -> string
+(** Column-aligned ASCII table with a separator under the header. *)
+
+val ms : float -> string
+(** Seconds rendered as milliseconds with sensible precision. *)
+
+val joules : float -> string
+
+val percent : float -> string
+
+val ratio : float -> string
+(** e.g. ["4.7x"]. *)

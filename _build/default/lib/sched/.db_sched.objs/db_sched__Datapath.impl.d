@@ -1,0 +1,1 @@
+lib/sched/datapath.ml: Db_fixed Format

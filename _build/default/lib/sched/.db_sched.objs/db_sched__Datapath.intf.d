@@ -1,0 +1,1 @@
+lib/sched/datapath.mli: Db_fixed Format

@@ -1,0 +1,1 @@
+lib/sched/folding.ml: Datapath Db_nn Db_tensor Db_util Float List Printf Stdlib

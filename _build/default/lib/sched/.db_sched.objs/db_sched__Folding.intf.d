@@ -1,0 +1,1 @@
+lib/sched/folding.mli: Datapath Db_nn Db_tensor

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Datapath Db_hdl Db_nn Folding Format Hashtbl List Option

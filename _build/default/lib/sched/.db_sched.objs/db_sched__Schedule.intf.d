@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Datapath Db_hdl Db_nn Folding Format

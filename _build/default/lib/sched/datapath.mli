@@ -1,0 +1,33 @@
+(** The scaled hardware structure NN-Gen settles on for a given model and
+    constraint: how many synergy-neuron lanes, how wide each lane's SIMD
+    multiplier bank is, the memory-port width and the on-chip buffer
+    sizes.  Everything downstream (folding, AGU patterns, the simulator,
+    the resource report) is a function of this record. *)
+
+type t = {
+  lanes : int;  (** parallel synergy neurons *)
+  simd : int;  (** multipliers per neuron (MACs/cycle/lane) *)
+  port_words : int;  (** on-chip buffer read width, words per cycle *)
+  fmt : Db_fixed.Fixed.format;  (** datapath number format *)
+  feature_buffer_words : int;
+  weight_buffer_words : int;
+  lut_entries : int;  (** Approx LUT size for activation functions *)
+}
+
+val make :
+  ?simd:int ->
+  ?port_words:int ->
+  ?fmt:Db_fixed.Fixed.format ->
+  ?feature_buffer_words:int ->
+  ?weight_buffer_words:int ->
+  ?lut_entries:int ->
+  lanes:int ->
+  unit ->
+  t
+(** Defaults: simd 1, port width 4 words, Q16.8, 8K-word feature buffer,
+    8K-word weight buffer, 256-entry LUTs.  Raises [Invalid_argument] on
+    non-positive values. *)
+
+val macs_per_cycle : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,187 @@
+module Shape = Db_tensor.Shape
+module Layer = Db_nn.Layer
+module Network = Db_nn.Network
+
+type fold = {
+  fold_layer : string;
+  layer_index : int;
+  fold_index : int;
+  total_folds : int;
+  lanes_used : int;
+  macs : int;
+  other_ops : int;
+  feature_words : int;
+  weight_words : int;
+  output_words : int;
+  event : string;
+}
+
+let fail fmt = Db_util.Error.failf_at ~component:"folding" fmt
+
+let div_ceil a b = (a + b - 1) / b
+
+let one_bottom layer = function
+  | [ s ] -> s
+  | shapes ->
+      fail "layer %s expects one bottom, got %d" (Layer.name layer)
+        (List.length shapes)
+
+(* Spatial folding of [units] output units onto [lanes] lanes: fold i gets
+   min(lanes, units - i*lanes) of them.  [per_unit] quantifies one unit's
+   work and traffic; [shared] is re-streamed every fold. *)
+let spatial_folds ~lanes ~units ~node_name ~layer_index
+    ~per_unit:(macs_u, ops_u, weights_u, out_u) ~shared_feature_words =
+  let total_folds = Stdlib.max 1 (div_ceil units lanes) in
+  List.init total_folds (fun i ->
+      let lanes_used = Stdlib.min lanes (units - (i * lanes)) in
+      {
+        fold_layer = node_name;
+        layer_index;
+        fold_index = i;
+        total_folds;
+        lanes_used;
+        macs = lanes_used * macs_u;
+        other_ops = lanes_used * ops_u;
+        feature_words = shared_feature_words;
+        weight_words = lanes_used * weights_u;
+        output_words = lanes_used * out_u;
+        event = Printf.sprintf "layer%d-fold%d" layer_index i;
+      })
+
+let single_fold ~node_name ~layer_index ~macs ~other_ops ~feature_words
+    ~weight_words ~output_words =
+  [
+    {
+      fold_layer = node_name;
+      layer_index;
+      fold_index = 0;
+      total_folds = 1;
+      lanes_used = 1;
+      macs;
+      other_ops;
+      feature_words;
+      weight_words;
+      output_words;
+      event = Printf.sprintf "layer%d-fold0" layer_index;
+    };
+  ]
+
+let fold_layer_plan dp layer ~bottoms ~output ~node_name ~layer_index =
+  let lanes = dp.Datapath.lanes in
+  let out_n = Shape.numel output in
+  match layer with
+  | Layer.Input _ -> []
+  | Layer.Convolution { kernel_size = k; group; bias; _ } ->
+      let bottom = one_bottom layer bottoms in
+      let cin_g = Shape.channels bottom / group in
+      let cout = Shape.channels output in
+      let oh = Shape.height output and ow = Shape.width output in
+      let feature_words =
+        cin_g * Shape.height bottom * Shape.width bottom
+      in
+      let weights_u = (cin_g * k * k) + if bias then 1 else 0 in
+      spatial_folds ~lanes ~units:cout ~node_name ~layer_index
+        ~per_unit:(oh * ow * cin_g * k * k, 0, weights_u, oh * ow)
+        ~shared_feature_words:feature_words
+  | Layer.Pooling { kernel_size = k; _ } ->
+      let bottom = one_bottom layer bottoms in
+      let c = Shape.channels bottom in
+      let oh = Shape.height output and ow = Shape.width output in
+      let hw = Shape.height bottom * Shape.width bottom in
+      spatial_folds ~lanes ~units:c ~node_name ~layer_index
+        ~per_unit:(0, oh * ow * k * k, 0, oh * ow)
+        ~shared_feature_words:hw
+  | Layer.Global_pooling _ ->
+      let bottom = one_bottom layer bottoms in
+      let c = Shape.channels bottom in
+      let hw = Shape.height bottom * Shape.width bottom in
+      spatial_folds ~lanes ~units:c ~node_name ~layer_index
+        ~per_unit:(0, hw, 0, 1) ~shared_feature_words:hw
+  | Layer.Inner_product { bias; _ } ->
+      let bottom = one_bottom layer bottoms in
+      let nin = Shape.numel bottom in
+      let weights_u = nin + if bias then 1 else 0 in
+      spatial_folds ~lanes ~units:out_n ~node_name ~layer_index
+        ~per_unit:(nin, 0, weights_u, 1) ~shared_feature_words:nin
+  | Layer.Recurrent { num_output; steps; bias } ->
+      let bottom = one_bottom layer bottoms in
+      let nin = Shape.numel bottom in
+      let weights_u = nin + num_output + if bias then 1 else 0 in
+      let per_step =
+        spatial_folds ~lanes ~units:num_output ~node_name ~layer_index
+          ~per_unit:(nin + num_output, 1, weights_u, 1)
+          ~shared_feature_words:(nin + num_output)
+      in
+      let folds_per_step = List.length per_step in
+      List.concat
+        (List.init steps (fun s ->
+             List.map
+               (fun f ->
+                 let fold_index = (s * folds_per_step) + f.fold_index in
+                 {
+                   f with
+                   fold_index;
+                   total_folds = steps * folds_per_step;
+                   event = Printf.sprintf "layer%d-fold%d" layer_index fold_index;
+                 })
+               per_step))
+  | Layer.Activation _ | Layer.Dropout _ ->
+      single_fold ~node_name ~layer_index ~macs:0 ~other_ops:out_n
+        ~feature_words:out_n ~weight_words:0 ~output_words:out_n
+  | Layer.Softmax ->
+      single_fold ~node_name ~layer_index ~macs:0 ~other_ops:(3 * out_n)
+        ~feature_words:out_n ~weight_words:0 ~output_words:out_n
+  | Layer.Lrn { local_size; _ } ->
+      single_fold ~node_name ~layer_index ~macs:(out_n * local_size)
+        ~other_ops:(2 * out_n) ~feature_words:out_n ~weight_words:0
+        ~output_words:out_n
+  | Layer.Lcn { window; _ } ->
+      single_fold ~node_name ~layer_index ~macs:(2 * out_n * window * window)
+        ~other_ops:(2 * out_n) ~feature_words:out_n ~weight_words:0
+        ~output_words:out_n
+  | Layer.Associative _ ->
+      let bottom = one_bottom layer bottoms in
+      single_fold ~node_name ~layer_index ~macs:0
+        ~other_ops:(Shape.numel bottom) ~feature_words:(Shape.numel bottom)
+        ~weight_words:0 ~output_words:out_n
+  | Layer.Concat ->
+      let feature_words =
+        List.fold_left (fun acc s -> acc + Shape.numel s) 0 bottoms
+      in
+      single_fold ~node_name ~layer_index ~macs:0 ~other_ops:0 ~feature_words
+        ~weight_words:0 ~output_words:out_n
+  | Layer.Classifier { top_k } ->
+      let bottom = one_bottom layer bottoms in
+      let n = Shape.numel bottom in
+      let log_k =
+        Stdlib.max 1
+          (int_of_float (Float.ceil (log (float_of_int (top_k + 1)) /. log 2.0)))
+      in
+      single_fold ~node_name ~layer_index ~macs:0 ~other_ops:(n * log_k)
+        ~feature_words:n ~weight_words:0 ~output_words:top_k
+
+let fold_network dp net =
+  let shapes = Db_nn.Shape_infer.infer net in
+  let layer_index = ref 0 in
+  Network.fold net ~init:[] ~f:(fun acc node ->
+      match node.Network.layer with
+      | Layer.Input _ -> acc
+      | layer ->
+          let bottoms =
+            List.map (Db_nn.Shape_infer.blob_shape shapes) node.Network.bottoms
+          in
+          let output = Db_nn.Shape_infer.layer_output_shape layer bottoms in
+          let folds =
+            fold_layer_plan dp layer ~bottoms ~output
+              ~node_name:node.Network.node_name ~layer_index:!layer_index
+          in
+          incr layer_index;
+          acc @ folds)
+
+let total_macs folds = List.fold_left (fun acc f -> acc + f.macs) 0 folds
+
+let max_weight_working_set folds =
+  List.fold_left (fun acc f -> Stdlib.max acc f.weight_words) 0 folds
+
+let max_feature_working_set folds =
+  List.fold_left (fun acc f -> Stdlib.max acc f.feature_words) 0 folds

@@ -1,0 +1,103 @@
+type t = {
+  net_name : string;
+  datapath : Datapath.t;
+  folds : Folding.fold list;
+}
+
+let build dp net =
+  {
+    net_name = net.Db_nn.Network.net_name;
+    datapath = dp;
+    folds = Folding.fold_network dp net;
+  }
+
+let fold_count t = List.length t.folds
+
+let layer_folds t ~layer =
+  List.filter (fun f -> f.Folding.fold_layer = layer) t.folds
+
+let events t = List.map (fun f -> f.Folding.event) t.folds
+
+let reconfigurations t =
+  let rec boundaries prev = function
+    | [] -> 0
+    | f :: rest ->
+        let here = if f.Folding.fold_layer <> prev then 1 else 0 in
+        here + boundaries f.Folding.fold_layer rest
+  in
+  match t.folds with
+  | [] -> 0
+  | first :: rest -> boundaries first.Folding.fold_layer rest
+
+let coordinator_fsm t =
+  let fold_states = List.map (fun f -> "s_" ^ f.Folding.event) t.folds in
+  let states = "idle" :: fold_states in
+  let outputs = List.map (fun f -> "ev_" ^ f.Folding.event) t.folds in
+  let rec transitions current = function
+    | [] ->
+        [
+          {
+            Db_hdl.Fsm.from_state = current;
+            guard = Some "fold_done";
+            to_state = "idle";
+            actions = [];
+          };
+        ]
+    | f :: rest ->
+        {
+          Db_hdl.Fsm.from_state = current;
+          guard = Some "fold_done";
+          to_state = "s_" ^ f.Folding.event;
+          actions = [ "ev_" ^ f.Folding.event ];
+        }
+        :: transitions ("s_" ^ f.Folding.event) rest
+  in
+  (* The first transition fires on [start] instead of [fold_done]. *)
+  let all =
+    match t.folds with
+    | [] -> []
+    | first :: rest ->
+        {
+          Db_hdl.Fsm.from_state = "idle";
+          guard = Some "start";
+          to_state = "s_" ^ first.Folding.event;
+          actions = [ "ev_" ^ first.Folding.event ];
+        }
+        :: transitions ("s_" ^ first.Folding.event) rest
+  in
+  let fsm =
+    {
+      Db_hdl.Fsm.fsm_name = "coordinator_" ^ t.net_name;
+      states;
+      initial = "idle";
+      inputs = [ "start"; "fold_done" ];
+      outputs;
+      transitions = all;
+    }
+  in
+  Db_hdl.Fsm.validate fsm;
+  fsm
+
+let pp fmt t =
+  Format.fprintf fmt "schedule for %S (%d folds):@." t.net_name (fold_count t);
+  let by_layer = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let key = f.Folding.fold_layer in
+      let macs, ops, n =
+        Option.value ~default:(0, 0, 0) (Hashtbl.find_opt by_layer key)
+      in
+      Hashtbl.replace by_layer key
+        (macs + f.Folding.macs, ops + f.Folding.other_ops, n + 1))
+    t.folds;
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let key = f.Folding.fold_layer in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        let macs, ops, n = Hashtbl.find by_layer key in
+        Format.fprintf fmt "  %-16s folds=%-6d macs=%-12d ops=%d@." key n macs
+          ops
+      end)
+    t.folds

@@ -1,0 +1,1 @@
+lib/sim/control_playback.ml: Db_core Db_hdl Db_mem Db_nn Db_sched Db_util List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/sim/control_playback.mli: Db_core

@@ -1,0 +1,1 @@
+lib/sim/datapath_sim.ml: Array Db_fixed Db_util Queue Stdlib

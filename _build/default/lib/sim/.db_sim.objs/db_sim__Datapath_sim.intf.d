@@ -1,0 +1,1 @@
+lib/sim/datapath_sim.mli: Db_fixed

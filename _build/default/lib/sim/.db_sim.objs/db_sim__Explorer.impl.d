@@ -1,0 +1,1 @@
+lib/sim/explorer.ml: Db_core Db_fpga List Simulator

@@ -1,0 +1,1 @@
+lib/sim/explorer.mli: Db_core Db_fpga Db_nn

@@ -1,0 +1,1 @@
+lib/sim/lut_eval.ml: Db_blocks Db_nn Float List

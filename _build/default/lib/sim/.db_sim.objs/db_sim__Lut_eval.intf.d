@@ -1,0 +1,1 @@
+lib/sim/lut_eval.mli: Db_blocks Db_nn

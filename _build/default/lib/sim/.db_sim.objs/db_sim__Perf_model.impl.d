@@ -1,0 +1,1 @@
+lib/sim/perf_model.ml: Db_core Db_mem Db_sched Float List Stdlib

@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Db_core Db_fixed Db_fpga Db_hdl Db_mem Db_nn Db_sched Format Hashtbl List Lut_eval Option Perf_model Stdlib

@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Db_core Db_fpga Db_mem Db_nn Db_tensor Format

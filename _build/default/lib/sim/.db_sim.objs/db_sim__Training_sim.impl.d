@@ -1,0 +1,1 @@
+lib/sim/training_sim.ml: Db_core Db_fixed Db_fpga Db_mem Db_nn Db_sched List Simulator

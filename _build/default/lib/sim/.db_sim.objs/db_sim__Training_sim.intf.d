@@ -1,0 +1,1 @@
+lib/sim/training_sim.mli: Db_core Db_mem

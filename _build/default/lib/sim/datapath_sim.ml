@@ -1,0 +1,105 @@
+module Fixed = Db_fixed.Fixed
+
+type config = {
+  lanes : int;
+  simd : int;
+  port_words : int;
+  fmt : Fixed.format;
+}
+
+type result = { outputs : int array; cycles : int }
+
+let fail fmt = Db_util.Error.failf_at ~component:"datapath-sim" fmt
+
+let div_ceil a b = (a + b - 1) / b
+
+let log2_ceil n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  go 0 1
+
+let pipeline_depth cfg = 1 + log2_ceil cfg.simd + 1
+
+let issue_cycles cfg ~nin =
+  div_ceil nin cfg.simd * Stdlib.max 1 (div_ceil cfg.simd cfg.port_words)
+
+(* One lane's pipeline: products enter the tree, each tree level is a
+   register stage, the accumulator adds the tree's output one cycle later.
+   Represented as a shift queue of pending partial sums. *)
+type lane = {
+  weights : int array;
+  mutable acc : int;  (** wide accumulator, 2*frac fractional bits *)
+  pipe : int Queue.t;  (** sums in flight through the tree stages *)
+}
+
+let fc_fold cfg ~features ~weights ~bias =
+  if Array.length weights = 0 || Array.length weights > cfg.lanes then
+    fail "fc_fold: %d weight rows for %d lanes" (Array.length weights) cfg.lanes;
+  let nin = Array.length features in
+  Array.iter
+    (fun row ->
+      if Array.length row <> nin then
+        fail "fc_fold: weight row length %d, expected %d" (Array.length row) nin)
+    weights;
+  (match bias with
+  | Some b when Array.length b <> Array.length weights ->
+      fail "fc_fold: bias length mismatch"
+  | Some _ | None -> ());
+  let frac = cfg.fmt.Fixed.frac_bits in
+  let lanes =
+    Array.mapi
+      (fun l row ->
+        {
+          weights = row;
+          acc = (match bias with Some b -> b.(l) lsl frac | None -> 0);
+          pipe = Queue.create ();
+        })
+      weights
+  in
+  let depth = pipeline_depth cfg in
+  let stall = Stdlib.max 1 (div_ceil cfg.simd cfg.port_words) in
+  let cycles = ref 0 in
+  let issued = ref 0 in
+  (* Issue phase: every [stall] cycles, each lane multiplies the next
+     [simd] feature/weight pairs and pushes the tree sum into its pipe. *)
+  while !issued < nin do
+    let batch = Stdlib.min cfg.simd (nin - !issued) in
+    Array.iter
+      (fun lane ->
+        let sum = ref 0 in
+        for i = !issued to !issued + batch - 1 do
+          sum := !sum + (features.(i) * lane.weights.(i))
+        done;
+        Queue.push !sum lane.pipe;
+        (* Tree sums older than the pipeline depth land in the
+           accumulator. *)
+        if Queue.length lane.pipe > depth - 1 then
+          lane.acc <- lane.acc + Queue.pop lane.pipe)
+      lanes;
+    issued := !issued + batch;
+    cycles := !cycles + stall
+  done;
+  (* Drain phase: flush the remaining in-flight sums. *)
+  let max_inflight =
+    Array.fold_left (fun m lane -> Stdlib.max m (Queue.length lane.pipe)) 0 lanes
+  in
+  Array.iter
+    (fun lane ->
+      while not (Queue.is_empty lane.pipe) do
+        lane.acc <- lane.acc + Queue.pop lane.pipe
+      done)
+    lanes;
+  cycles := !cycles + max_inflight + 1 (* +1: rescale/writeback beat *);
+  let half = if frac = 0 then 0 else 1 lsl (frac - 1) in
+  let outputs =
+    Array.map
+      (fun lane ->
+        let acc = lane.acc in
+        let rounded =
+          if frac = 0 then acc
+          else if acc >= 0 then (acc + half) asr frac
+          else -((-acc + half) asr frac)
+        in
+        Fixed.saturate cfg.fmt rounded)
+      lanes
+  in
+  { outputs; cycles = !cycles }

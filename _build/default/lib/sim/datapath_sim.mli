@@ -1,0 +1,44 @@
+(** Bit-accurate, cycle-accurate microsimulation of the MAC datapath.
+
+    Executes one full-connection-style fold exactly as the lowered RTL
+    would: the feature buffer broadcasts up to [port_words] words per cycle
+    to all lanes, each lane's [simd] multipliers produce full-width
+    products, an adder tree (one register stage per level) feeds a wide
+    accumulator, and the result is rescaled and saturated once at the end
+    — the same arithmetic as {!Db_nn.Quantized}, now with cycle timing.
+
+    This is the link between the analytic performance model and the
+    emitted Verilog: tests check the outputs equal the quantized
+    interpreter's bit-for-bit and the cycle counts match the closed
+    form. *)
+
+type config = {
+  lanes : int;
+  simd : int;
+  port_words : int;  (** feature-broadcast words per cycle *)
+  fmt : Db_fixed.Fixed.format;
+}
+
+type result = {
+  outputs : int array;  (** one Q-format word per lane *)
+  cycles : int;  (** issue + pipeline-drain cycles for the fold *)
+}
+
+val fc_fold :
+  config ->
+  features:int array ->
+  weights:int array array ->
+  bias:int array option ->
+  result
+(** [fc_fold cfg ~features ~weights ~bias] computes, for each lane [l],
+    [rescale (bias.(l) << frac + sum_i features.(i) * weights.(l).(i))].
+    [weights] has one row per active lane (at most [cfg.lanes]); every row
+    must have [Array.length features] columns.  Raises
+    {!Db_util.Error.Deepburning_error} on shape errors. *)
+
+val issue_cycles : config -> nin:int -> int
+(** Closed-form issue cycles: ceil(nin / simd) beats, each stretched by
+    the feature-port bottleneck ceil(simd / port_words). *)
+
+val pipeline_depth : config -> int
+(** Multiplier stage + adder-tree stages + accumulator stage. *)

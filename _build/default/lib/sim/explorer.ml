@@ -1,0 +1,49 @@
+module Resource = Db_fpga.Resource
+
+type point = {
+  pt_lanes : int;
+  pt_seconds : float;
+  pt_energy_j : float;
+  pt_resources : Resource.t;
+  pt_fits_budget : bool;
+}
+
+let sweep_lanes cons net ~lanes =
+  List.map
+    (fun n ->
+      let design = Db_core.Generator.generate_with_lanes cons net ~lanes:n in
+      let report = Simulator.timing design in
+      let used = Db_core.Design.resource_usage design in
+      {
+        pt_lanes = n;
+        pt_seconds = report.Simulator.seconds;
+        pt_energy_j = report.Simulator.energy_j;
+        pt_resources = used;
+        pt_fits_budget =
+          Resource.fits used ~within:cons.Db_core.Constraints.budget;
+      })
+    lanes
+
+let dominates a b =
+  a.pt_seconds <= b.pt_seconds
+  && a.pt_resources.Resource.luts <= b.pt_resources.Resource.luts
+  && (a.pt_seconds < b.pt_seconds
+     || a.pt_resources.Resource.luts < b.pt_resources.Resource.luts)
+
+let pareto points =
+  let non_dominated =
+    List.filter
+      (fun p -> not (List.exists (fun q -> dominates q p) points))
+      points
+  in
+  List.sort (fun a b -> compare a.pt_seconds b.pt_seconds) non_dominated
+
+let best_under_budget points =
+  List.fold_left
+    (fun best p ->
+      if not p.pt_fits_budget then best
+      else
+        match best with
+        | None -> Some p
+        | Some b -> if p.pt_seconds < b.pt_seconds then Some p else best)
+    None points

@@ -1,0 +1,27 @@
+(** Design-space exploration over the generator.
+
+    The paper's case for FPGAs is fast iteration over candidate designs;
+    this module automates the sweep NN-Gen's configuration search walks
+    implicitly: evaluate a model at many lane counts (and optionally many
+    budgets), collect latency/resource/energy points and extract the
+    Pareto frontier a designer would choose from. *)
+
+type point = {
+  pt_lanes : int;
+  pt_seconds : float;
+  pt_energy_j : float;
+  pt_resources : Db_fpga.Resource.t;
+  pt_fits_budget : bool;
+}
+
+val sweep_lanes :
+  Db_core.Constraints.t -> Db_nn.Network.t -> lanes:int list -> point list
+(** Generate and simulate the model at each lane count (budget *not*
+    enforced — points that overflow are flagged via [pt_fits_budget]). *)
+
+val pareto : point list -> point list
+(** The latency/LUT non-dominated subset, sorted by latency.  A point is
+    dominated when another is at least as fast *and* at least as small. *)
+
+val best_under_budget : point list -> point option
+(** Fastest point that fits its budget. *)

@@ -1,0 +1,48 @@
+module Approx_lut = Db_blocks.Approx_lut
+module Quantized = Db_nn.Quantized
+
+let find luts name =
+  List.find_opt (fun l -> l.Approx_lut.lut_name = name) luts
+
+let of_luts luts =
+  let exact = Quantized.exact_eval in
+  let via name fallback x =
+    match find luts name with
+    | Some lut -> Approx_lut.eval lut x
+    | None -> fallback x
+  in
+  {
+    Quantized.eval_activation =
+      (fun act x ->
+        match act with
+        | Db_nn.Layer.Relu | Db_nn.Layer.Sign ->
+            exact.Quantized.eval_activation act x
+        | Db_nn.Layer.Sigmoid ->
+            via "sigmoid" (exact.Quantized.eval_activation Db_nn.Layer.Sigmoid) x
+        | Db_nn.Layer.Tanh ->
+            via "tanh" (exact.Quantized.eval_activation Db_nn.Layer.Tanh) x);
+    eval_reciprocal =
+      (fun x ->
+        match find luts "reciprocal" with
+        | None -> 1.0 /. x
+        | Some lut ->
+            (* Range reduction: write |x| = m * 2^k with m in [1, 2), read
+               1/m from the table, then shift back — exactly what the RTL
+               does with a leading-zero count and a barrel shifter. *)
+            if x = 0.0 then Float.max_float
+            else begin
+              let sign = if x < 0.0 then -1.0 else 1.0 in
+              let m, k = Float.frexp (Float.abs x) in
+              (* frexp yields m in [0.5, 1); fold into [1, 2). *)
+              let m = 2.0 *. m and k = k - 1 in
+              sign *. Float.ldexp (Approx_lut.eval lut m) (-k)
+            end);
+    eval_power =
+      (fun x p ->
+        (* The only power the layer vocabulary needs is LRN's scale^-beta,
+           tabulated as (1 + u)^-0.75 over u = scale - 1. *)
+        match find luts "lrn_power" with
+        | Some lut when p < 0.0 -> Approx_lut.eval lut (x -. 1.0)
+        | Some _ | None -> x ** p);
+    eval_exp = (fun x -> via "exp" exp x);
+  }

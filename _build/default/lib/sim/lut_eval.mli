@@ -1,0 +1,10 @@
+(** Bridges the compiler's Approx LUT contents into the quantized
+    interpreter's function evaluator: what the generated hardware actually
+    computes for non-linear functions. *)
+
+val of_luts : Db_blocks.Approx_lut.t list -> Db_nn.Quantized.function_eval
+(** Sigmoid/tanh/exp/reciprocal/LRN-power go through their LUT when one is
+    present (interpolated), and fall back to exact math otherwise.  ReLU
+    and Sign stay exact — they are comparators in hardware, not tables.
+    The reciprocal is range-reduced by a power of two into the table's
+    [1, 2) binade (a leading-zero count plus a shift in the RTL). *)

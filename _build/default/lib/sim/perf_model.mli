@@ -1,0 +1,28 @@
+(** Per-fold cycle accounting.
+
+    The data-driven architecture overlaps the main AGU's DRAM traffic with
+    the datapath's compute (double buffering), so a fold costs
+    [max(compute, memory) + reconfiguration overhead].  Compute is bounded
+    by three rates: the MAC lanes, the feature-buffer port and the
+    weight-buffer port. *)
+
+type fold_cycles = {
+  fc_event : string;
+  compute_cycles : int;
+  memory_cycles : int;
+  fold_cycles : int;  (** max of the two plus overhead *)
+  dram_bytes : int;
+}
+
+val reconfiguration_overhead_cycles : int
+(** Coordinator beats to rewire producers/consumers between folds. *)
+
+val fold_cost :
+  Db_sched.Datapath.t ->
+  dram:Db_mem.Dram.t ->
+  bytes_per_word:int ->
+  Db_core.Compiler.fold_program ->
+  fold_cycles
+
+val pipeline_fill_cycles : Db_sched.Datapath.t -> int
+(** Lane pipeline depth paid once per fold. *)

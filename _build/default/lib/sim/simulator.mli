@@ -1,0 +1,81 @@
+(** Cycle-level simulation of a generated accelerator.
+
+    Timing follows the compiled fold programs against the DRAM and buffer
+    models; function follows the fixed-point interpreter with the design's
+    Approx LUTs substituted for the exact non-linear functions — the same
+    arithmetic the datapath performs, so the output is what the board
+    would produce. *)
+
+type layer_report = {
+  lr_layer : string;
+  lr_cycles : int;
+  lr_compute_cycles : int;
+  lr_memory_cycles : int;
+  lr_macs : int;
+  lr_dram_bytes : int;
+  lr_folds : int;
+  lr_energy_j : float;
+      (** board energy attributed to this layer (its share of the run time
+          at the design's power) *)
+}
+
+type report = {
+  design_name : string;
+  total_cycles : int;
+  seconds : float;
+  per_layer : layer_report list;
+  dram_bytes : int;
+  power : Db_fpga.Power.t;
+  energy_j : float;
+  macs : int;
+  effective_gmacs : float;  (** achieved GMAC/s *)
+}
+
+val timing : ?dram:Db_mem.Dram.t -> Db_core.Design.t -> report
+(** One forward propagation's latency and energy. *)
+
+type batch_report = {
+  batch : int;
+  batch_cycles : int;
+  batch_seconds : float;
+  images_per_second : float;
+  speedup_over_serial : float;
+      (** pipelined batch vs [batch] independent single-image passes *)
+}
+
+val batch_timing : ?dram:Db_mem.Dram.t -> batch:int -> Db_core.Design.t -> batch_report
+(** Back-to-back processing of [batch] inputs with double-buffered DRAM
+    traffic: after the first image fills the pipeline, the steady-state
+    per-image cost is bounded by whichever aggregate dominates — total
+    compute beats or total memory beats — instead of their per-fold max.
+    This is the training/inference *throughput* mode the paper's intro
+    motivates (repeated forward passes over an input set). *)
+
+val functional_output :
+  Db_core.Design.t ->
+  Db_nn.Params.t ->
+  inputs:(string * Db_tensor.Tensor.t) list ->
+  Db_tensor.Tensor.t
+(** The accelerator's output tensor (fixed point + Approx LUTs,
+    dequantised). *)
+
+val run :
+  ?dram:Db_mem.Dram.t ->
+  Db_core.Design.t ->
+  Db_nn.Params.t ->
+  inputs:(string * Db_tensor.Tensor.t) list ->
+  Db_tensor.Tensor.t * report
+
+val pp_report : Format.formatter -> report -> unit
+
+val testbench :
+  Db_core.Design.t ->
+  Db_nn.Params.t ->
+  inputs:(string * Db_tensor.Tensor.t) list ->
+  string
+(** A self-checking Verilog testbench for the design's top module
+    ({!Db_hdl.Testbench}): stimulus is the quantised input and weight
+    words in DRAM-layout order, expectations are the accelerator's output
+    words from this simulator's functional run, and the watchdog is set
+    from the timing model.  A user with a real RTL simulator can replay
+    our verification, as the paper does with Vivado. *)

@@ -1,0 +1,211 @@
+type padding = { top : int; left : int; bottom : int; right : int }
+
+let no_padding = { top = 0; left = 0; bottom = 0; right = 0 }
+
+let symmetric_padding p =
+  if p < 0 then invalid_arg "Ops.symmetric_padding: negative";
+  { top = p; left = p; bottom = p; right = p }
+
+let conv_output_dim ~input ~kernel ~stride ~pad_lo ~pad_hi =
+  if stride <= 0 then invalid_arg "Ops.conv_output_dim: stride must be positive";
+  let span = input + pad_lo + pad_hi - kernel in
+  if span < 0 then invalid_arg "Ops.conv_output_dim: kernel larger than padded input";
+  (span / stride) + 1
+
+let conv2d ~input ~weights ~bias ~stride ~padding ~group =
+  let ishape = Tensor.shape input and wshape = Tensor.shape weights in
+  if Shape.rank ishape <> 3 then invalid_arg "Ops.conv2d: input must be CHW";
+  if Shape.rank wshape <> 4 then invalid_arg "Ops.conv2d: weights must be OIKK";
+  let cin = Shape.dim ishape 0
+  and h = Shape.dim ishape 1
+  and w = Shape.dim ishape 2 in
+  let cout = Shape.dim wshape 0
+  and cin_g = Shape.dim wshape 1
+  and kh = Shape.dim wshape 2
+  and kw = Shape.dim wshape 3 in
+  if kh <> kw then invalid_arg "Ops.conv2d: only square kernels supported";
+  if group <= 0 || cin mod group <> 0 || cout mod group <> 0 then
+    invalid_arg "Ops.conv2d: bad group";
+  if cin_g <> cin / group then invalid_arg "Ops.conv2d: weight channel mismatch";
+  (match bias with
+  | None -> ()
+  | Some b ->
+      if Tensor.numel b <> cout then invalid_arg "Ops.conv2d: bias length mismatch");
+  let oh = conv_output_dim ~input:h ~kernel:kh ~stride ~pad_lo:padding.top ~pad_hi:padding.bottom in
+  let ow = conv_output_dim ~input:w ~kernel:kw ~stride ~pad_lo:padding.left ~pad_hi:padding.right in
+  let out = Tensor.create (Shape.chw ~channels:cout ~height:oh ~width:ow) in
+  let idata = Tensor.data input and wdata = Tensor.data weights in
+  let odata = Tensor.data out in
+  let cout_g = cout / group in
+  for oc = 0 to cout - 1 do
+    let g = oc / cout_g in
+    let base_ic = g * cin_g in
+    let b = match bias with None -> 0.0 | Some bt -> Tensor.get bt oc in
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let acc = ref b in
+        for ic = 0 to cin_g - 1 do
+          for ky = 0 to kh - 1 do
+            let iy = (oy * stride) + ky - padding.top in
+            if iy >= 0 && iy < h then
+              for kx = 0 to kw - 1 do
+                let ix = (ox * stride) + kx - padding.left in
+                if ix >= 0 && ix < w then begin
+                  let iv = idata.(((base_ic + ic) * h * w) + (iy * w) + ix) in
+                  let wv = wdata.((((oc * cin_g) + ic) * kh * kw) + (ky * kw) + kx) in
+                  acc := !acc +. (iv *. wv)
+                end
+              done
+          done
+        done;
+        odata.((oc * oh * ow) + (oy * ow) + ox) <- !acc
+      done
+    done
+  done;
+  out
+
+let pool_generic ~combine ~finish ~init_value ~input ~kernel ~stride =
+  let ishape = Tensor.shape input in
+  if Shape.rank ishape <> 3 then invalid_arg "Ops.pool: input must be CHW";
+  let c = Shape.dim ishape 0
+  and h = Shape.dim ishape 1
+  and w = Shape.dim ishape 2 in
+  let oh = conv_output_dim ~input:h ~kernel ~stride ~pad_lo:0 ~pad_hi:0 in
+  let ow = conv_output_dim ~input:w ~kernel ~stride ~pad_lo:0 ~pad_hi:0 in
+  let out = Tensor.create (Shape.chw ~channels:c ~height:oh ~width:ow) in
+  let idata = Tensor.data input and odata = Tensor.data out in
+  for ch = 0 to c - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let acc = ref init_value in
+        for ky = 0 to kernel - 1 do
+          for kx = 0 to kernel - 1 do
+            let iy = (oy * stride) + ky and ix = (ox * stride) + kx in
+            acc := combine !acc idata.((ch * h * w) + (iy * w) + ix)
+          done
+        done;
+        odata.((ch * oh * ow) + (oy * ow) + ox) <- finish !acc
+      done
+    done
+  done;
+  out
+
+let max_pool ~input ~kernel ~stride =
+  pool_generic ~combine:Float.max ~finish:(fun x -> x) ~init_value:neg_infinity
+    ~input ~kernel ~stride
+
+let avg_pool ~input ~kernel ~stride =
+  let area = float_of_int (kernel * kernel) in
+  pool_generic ~combine:( +. ) ~finish:(fun x -> x /. area) ~init_value:0.0
+    ~input ~kernel ~stride
+
+let global_avg_pool ~input =
+  let ishape = Tensor.shape input in
+  if Shape.rank ishape <> 3 then invalid_arg "Ops.global_avg_pool: input must be CHW";
+  let c = Shape.dim ishape 0
+  and h = Shape.dim ishape 1
+  and w = Shape.dim ishape 2 in
+  let out = Tensor.create (Shape.vector c) in
+  let idata = Tensor.data input in
+  for ch = 0 to c - 1 do
+    let acc = ref 0.0 in
+    for i = 0 to (h * w) - 1 do
+      acc := !acc +. idata.((ch * h * w) + i)
+    done;
+    Tensor.set out ch (!acc /. float_of_int (h * w))
+  done;
+  out
+
+let fully_connected ~input ~weights ~bias =
+  let wshape = Tensor.shape weights in
+  if Shape.rank wshape <> 2 then invalid_arg "Ops.fully_connected: weights must be rank 2";
+  let nout = Shape.dim wshape 0 and nin = Shape.dim wshape 1 in
+  if Tensor.numel input <> nin then
+    invalid_arg "Ops.fully_connected: input size mismatch";
+  (match bias with
+  | None -> ()
+  | Some b ->
+      if Tensor.numel b <> nout then
+        invalid_arg "Ops.fully_connected: bias length mismatch");
+  let out = Tensor.create (Shape.vector nout) in
+  let idata = Tensor.data input
+  and wdata = Tensor.data weights
+  and odata = Tensor.data out in
+  for o = 0 to nout - 1 do
+    let acc = ref (match bias with None -> 0.0 | Some b -> Tensor.get b o) in
+    for i = 0 to nin - 1 do
+      acc := !acc +. (wdata.((o * nin) + i) *. idata.(i))
+    done;
+    odata.(o) <- !acc
+  done;
+  out
+
+let relu t = Tensor.map (fun x -> Float.max 0.0 x) t
+
+let sigmoid t = Tensor.map (fun x -> 1.0 /. (1.0 +. exp (-.x))) t
+
+let tanh_act t = Tensor.map Float.tanh t
+
+let softmax t =
+  let m = Tensor.fold Float.max neg_infinity t in
+  let exps = Tensor.map (fun x -> exp (x -. m)) t in
+  let total = Tensor.fold ( +. ) 0.0 exps in
+  Tensor.map (fun x -> x /. total) exps
+
+let lrn ~input ~local_size ~alpha ~beta ~k =
+  let ishape = Tensor.shape input in
+  if Shape.rank ishape <> 3 then invalid_arg "Ops.lrn: input must be CHW";
+  if local_size <= 0 || local_size mod 2 = 0 then
+    invalid_arg "Ops.lrn: local_size must be odd and positive";
+  let c = Shape.dim ishape 0
+  and h = Shape.dim ishape 1
+  and w = Shape.dim ishape 2 in
+  let half = local_size / 2 in
+  let out = Tensor.create ishape in
+  let idata = Tensor.data input and odata = Tensor.data out in
+  for ch = 0 to c - 1 do
+    let lo = Stdlib.max 0 (ch - half) and hi = Stdlib.min (c - 1) (ch + half) in
+    for y = 0 to h - 1 do
+      for x = 0 to w - 1 do
+        let sq = ref 0.0 in
+        for j = lo to hi do
+          let v = idata.((j * h * w) + (y * w) + x) in
+          sq := !sq +. (v *. v)
+        done;
+        let scale = k +. (alpha /. float_of_int local_size *. !sq) in
+        let v = idata.((ch * h * w) + (y * w) + x) in
+        odata.((ch * h * w) + (y * w) + x) <- v /. (scale ** beta)
+      done
+    done
+  done;
+  out
+
+let dropout_inference ~ratio t =
+  if ratio < 0.0 || ratio >= 1.0 then invalid_arg "Ops.dropout_inference: bad ratio";
+  Tensor.copy t
+
+let concat_channels tensors =
+  match tensors with
+  | [] -> invalid_arg "Ops.concat_channels: empty list"
+  | first :: _ ->
+      let h = Shape.height (Tensor.shape first)
+      and w = Shape.width (Tensor.shape first) in
+      List.iter
+        (fun t ->
+          let s = Tensor.shape t in
+          if Shape.rank s <> 3 || Shape.height s <> h || Shape.width s <> w then
+            invalid_arg "Ops.concat_channels: spatial mismatch")
+        tensors;
+      let total_c = List.fold_left (fun acc t -> acc + Shape.channels (Tensor.shape t)) 0 tensors in
+      let out = Tensor.create (Shape.chw ~channels:total_c ~height:h ~width:w) in
+      let odata = Tensor.data out in
+      let offset = ref 0 in
+      List.iter
+        (fun t ->
+          let n = Tensor.numel t in
+          Array.blit (Tensor.data t) 0 odata !offset n;
+          offset := !offset + n)
+        tensors;
+      out
+
+let flatten t = Tensor.reshape t (Shape.vector (Tensor.numel t))

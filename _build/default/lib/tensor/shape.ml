@@ -1,0 +1,36 @@
+type t = int array
+
+let of_list dims =
+  List.iter
+    (fun d ->
+      if d <= 0 then invalid_arg "Shape.of_list: non-positive dimension")
+    dims;
+  Array.of_list dims
+
+let to_list t = Array.to_list t
+
+let scalar = [||]
+
+let vector n = of_list [ n ]
+
+let chw ~channels ~height ~width = of_list [ channels; height; width ]
+
+let rank t = Array.length t
+
+let dim t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Shape.dim: out of range";
+  t.(i)
+
+let numel t = Array.fold_left ( * ) 1 t
+
+let equal a b = a = b
+
+let to_string t =
+  if Array.length t = 0 then "scalar"
+  else String.concat "x" (Array.to_list (Array.map string_of_int t))
+
+let channels t = if rank t >= 3 then t.(rank t - 3) else 1
+
+let height t = if rank t >= 2 then t.(rank t - 2) else 1
+
+let width t = if rank t >= 1 then t.(rank t - 1) else 1

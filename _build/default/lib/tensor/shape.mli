@@ -1,0 +1,46 @@
+(** Tensor shapes.
+
+    A shape is a list of strictly positive dimensions in row-major order.
+    Feature maps follow the Caffe convention [channels; height; width]
+    (the batch dimension is handled one sample at a time throughout the
+    repository, matching the paper's single-image forward propagation). *)
+
+type t
+(** Immutable shape. *)
+
+val of_list : int list -> t
+(** Raises [Invalid_argument] if any dimension is not positive. *)
+
+val to_list : t -> int list
+
+val scalar : t
+(** The zero-dimensional shape with one element. *)
+
+val vector : int -> t
+(** [vector n] is the shape [\[n\]]. *)
+
+val chw : channels:int -> height:int -> width:int -> t
+(** Feature-map shape [\[channels; height; width\]]. *)
+
+val rank : t -> int
+
+val dim : t -> int -> int
+(** [dim t i] is the [i]-th dimension.  Raises [Invalid_argument] if out of
+    range. *)
+
+val numel : t -> int
+(** Product of all dimensions (1 for {!scalar}). *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** e.g. ["3x224x224"]. *)
+
+val channels : t -> int
+(** First dimension of a rank-3 shape; 1 for rank 1 and 2. *)
+
+val height : t -> int
+(** Second-to-last dimension; 1 for rank 1. *)
+
+val width : t -> int
+(** Last dimension. *)

@@ -1,0 +1,117 @@
+type t = { shape : Shape.t; data : float array }
+
+let create shape = { shape; data = Array.make (Shape.numel shape) 0.0 }
+
+let of_array shape data =
+  if Array.length data <> Shape.numel shape then
+    invalid_arg "Tensor.of_array: length mismatch";
+  { shape; data }
+
+let init shape f = { shape; data = Array.init (Shape.numel shape) f }
+
+let full shape v = { shape; data = Array.make (Shape.numel shape) v }
+
+let shape t = t.shape
+
+let numel t = Array.length t.data
+
+let data t = t.data
+
+let copy t = { shape = t.shape; data = Array.copy t.data }
+
+let get t i =
+  if i < 0 || i >= Array.length t.data then invalid_arg "Tensor.get: out of range";
+  t.data.(i)
+
+let set t i v =
+  if i < 0 || i >= Array.length t.data then invalid_arg "Tensor.set: out of range";
+  t.data.(i) <- v
+
+let index3 t ~c ~y ~x =
+  let h = Shape.height t.shape and w = Shape.width t.shape in
+  assert (c >= 0 && c < Shape.channels t.shape);
+  assert (y >= 0 && y < h);
+  assert (x >= 0 && x < w);
+  (c * h * w) + (y * w) + x
+
+let get3 t ~c ~y ~x = t.data.(index3 t ~c ~y ~x)
+
+let set3 t ~c ~y ~x v = t.data.(index3 t ~c ~y ~x) <- v
+
+let reshape t shape =
+  if Shape.numel shape <> Array.length t.data then
+    invalid_arg "Tensor.reshape: numel mismatch";
+  { shape; data = t.data }
+
+let map f t = { shape = t.shape; data = Array.map f t.data }
+
+let map2 f a b =
+  if not (Shape.equal a.shape b.shape) then invalid_arg "Tensor.map2: shape mismatch";
+  { shape = a.shape; data = Array.init (numel a) (fun i -> f a.data.(i) b.data.(i)) }
+
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+
+let blit ~src ~dst =
+  if numel src <> numel dst then invalid_arg "Tensor.blit: size mismatch";
+  Array.blit src.data 0 dst.data 0 (numel src)
+
+let add = map2 ( +. )
+
+let sub = map2 ( -. )
+
+let mul = map2 ( *. )
+
+let scale k t = map (fun x -> k *. x) t
+
+let dot a b =
+  if numel a <> numel b then invalid_arg "Tensor.dot: numel mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to numel a - 1 do
+    acc := !acc +. (a.data.(i) *. b.data.(i))
+  done;
+  !acc
+
+let max_index t =
+  if numel t = 0 then invalid_arg "Tensor.max_index: empty tensor";
+  let best = ref 0 in
+  for i = 1 to numel t - 1 do
+    if t.data.(i) > t.data.(!best) then best := i
+  done;
+  !best
+
+let fold f init t = Array.fold_left f init t.data
+
+let iteri f t = Array.iteri f t.data
+
+let equal_approx ?(tol = 1e-9) a b =
+  Shape.equal a.shape b.shape
+  && (let ok = ref true in
+      for i = 0 to numel a - 1 do
+        if Float.abs (a.data.(i) -. b.data.(i)) > tol then ok := false
+      done;
+      !ok)
+
+let l2_distance a b =
+  if numel a <> numel b then invalid_arg "Tensor.l2_distance: numel mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to numel a - 1 do
+    let d = a.data.(i) -. b.data.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let random_uniform rng shape ~min ~max =
+  init shape (fun _ -> Db_util.Rng.uniform rng ~min ~max)
+
+let random_gaussian rng shape ~mean ~stddev =
+  init shape (fun _ -> Db_util.Rng.gaussian rng ~mean ~stddev)
+
+let pp fmt t =
+  let n = Stdlib.min 8 (numel t) in
+  Format.fprintf fmt "tensor<%s>[" (Shape.to_string t.shape);
+  for i = 0 to n - 1 do
+    if i > 0 then Format.fprintf fmt "; ";
+    Format.fprintf fmt "%g" t.data.(i)
+  done;
+  if numel t > n then Format.fprintf fmt "; ...";
+  Format.fprintf fmt "]"

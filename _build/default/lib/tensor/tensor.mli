@@ -1,0 +1,84 @@
+(** Dense row-major float tensors and element-wise algebra.
+
+    This is the numeric substrate for the golden (floating-point) reference
+    interpreter, the trainer, and the workload generators.  Neural-network
+    kernels (convolution, pooling, ...) live in {!Ops}. *)
+
+type t
+(** A tensor owns its shape and a flat [float array] buffer. *)
+
+val create : Shape.t -> t
+(** Zero-filled tensor. *)
+
+val of_array : Shape.t -> float array -> t
+(** Wraps (does not copy) the array.  Raises [Invalid_argument] if the array
+    length does not match [Shape.numel]. *)
+
+val init : Shape.t -> (int -> float) -> t
+(** [init shape f] fills position [i] (flat index) with [f i]. *)
+
+val full : Shape.t -> float -> t
+
+val shape : t -> Shape.t
+
+val numel : t -> int
+
+val data : t -> float array
+(** The underlying buffer (shared, mutable). *)
+
+val copy : t -> t
+
+val get : t -> int -> float
+(** Flat-index read with bounds check. *)
+
+val set : t -> int -> float -> unit
+(** Flat-index write with bounds check. *)
+
+val get3 : t -> c:int -> y:int -> x:int -> float
+(** CHW read of a rank-3 tensor. *)
+
+val set3 : t -> c:int -> y:int -> x:int -> float -> unit
+
+val reshape : t -> Shape.t -> t
+(** Same buffer under a new shape of identical [numel]. *)
+
+val map : (float -> float) -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+(** Raises [Invalid_argument] on shape mismatch. *)
+
+val fill : t -> float -> unit
+
+val blit : src:t -> dst:t -> unit
+(** Raises [Invalid_argument] on size mismatch. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+(** Element-wise (Hadamard) product. *)
+
+val scale : float -> t -> t
+
+val dot : t -> t -> float
+(** Flat inner product; shapes must have equal [numel]. *)
+
+val max_index : t -> int
+(** Flat index of the maximum element (first on ties). *)
+
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+
+val iteri : (int -> float -> unit) -> t -> unit
+
+val equal_approx : ?tol:float -> t -> t -> bool
+(** Element-wise comparison within absolute tolerance (default 1e-9). *)
+
+val l2_distance : t -> t -> float
+
+val random_uniform : Db_util.Rng.t -> Shape.t -> min:float -> max:float -> t
+
+val random_gaussian : Db_util.Rng.t -> Shape.t -> mean:float -> stddev:float -> t
+
+val pp : Format.formatter -> t -> unit
+(** Shape plus the first few elements, for debugging. *)

@@ -1,0 +1,1 @@
+lib/train/backprop.ml: Array Db_nn Db_tensor Db_util Stdlib

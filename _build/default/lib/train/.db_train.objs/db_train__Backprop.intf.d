@@ -1,0 +1,1 @@
+lib/train/backprop.mli: Db_nn Db_tensor

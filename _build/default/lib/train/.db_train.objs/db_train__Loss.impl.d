@@ -1,0 +1,1 @@
+lib/train/loss.ml: Db_tensor Float

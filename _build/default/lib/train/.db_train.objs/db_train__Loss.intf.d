@@ -1,0 +1,1 @@
+lib/train/loss.mli: Db_tensor

@@ -1,0 +1,1 @@
+lib/train/trainer.ml: Array Backprop Db_nn Db_tensor Db_util Hashtbl List Loss Stdlib

@@ -1,0 +1,1 @@
+lib/train/trainer.mli: Db_nn Db_tensor Db_util Loss

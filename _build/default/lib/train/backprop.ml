@@ -1,0 +1,242 @@
+module Tensor = Db_tensor.Tensor
+module Shape = Db_tensor.Shape
+module Ops = Db_tensor.Ops
+module Layer = Db_nn.Layer
+
+let fail fmt = Db_util.Error.failf_at ~component:"backprop" fmt
+
+type cache = {
+  c_layer : Layer.t;
+  c_params : Tensor.t list;
+  c_input : Tensor.t;
+  c_output : Tensor.t;
+}
+
+let supported = function
+  | Layer.Convolution _ | Layer.Pooling _ | Layer.Global_pooling _
+  | Layer.Inner_product _ | Layer.Activation _ | Layer.Dropout _
+  | Layer.Softmax | Layer.Associative _ | Layer.Lrn _ ->
+      true
+  | Layer.Input _ | Layer.Lcn _ | Layer.Recurrent _ | Layer.Concat
+  | Layer.Classifier _ ->
+      false
+
+let forward_layer ~layer ~params ~input =
+  let output = Db_nn.Interpreter.eval_layer layer ~params ~bottoms:[ input ] in
+  (output, { c_layer = layer; c_params = params; c_input = input; c_output = output })
+
+(* dL/dx and dL/dW for a convolution, direct nested loops mirroring the
+   forward pass: for each output position, route grad into the receptive
+   field and the kernel taps. *)
+let conv_backward ~input ~weights ~stride ~pad ~group ~grad_output ~has_bias =
+  let ish = Tensor.shape input and wsh = Tensor.shape weights in
+  let h = Shape.dim ish 1 and w = Shape.dim ish 2 in
+  let cout = Shape.dim wsh 0 and cin_g = Shape.dim wsh 1 and k = Shape.dim wsh 2 in
+  let osh = Tensor.shape grad_output in
+  let oh = Shape.dim osh 1 and ow = Shape.dim osh 2 in
+  let gx = Tensor.create ish in
+  let gw = Tensor.create wsh in
+  let gb = Tensor.create (Shape.vector cout) in
+  let idata = Tensor.data input
+  and wdata = Tensor.data weights
+  and godata = Tensor.data grad_output
+  and gxdata = Tensor.data gx
+  and gwdata = Tensor.data gw
+  and gbdata = Tensor.data gb in
+  let cout_g = cout / group in
+  for oc = 0 to cout - 1 do
+    let g = oc / cout_g in
+    let base_ic = g * cin_g in
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let go = godata.((oc * oh * ow) + (oy * ow) + ox) in
+        gbdata.(oc) <- gbdata.(oc) +. go;
+        for ic = 0 to cin_g - 1 do
+          for ky = 0 to k - 1 do
+            let iy = (oy * stride) + ky - pad in
+            if iy >= 0 && iy < h then
+              for kx = 0 to k - 1 do
+                let ix = (ox * stride) + kx - pad in
+                if ix >= 0 && ix < w then begin
+                  let ii = ((base_ic + ic) * h * w) + (iy * w) + ix in
+                  let wi = (((oc * cin_g) + ic) * k * k) + (ky * k) + kx in
+                  gxdata.(ii) <- gxdata.(ii) +. (wdata.(wi) *. go);
+                  gwdata.(wi) <- gwdata.(wi) +. (idata.(ii) *. go)
+                end
+              done
+          done
+        done
+      done
+    done
+  done;
+  (gx, if has_bias then [ gw; gb ] else [ gw ])
+
+let max_pool_backward ~input ~kernel ~stride ~grad_output =
+  let ish = Tensor.shape input in
+  let c = Shape.dim ish 0 and h = Shape.dim ish 1 and w = Shape.dim ish 2 in
+  let osh = Tensor.shape grad_output in
+  let oh = Shape.dim osh 1 and ow = Shape.dim osh 2 in
+  let gx = Tensor.create ish in
+  let idata = Tensor.data input
+  and godata = Tensor.data grad_output
+  and gxdata = Tensor.data gx in
+  for ch = 0 to c - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        (* Route the gradient to the argmax of the window (first on ties,
+           like the forward max). *)
+        let best = ref neg_infinity and best_i = ref (-1) in
+        for ky = 0 to kernel - 1 do
+          for kx = 0 to kernel - 1 do
+            let ii = (ch * h * w) + (((oy * stride) + ky) * w) + (ox * stride) + kx in
+            if idata.(ii) > !best then begin best := idata.(ii); best_i := ii end
+          done
+        done;
+        gxdata.(!best_i) <-
+          gxdata.(!best_i) +. godata.((ch * oh * ow) + (oy * ow) + ox)
+      done
+    done
+  done;
+  gx
+
+let avg_pool_backward ~input ~kernel ~stride ~grad_output =
+  let ish = Tensor.shape input in
+  let c = Shape.dim ish 0 and h = Shape.dim ish 1 and w = Shape.dim ish 2 in
+  let osh = Tensor.shape grad_output in
+  let oh = Shape.dim osh 1 and ow = Shape.dim osh 2 in
+  let gx = Tensor.create ish in
+  let godata = Tensor.data grad_output and gxdata = Tensor.data gx in
+  let inv_area = 1.0 /. float_of_int (kernel * kernel) in
+  for ch = 0 to c - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let go = godata.((ch * oh * ow) + (oy * ow) + ox) *. inv_area in
+        for ky = 0 to kernel - 1 do
+          for kx = 0 to kernel - 1 do
+            let ii = (ch * h * w) + (((oy * stride) + ky) * w) + (ox * stride) + kx in
+            gxdata.(ii) <- gxdata.(ii) +. go
+          done
+        done
+      done
+    done
+  done;
+  gx
+
+let backward_layer cache ~grad_output =
+  match cache.c_layer with
+  | Layer.Convolution { stride; pad; group; bias; _ } -> begin
+      match cache.c_params with
+      | weights :: _ ->
+          let gx, gps =
+            conv_backward ~input:cache.c_input ~weights ~stride ~pad ~group
+              ~grad_output ~has_bias:bias
+          in
+          (Some gx, gps)
+      | [] -> fail "convolution cache without weights"
+    end
+  | Layer.Pooling { method_ = Layer.Max; kernel_size; stride } ->
+      (Some (max_pool_backward ~input:cache.c_input ~kernel:kernel_size ~stride ~grad_output), [])
+  | Layer.Pooling { method_ = Layer.Average; kernel_size; stride } ->
+      (Some (avg_pool_backward ~input:cache.c_input ~kernel:kernel_size ~stride ~grad_output), [])
+  | Layer.Global_pooling Layer.Average ->
+      let ish = Tensor.shape cache.c_input in
+      let c = Shape.channels ish in
+      let hw = Tensor.numel cache.c_input / c in
+      let gx = Tensor.create ish in
+      for ch = 0 to c - 1 do
+        let go = Tensor.get grad_output ch /. float_of_int hw in
+        for i = 0 to hw - 1 do
+          Tensor.set gx ((ch * hw) + i) go
+        done
+      done;
+      (Some gx, [])
+  | Layer.Global_pooling Layer.Max ->
+      let ish = Tensor.shape cache.c_input in
+      let c = Shape.channels ish in
+      let hw = Tensor.numel cache.c_input / c in
+      let gx = Tensor.create ish in
+      for ch = 0 to c - 1 do
+        let best = ref neg_infinity and best_i = ref (-1) in
+        for i = 0 to hw - 1 do
+          let v = Tensor.get cache.c_input ((ch * hw) + i) in
+          if v > !best then begin best := v; best_i := (ch * hw) + i end
+        done;
+        Tensor.set gx !best_i (Tensor.get grad_output ch)
+      done;
+      (Some gx, [])
+  | Layer.Inner_product { bias; _ } -> begin
+      match cache.c_params with
+      | weights :: _ ->
+          let nout = Shape.dim (Tensor.shape weights) 0
+          and nin = Shape.dim (Tensor.shape weights) 1 in
+          let x = Ops.flatten cache.c_input in
+          let gw = Tensor.create (Tensor.shape weights) in
+          let gx = Tensor.create (Tensor.shape x) in
+          let wdata = Tensor.data weights
+          and xdata = Tensor.data x
+          and godata = Tensor.data grad_output
+          and gwdata = Tensor.data gw
+          and gxdata = Tensor.data gx in
+          for o = 0 to nout - 1 do
+            let go = godata.(o) in
+            for i = 0 to nin - 1 do
+              gwdata.((o * nin) + i) <- gwdata.((o * nin) + i) +. (go *. xdata.(i));
+              gxdata.(i) <- gxdata.(i) +. (go *. wdata.((o * nin) + i))
+            done
+          done;
+          let gx = Tensor.reshape gx (Tensor.shape cache.c_input) in
+          (Some gx, if bias then [ gw; Tensor.copy grad_output ] else [ gw ])
+      | [] -> fail "inner product cache without weights"
+    end
+  | Layer.Activation Layer.Relu ->
+      ( Some
+          (Tensor.map2
+             (fun x g -> if x > 0.0 then g else 0.0)
+             cache.c_input grad_output),
+        [] )
+  | Layer.Activation Layer.Sigmoid ->
+      ( Some
+          (Tensor.map2 (fun y g -> g *. y *. (1.0 -. y)) cache.c_output grad_output),
+        [] )
+  | Layer.Activation Layer.Tanh ->
+      (Some (Tensor.map2 (fun y g -> g *. (1.0 -. (y *. y))) cache.c_output grad_output), [])
+  | Layer.Activation Layer.Sign ->
+      (* Straight-through estimator. *)
+      (Some (Tensor.copy grad_output), [])
+  | Layer.Dropout _ -> (Some (Tensor.copy grad_output), [])
+  | Layer.Softmax ->
+      (* dL/dx_i = y_i * (g_i - sum_j g_j y_j) *)
+      let y = cache.c_output in
+      let s = Tensor.dot grad_output y in
+      (Some (Tensor.map2 (fun yi gi -> yi *. (gi -. s)) y grad_output), [])
+  | Layer.Lrn { local_size; alpha; beta; k } ->
+      (* Frozen-denominator approximation: treat each position's scale as a
+         constant, so dx = g / scale^beta (exact when alpha is small, as in
+         the AlexNet/MNIST settings used here). *)
+      let ish = Tensor.shape cache.c_input in
+      let c = Shape.dim ish 0 and h = Shape.dim ish 1 and w = Shape.dim ish 2 in
+      let half = local_size / 2 in
+      let gx = Tensor.create ish in
+      let idata = Tensor.data cache.c_input
+      and godata = Tensor.data grad_output
+      and gxdata = Tensor.data gx in
+      for ch = 0 to c - 1 do
+        let lo = Stdlib.max 0 (ch - half) and hi = Stdlib.min (c - 1) (ch + half) in
+        for y = 0 to h - 1 do
+          for x = 0 to w - 1 do
+            let sq = ref 0.0 in
+            for j = lo to hi do
+              let v = idata.((j * h * w) + (y * w) + x) in
+              sq := !sq +. (v *. v)
+            done;
+            let scale = k +. (alpha /. float_of_int local_size *. !sq) in
+            let i = (ch * h * w) + (y * w) + x in
+            gxdata.(i) <- godata.(i) /. (scale ** beta)
+          done
+        done
+      done;
+      (Some gx, [])
+  | Layer.Associative _ -> (None, [])
+  | Layer.Input _ | Layer.Lcn _ | Layer.Recurrent _ | Layer.Concat
+  | Layer.Classifier _ ->
+      fail "layer %s is not differentiable here" (Layer.name cache.c_layer)

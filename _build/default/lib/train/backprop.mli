@@ -1,0 +1,28 @@
+(** Reverse-mode gradients for the sequential (single-chain) subset of the
+    layer vocabulary: convolution, pooling, global pooling, inner product,
+    activations, dropout (identity at inference) and softmax.
+
+    This covers every model the paper trains by gradient descent (the three
+    AxBench ANNs, MNIST, Cifar-scale CNNs); Hopfield and CMAC weights are
+    set by Hebbian / delta rules in [db_workloads]. *)
+
+type cache
+(** Values memoised by the forward pass for use in backward. *)
+
+val forward_layer :
+  layer:Db_nn.Layer.t ->
+  params:Db_tensor.Tensor.t list ->
+  input:Db_tensor.Tensor.t ->
+  Db_tensor.Tensor.t * cache
+
+val backward_layer :
+  cache ->
+  grad_output:Db_tensor.Tensor.t ->
+  Db_tensor.Tensor.t option * Db_tensor.Tensor.t list
+(** [backward_layer cache ~grad_output] is [(grad_input, grad_params)].
+    [grad_input] is [None] for layers that cannot propagate (e.g.
+    [Associative], whose inputs are data, never weights upstream).
+    [grad_params] aligns with the layer's parameter list. *)
+
+val supported : Db_nn.Layer.t -> bool
+(** Whether this module can differentiate through the layer. *)

@@ -1,0 +1,28 @@
+module Tensor = Db_tensor.Tensor
+module Shape = Db_tensor.Shape
+module Ops = Db_tensor.Ops
+
+type t = Mean_squared_error | Softmax_cross_entropy
+
+let forward t ~prediction ~target =
+  match t with
+  | Mean_squared_error ->
+      let d = Tensor.sub prediction target in
+      Tensor.dot d d /. (2.0 *. float_of_int (Tensor.numel prediction))
+  | Softmax_cross_entropy ->
+      let p = Ops.softmax prediction in
+      let acc = ref 0.0 in
+      Tensor.iteri
+        (fun i y -> if y > 0.0 then acc := !acc -. (y *. log (Float.max 1e-12 (Tensor.get p i))))
+        target;
+      !acc
+
+let backward t ~prediction ~target =
+  match t with
+  | Mean_squared_error ->
+      Tensor.scale (1.0 /. float_of_int (Tensor.numel prediction)) (Tensor.sub prediction target)
+  | Softmax_cross_entropy -> Tensor.sub (Ops.softmax prediction) target
+
+let one_hot ~classes label =
+  if label < 0 || label >= classes then invalid_arg "Loss.one_hot: label out of range";
+  Tensor.init (Shape.vector classes) (fun i -> if i = label then 1.0 else 0.0)

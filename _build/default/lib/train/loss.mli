@@ -1,0 +1,18 @@
+(** Loss functions with gradients. *)
+
+type t =
+  | Mean_squared_error
+  | Softmax_cross_entropy
+      (** expects raw scores; combines the softmax with the cross-entropy
+          so the backward pass is the numerically stable [p - y] *)
+
+val forward : t -> prediction:Db_tensor.Tensor.t -> target:Db_tensor.Tensor.t -> float
+(** Scalar loss.  For [Softmax_cross_entropy] the target must be a one-hot
+    (or general probability) vector of the same length. *)
+
+val backward :
+  t -> prediction:Db_tensor.Tensor.t -> target:Db_tensor.Tensor.t -> Db_tensor.Tensor.t
+(** Gradient of the loss w.r.t. the prediction (raw scores for
+    [Softmax_cross_entropy]). *)
+
+val one_hot : classes:int -> int -> Db_tensor.Tensor.t

@@ -1,0 +1,191 @@
+module Tensor = Db_tensor.Tensor
+module Network = Db_nn.Network
+module Params = Db_nn.Params
+module Layer = Db_nn.Layer
+
+type sample = { input : Tensor.t; target : Tensor.t }
+
+type config = {
+  epochs : int;
+  batch_size : int;
+  learning_rate : float;
+  momentum : float;
+  weight_decay : float;
+  loss : Loss.t;
+}
+
+let default_config =
+  {
+    epochs = 20;
+    batch_size = 16;
+    learning_rate = 0.05;
+    momentum = 0.9;
+    weight_decay = 0.0;
+    loss = Loss.Mean_squared_error;
+  }
+
+type history = { losses : float array; final_loss : float }
+
+let fail fmt = Db_util.Error.failf_at ~component:"trainer" fmt
+
+(* The trainable chain: non-input nodes in order, validated sequential. *)
+let chain_of_network net =
+  let nodes =
+    List.filter
+      (fun n -> match n.Network.layer with Layer.Input _ -> false | _ -> true)
+      net.Network.nodes
+  in
+  let rec check previous_top = function
+    | [] -> ()
+    | node :: rest -> begin
+        match node.Network.bottoms, node.Network.tops with
+        | [ bottom ], [ top ] ->
+            if bottom <> previous_top then
+              fail "network is not a chain: %S consumes %S, expected %S"
+                node.Network.node_name bottom previous_top;
+            check top rest
+        | _ -> fail "node %S is not single-bottom/single-top" node.Network.node_name
+      end
+  in
+  (match net.Network.nodes with
+  | first :: _ -> begin
+      match first.Network.layer, first.Network.tops with
+      | Layer.Input _, [ top ] -> check top nodes
+      | _ -> fail "first node must be the input"
+    end
+  | [] -> fail "empty network");
+  List.iter
+    (fun node ->
+      if not (Backprop.supported node.Network.layer) then
+        fail "layer %S (%s) is not trainable by backprop"
+          node.Network.node_name
+          (Layer.name node.Network.layer))
+    nodes;
+  nodes
+
+let forward_chain chain params input =
+  let rec go input acc = function
+    | [] -> (input, List.rev acc)
+    | node :: rest ->
+        let p = Params.get params node.Network.node_name in
+        let output, cache =
+          Backprop.forward_layer ~layer:node.Network.layer ~params:p ~input
+        in
+        go output ((node, cache) :: acc) rest
+  in
+  go input [] chain
+
+let backward_chain caches grad_out grads =
+  let rec go grad = function
+    | [] -> ()
+    | (node, cache) :: rest -> begin
+        let grad_input, grad_params = Backprop.backward_layer cache ~grad_output:grad in
+        if grad_params <> [] then begin
+          let name = node.Network.node_name in
+          let existing = Hashtbl.find_opt grads name in
+          let merged =
+            match existing with
+            | None -> List.map Tensor.copy grad_params
+            | Some acc -> List.map2 Tensor.add acc grad_params
+          in
+          Hashtbl.replace grads name merged
+        end;
+        match grad_input with
+        | Some g -> go g rest
+        | None -> ()  (* e.g. Associative: nothing upstream is trainable *)
+      end
+  in
+  go grad_out (List.rev caches)
+
+let apply_updates ~config ~velocities params grads batch_size =
+  let scale = config.learning_rate /. float_of_int batch_size in
+  Hashtbl.iter
+    (fun name grad_tensors ->
+      let weights = Params.get params name in
+      let vels =
+        match Hashtbl.find_opt velocities name with
+        | Some v -> v
+        | None ->
+            let v = List.map (fun t -> Tensor.create (Tensor.shape t)) weights in
+            Hashtbl.replace velocities name v;
+            v
+      in
+      List.iteri
+        (fun i weight ->
+          let grad = List.nth grad_tensors i in
+          let vel = List.nth vels i in
+          let wdata = Tensor.data weight
+          and gdata = Tensor.data grad
+          and vdata = Tensor.data vel in
+          for j = 0 to Array.length wdata - 1 do
+            let g = (gdata.(j) *. scale) +. (config.weight_decay *. wdata.(j)) in
+            vdata.(j) <- (config.momentum *. vdata.(j)) -. g;
+            wdata.(j) <- wdata.(j) +. vdata.(j)
+          done)
+        weights)
+    grads
+
+let train ?(config = default_config) ~rng net params samples =
+  if Array.length samples = 0 then fail "no training samples";
+  let chain = chain_of_network net in
+  let velocities = Hashtbl.create 8 in
+  let order = Array.init (Array.length samples) (fun i -> i) in
+  let losses =
+    Array.init config.epochs (fun _epoch ->
+        Db_util.Rng.shuffle rng order;
+        let epoch_loss = ref 0.0 in
+        let i = ref 0 in
+        while !i < Array.length order do
+          let batch_end = Stdlib.min (Array.length order) (!i + config.batch_size) in
+          let grads = Hashtbl.create 8 in
+          for j = !i to batch_end - 1 do
+            let sample = samples.(order.(j)) in
+            let prediction, caches = forward_chain chain params sample.input in
+            epoch_loss :=
+              !epoch_loss
+              +. Loss.forward config.loss ~prediction ~target:sample.target;
+            let grad_out =
+              Loss.backward config.loss ~prediction ~target:sample.target
+            in
+            backward_chain caches grad_out grads
+          done;
+          apply_updates ~config ~velocities params grads (batch_end - !i);
+          i := batch_end
+        done;
+        !epoch_loss /. float_of_int (Array.length samples))
+  in
+  {
+    losses;
+    final_loss = (if config.epochs = 0 then nan else losses.(config.epochs - 1));
+  }
+
+let mean_loss ~loss net params samples =
+  let chain = chain_of_network net in
+  let total = ref 0.0 in
+  Array.iter
+    (fun sample ->
+      let prediction, _ = forward_chain chain params sample.input in
+      total := !total +. Loss.forward loss ~prediction ~target:sample.target)
+    samples;
+  !total /. float_of_int (Array.length samples)
+
+let classification_accuracy net params samples =
+  if Array.length samples = 0 then fail "no evaluation samples";
+  let input_blob =
+    match Network.input_nodes net with
+    | [ node ] -> begin
+        match node.Network.tops with
+        | [ top ] -> top
+        | _ -> fail "input node must have one top"
+      end
+    | _ -> fail "expected exactly one input node"
+  in
+  let correct = ref 0 in
+  Array.iter
+    (fun (input, label) ->
+      let out =
+        Db_nn.Interpreter.output net params ~inputs:[ (input_blob, input) ]
+      in
+      if Tensor.max_index out = label then incr correct)
+    samples;
+  float_of_int !correct /. float_of_int (Array.length samples)

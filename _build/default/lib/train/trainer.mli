@@ -1,0 +1,42 @@
+(** Mini-batch SGD training of sequential networks.
+
+    The network must be a single chain (every non-input node has exactly
+    one bottom, which is the previous node's top); this covers the paper's
+    gradient-trained models.  Weights are updated in place inside the
+    {!Db_nn.Params.t} store. *)
+
+type sample = { input : Db_tensor.Tensor.t; target : Db_tensor.Tensor.t }
+
+type config = {
+  epochs : int;
+  batch_size : int;
+  learning_rate : float;
+  momentum : float;
+  weight_decay : float;
+  loss : Loss.t;
+}
+
+val default_config : config
+(** 20 epochs, batch 16, lr 0.05, momentum 0.9, no decay, MSE. *)
+
+type history = {
+  losses : float array;  (** mean training loss per epoch *)
+  final_loss : float;
+}
+
+val train :
+  ?config:config ->
+  rng:Db_util.Rng.t ->
+  Db_nn.Network.t ->
+  Db_nn.Params.t ->
+  sample array ->
+  history
+(** Raises {!Db_util.Error.Deepburning_error} if the network is not a
+    supported sequential chain. *)
+
+val mean_loss :
+  loss:Loss.t -> Db_nn.Network.t -> Db_nn.Params.t -> sample array -> float
+
+val classification_accuracy :
+  Db_nn.Network.t -> Db_nn.Params.t -> (Db_tensor.Tensor.t * int) array -> float
+(** Fraction of samples whose arg-max output equals the label. *)

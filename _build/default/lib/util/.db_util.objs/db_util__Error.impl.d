@@ -1,0 +1,1 @@
+lib/util/error.ml: Format

@@ -1,0 +1,8 @@
+exception Deepburning_error of string
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Deepburning_error msg)) fmt
+
+let failf_at ~component fmt =
+  Format.kasprintf
+    (fun msg -> raise (Deepburning_error (component ^ ": " ^ msg)))
+    fmt

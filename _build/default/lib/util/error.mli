@@ -1,0 +1,10 @@
+(** Error reporting shared by the parser, the generator and the simulator. *)
+
+exception Deepburning_error of string
+(** Carried message already includes the failing component's context. *)
+
+val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [fail fmt ...] raises {!Deepburning_error} with a formatted message. *)
+
+val failf_at : component:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Like {!fail} but prefixes the component name, e.g. ["nn-gen: ..."]. *)

@@ -1,0 +1,64 @@
+let sum xs =
+  let total = ref 0.0 and comp = ref 0.0 in
+  for i = 0 to Array.length xs - 1 do
+    let y = xs.(i) -. !comp in
+    let t = !total +. y in
+    comp := t -. !total -. y;
+    total := t
+  done;
+  !total
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty array";
+  sum xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  let m = mean xs in
+  let sq = Array.map (fun x -> (x -. m) *. (x -. m)) xs in
+  sqrt (sum sq /. float_of_int (Array.length xs))
+
+let geomean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.geomean: empty array";
+  let logs = Array.map (fun x -> assert (x > 0.0); log x) xs in
+  exp (mean logs)
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty array";
+  assert (p >= 0.0 && p <= 100.0);
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty array";
+  Array.fold_left
+    (fun (mn, mx) x -> (Float.min mn x, Float.max mx x))
+    (xs.(0), xs.(0))
+    xs
+
+let rel_distance_accuracy ~golden ~approx =
+  if Array.length golden <> Array.length approx then
+    invalid_arg "Stats.rel_distance_accuracy: length mismatch";
+  if Array.length golden = 0 then invalid_arg "Stats.rel_distance_accuracy: empty";
+  (* Eq. (1) of the paper, applied element-wise and averaged.  Near-zero
+     golden elements would blow the relative error up, so the denominator is
+     floored at the vector's mean energy: errors on small elements are then
+     measured against the signal's own scale. *)
+  let energy = mean (Array.map (fun b -> b *. b) golden) in
+  let floor_sq = Float.max energy 1e-12 in
+  let acc =
+    Array.mapi
+      (fun i b ->
+        let a = approx.(i) in
+        let denom = Float.max (b *. b) floor_sq in
+        1.0 -. ((a -. b) *. (a -. b) /. denom))
+      golden
+  in
+  Float.max 0.0 (mean acc *. 100.0)

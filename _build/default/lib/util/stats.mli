@@ -1,0 +1,26 @@
+(** Small descriptive-statistics helpers used by the benchmark harness and
+    the accuracy experiments. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  Raises [Invalid_argument] on an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val geomean : float array -> float
+(** Geometric mean.  All elements must be positive. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0, 100\]] with linear interpolation.
+    Does not mutate its argument. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest element. *)
+
+val sum : float array -> float
+(** Kahan-compensated sum. *)
+
+val rel_distance_accuracy : golden:float array -> approx:float array -> float
+(** Paper Eq. (1): [1 - (A-B)^2 / B^2] averaged over the output vector and
+    expressed as a percentage, where [B] is the golden reference and [A] the
+    approximation.  Clamped below at 0. *)

@@ -1,0 +1,1 @@
+lib/workloads/benchmarks.ml: Array Axbench Datasets Db_nn Db_tensor Db_train Db_util Float Hashtbl Hopfield List Model_zoo

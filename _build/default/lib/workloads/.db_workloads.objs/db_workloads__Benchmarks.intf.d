@@ -1,0 +1,1 @@
+lib/workloads/benchmarks.mli: Db_nn Db_tensor

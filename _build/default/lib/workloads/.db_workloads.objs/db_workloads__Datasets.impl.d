@@ -1,0 +1,1 @@
+lib/workloads/datasets.ml: Array Db_tensor Db_util Float List

@@ -1,0 +1,1 @@
+lib/workloads/datasets.mli: Db_tensor Db_util

@@ -1,0 +1,1 @@
+lib/workloads/hopfield.ml: Array Datasets Db_nn Db_tensor Db_util

@@ -1,0 +1,1 @@
+lib/workloads/hopfield.mli: Db_nn Db_tensor

@@ -1,0 +1,1 @@
+lib/workloads/model_zoo.ml: Db_nn Printf String

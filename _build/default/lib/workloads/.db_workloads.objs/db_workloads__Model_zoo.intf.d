@@ -1,0 +1,1 @@
+lib/workloads/model_zoo.mli: Db_nn

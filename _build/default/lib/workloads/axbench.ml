@@ -1,0 +1,140 @@
+(* fft *)
+
+let fft_size = 8
+
+let fft_complex input =
+  let n = Array.length input in
+  if n land (n - 1) <> 0 || n = 0 then
+    invalid_arg "Axbench.fft_complex: length must be a power of two";
+  let rec go input =
+    let n = Array.length input in
+    if n = 1 then input
+    else begin
+      let even = go (Array.init (n / 2) (fun i -> input.(2 * i))) in
+      let odd = go (Array.init (n / 2) (fun i -> input.((2 * i) + 1))) in
+      let out = Array.make n (0.0, 0.0) in
+      for k = 0 to (n / 2) - 1 do
+        let angle = -2.0 *. Float.pi *. float_of_int k /. float_of_int n in
+        let wr = cos angle and wi = sin angle in
+        let or_, oi = odd.(k) in
+        let tr = (wr *. or_) -. (wi *. oi) and ti = (wr *. oi) +. (wi *. or_) in
+        let er, ei = even.(k) in
+        out.(k) <- (er +. tr, ei +. ti);
+        out.(k + (n / 2)) <- (er -. tr, ei -. ti)
+      done;
+      out
+    end
+  in
+  go input
+
+let fft_golden samples =
+  if Array.length samples <> fft_size then
+    invalid_arg "Axbench.fft_golden: wrong input length";
+  let spectrum = fft_complex (Array.map (fun x -> (x, 0.0)) samples) in
+  Array.map
+    (fun (re, im) -> sqrt ((re *. re) +. (im *. im)) /. float_of_int fft_size)
+    spectrum
+
+(* jpeg *)
+
+let jpeg_block = 4
+
+let block_n = jpeg_block * jpeg_block
+
+let dct_basis =
+  (* basis.(u).(x) = c(u) * cos((2x+1)u pi / 2N), orthonormal 1-D DCT-II. *)
+  let n = jpeg_block in
+  Array.init n (fun u ->
+      Array.init n (fun x ->
+          let c =
+            if u = 0 then sqrt (1.0 /. float_of_int n)
+            else sqrt (2.0 /. float_of_int n)
+          in
+          c
+          *. cos
+               (((2.0 *. float_of_int x) +. 1.0)
+               *. float_of_int u *. Float.pi
+               /. (2.0 *. float_of_int n))))
+
+let dct2 block =
+  if Array.length block <> block_n then invalid_arg "Axbench.dct2: wrong length";
+  let n = jpeg_block in
+  let out = Array.make block_n 0.0 in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for y = 0 to n - 1 do
+        for x = 0 to n - 1 do
+          acc := !acc +. (block.((y * n) + x) *. dct_basis.(u).(y) *. dct_basis.(v).(x))
+        done
+      done;
+      out.((u * n) + v) <- !acc
+    done
+  done;
+  out
+
+let idct2 coeffs =
+  if Array.length coeffs <> block_n then invalid_arg "Axbench.idct2: wrong length";
+  let n = jpeg_block in
+  let out = Array.make block_n 0.0 in
+  for y = 0 to n - 1 do
+    for x = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          acc := !acc +. (coeffs.((u * n) + v) *. dct_basis.(u).(y) *. dct_basis.(v).(x))
+        done
+      done;
+      out.((y * n) + x) <- !acc
+    done
+  done;
+  out
+
+(* Luminance-style quantisation steps, coarser for higher frequencies. *)
+let quant_table =
+  let n = jpeg_block in
+  Array.init block_n (fun i ->
+      let u = i / n and v = i mod n in
+      0.04 *. (1.0 +. float_of_int (u + v)))
+
+let jpeg_golden block =
+  let coeffs = dct2 block in
+  let quantised =
+    Array.mapi
+      (fun i c -> Float.round (c /. quant_table.(i)) *. quant_table.(i))
+      coeffs
+  in
+  idct2 quantised
+
+(* kmeans *)
+
+let kmeans_k = 6
+
+let kmeans_centroids =
+  [|
+    [| 0.9; 0.1; 0.1 |];
+    [| 0.1; 0.8; 0.2 |];
+    [| 0.15; 0.2; 0.85 |];
+    [| 0.9; 0.85; 0.2 |];
+    [| 0.1; 0.1; 0.15 |];
+    [| 0.9; 0.9; 0.9 |];
+  |]
+
+let sq_dist a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let kmeans_assign pixel =
+  if Array.length pixel <> 3 then invalid_arg "Axbench.kmeans_assign: need RGB";
+  let best = ref 0 in
+  for k = 1 to kmeans_k - 1 do
+    if sq_dist pixel kmeans_centroids.(k) < sq_dist pixel kmeans_centroids.(!best)
+    then best := k
+  done;
+  !best
+
+let kmeans_golden pixel = Array.copy kmeans_centroids.(kmeans_assign pixel)

@@ -1,0 +1,50 @@
+(** Golden-reference implementations of the three AxBench-style programs
+    that the paper's ANN-0/1/2 approximate (general-purpose approximate
+    computing after Esmaeilzadeh et al. [1]).
+
+    Each program is the "orthodox program of accurate modeling" of Eq. (1):
+    the NN approximator's quality is measured against these outputs. *)
+
+(** {2 fft — spectral magnitudes (ANN-0)} *)
+
+val fft_size : int
+(** 8 real samples in, 8 magnitude bins out. *)
+
+val fft_complex :
+  (float * float) array -> (float * float) array
+(** Radix-2 decimation-in-time FFT; length must be a power of two. *)
+
+val fft_golden : float array -> float array
+(** Real input of length {!fft_size}; returns the magnitude spectrum
+    normalised by the length. *)
+
+(** {2 jpeg — lossy 4x4 DCT block codec (ANN-1)} *)
+
+val jpeg_block : int
+(** Blocks are [jpeg_block x jpeg_block] = 4x4 = 16 pixels. *)
+
+val dct2 : float array -> float array
+(** 2-D type-II DCT of one block (orthonormal). *)
+
+val idct2 : float array -> float array
+(** Inverse (type-III) DCT; [idct2 (dct2 x) = x] up to rounding. *)
+
+val jpeg_golden : float array -> float array
+(** Encode-quantise-decode round trip of one block: DCT, quantisation with
+    a fixed luminance-style table, de-quantisation, inverse DCT.  Inputs
+    are pixels in [0, 1]. *)
+
+(** {2 kmeans — nearest-centroid colour clustering (ANN-2)} *)
+
+val kmeans_k : int
+(** 6 fixed RGB centroids. *)
+
+val kmeans_centroids : float array array
+
+val kmeans_golden : float array -> float array
+(** Input one RGB pixel in [0,1]^3; output the centroid's colour (the
+    clustered pixel), as the AxBench kmeans kernel replaces each pixel by
+    its cluster's colour. *)
+
+val kmeans_assign : float array -> int
+(** Index of the nearest centroid (squared Euclidean distance). *)

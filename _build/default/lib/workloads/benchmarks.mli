@@ -1,0 +1,55 @@
+(** The eight evaluation benchmarks of Table 2, with everything the
+    experiment harness needs: the network for generation/performance
+    experiments, a per-application DSP cap (the paper's per-app constraint
+    files), and a [prepare] step that fits weights and builds the
+    evaluation set for the accuracy experiment (Fig. 10).
+
+    Where the paper's training data is proprietary-scale (ImageNet), the
+    accuracy network is a documented substitution: AlexNet and NiN carry
+    Xavier weights and are compared on output fidelity against the float
+    reference (their logits, since a 16-bit datapath cannot represent
+    1000-way softmax probabilities); Cifar's accuracy run uses the
+    cifar-lite variant that is trainable in-process. *)
+
+type accuracy_spec =
+  | Classification of { labels : int array }
+      (** output arg-max compared against labels *)
+  | Relative of {
+      golden : Db_tensor.Tensor.t array;
+      postprocess : Db_tensor.Tensor.t -> Db_tensor.Tensor.t;
+    }
+      (** Eq. (1) of the paper against the golden program's outputs, after
+          an optional decoding step (identity for most benchmarks, tour
+          decoding for Hopfield) *)
+
+type prepared = {
+  accuracy_network : Db_nn.Network.t;
+      (** network the accuracy run executes (usually [network]) *)
+  params : Db_nn.Params.t;
+  input_blob : string;
+  eval_inputs : Db_tensor.Tensor.t array;
+  accuracy : accuracy_spec;
+}
+
+type t = {
+  bench_name : string;
+  application : string;  (** Table 2's application column *)
+  network : Db_nn.Network.t;  (** full-scale network for perf/resources *)
+  dsp_cap : int;  (** the per-application constraint file's DSP budget *)
+  prepare : seed:int -> prepared;
+}
+
+val all : t list
+(** ANN-0, ANN-1, ANN-2, Alexnet, NiN, Cifar, CMAC, Hopfield, MNIST. *)
+
+val find : string -> t
+(** Raises [Not_found]. *)
+
+val prepare_cached : t -> seed:int -> prepared
+(** Memoised [prepare] (training runs once per process). *)
+
+val accuracy_percent : prepared -> Db_tensor.Tensor.t array -> float
+(** Score one implementation's outputs (same order as [eval_inputs]). *)
+
+val alexnet_l_dsp_cap : int
+(** Table 3's Alexnet-L row (DB-L budget). *)

@@ -1,0 +1,147 @@
+module Tensor = Db_tensor.Tensor
+module Shape = Db_tensor.Shape
+module Rng = Db_util.Rng
+
+type labeled = { image : Tensor.t; label : int }
+
+(* Digit-like glyphs: each class is a set of strokes on a unit square,
+   rendered with per-sample jitter, thickness variation and pixel noise. *)
+let glyph_strokes =
+  (* (x0, y0, x1, y1) segments per class, loosely tracing 0-9. *)
+  [|
+    [ (0.3, 0.2, 0.7, 0.2); (0.7, 0.2, 0.7, 0.8); (0.7, 0.8, 0.3, 0.8); (0.3, 0.8, 0.3, 0.2) ];
+    [ (0.5, 0.15, 0.5, 0.85) ];
+    [ (0.3, 0.25, 0.7, 0.25); (0.7, 0.25, 0.7, 0.5); (0.7, 0.5, 0.3, 0.8); (0.3, 0.8, 0.7, 0.8) ];
+    [ (0.3, 0.2, 0.7, 0.2); (0.7, 0.2, 0.7, 0.8); (0.3, 0.5, 0.7, 0.5); (0.3, 0.8, 0.7, 0.8) ];
+    [ (0.3, 0.2, 0.3, 0.5); (0.3, 0.5, 0.7, 0.5); (0.7, 0.2, 0.7, 0.8) ];
+    [ (0.7, 0.2, 0.3, 0.2); (0.3, 0.2, 0.3, 0.5); (0.3, 0.5, 0.7, 0.5); (0.7, 0.5, 0.7, 0.8); (0.7, 0.8, 0.3, 0.8) ];
+    [ (0.6, 0.2, 0.3, 0.5); (0.3, 0.5, 0.3, 0.8); (0.3, 0.8, 0.7, 0.8); (0.7, 0.8, 0.7, 0.5); (0.7, 0.5, 0.3, 0.5) ];
+    [ (0.3, 0.2, 0.7, 0.2); (0.7, 0.2, 0.4, 0.8) ];
+    [ (0.3, 0.2, 0.7, 0.2); (0.7, 0.2, 0.7, 0.8); (0.7, 0.8, 0.3, 0.8); (0.3, 0.8, 0.3, 0.2); (0.3, 0.5, 0.7, 0.5) ];
+    [ (0.7, 0.5, 0.3, 0.5); (0.3, 0.5, 0.3, 0.2); (0.3, 0.2, 0.7, 0.2); (0.7, 0.2, 0.7, 0.8) ];
+  |]
+
+let render_stroke data ~size ~thickness (x0, y0, x1, y1) =
+  let steps = 4 * size in
+  for i = 0 to steps do
+    let t = float_of_int i /. float_of_int steps in
+    let x = x0 +. (t *. (x1 -. x0)) and y = y0 +. (t *. (y1 -. y0)) in
+    let px = int_of_float (x *. float_of_int (size - 1)) in
+    let py = int_of_float (y *. float_of_int (size - 1)) in
+    for dy = -thickness to thickness do
+      for dx = -thickness to thickness do
+        let qx = px + dx and qy = py + dy in
+        if qx >= 0 && qx < size && qy >= 0 && qy < size then
+          data.((qy * size) + qx) <- 1.0
+      done
+    done
+  done
+
+let digit_glyphs rng ~size ~count =
+  Array.init count (fun _ ->
+      let label = Rng.int rng 10 in
+      let data = Array.make (size * size) 0.0 in
+      let jx = Rng.uniform rng ~min:(-0.08) ~max:0.08 in
+      let jy = Rng.uniform rng ~min:(-0.08) ~max:0.08 in
+      let scale = Rng.uniform rng ~min:0.85 ~max:1.1 in
+      let thickness = if size >= 14 then Rng.int rng 2 else 0 in
+      List.iter
+        (fun (x0, y0, x1, y1) ->
+          let move x y =
+            (0.5 +. (scale *. (x -. 0.5)) +. jx, 0.5 +. (scale *. (y -. 0.5)) +. jy)
+          in
+          let ax, ay = move x0 y0 and bx, by = move x1 y1 in
+          render_stroke data ~size ~thickness (ax, ay, bx, by))
+        glyph_strokes.(label);
+      for i = 0 to (size * size) - 1 do
+        data.(i) <- Float.min 1.0 (Float.max 0.0 (data.(i) +. Rng.gaussian rng ~mean:0.0 ~stddev:0.05))
+      done;
+      {
+        image = Tensor.of_array (Shape.chw ~channels:1 ~height:size ~width:size) data;
+        label;
+      })
+
+let colour_patterns rng ~size ~count ~classes =
+  Array.init count (fun _ ->
+      let label = Rng.int rng classes in
+      let phase = float_of_int label /. float_of_int classes in
+      let base_r = 0.5 +. (0.45 *. sin (2.0 *. Float.pi *. phase)) in
+      let base_g = 0.5 +. (0.45 *. sin ((2.0 *. Float.pi *. phase) +. 2.1)) in
+      let base_b = 0.5 +. (0.45 *. sin ((2.0 *. Float.pi *. phase) +. 4.2)) in
+      let freq = 1.0 +. float_of_int (label mod 4) in
+      let data = Array.make (3 * size * size) 0.0 in
+      for y = 0 to size - 1 do
+        for x = 0 to size - 1 do
+          let fx = float_of_int x /. float_of_int size in
+          let fy = float_of_int y /. float_of_int size in
+          let texture =
+            0.25 *. sin (2.0 *. Float.pi *. freq *. (fx +. (0.5 *. fy)))
+          in
+          let noise () = Rng.gaussian rng ~mean:0.0 ~stddev:0.25 in
+          let put c v =
+            data.((c * size * size) + (y * size) + x) <-
+              Float.min 1.0 (Float.max 0.0 (v +. texture +. noise ()))
+          in
+          put 0 base_r;
+          put 1 base_g;
+          put 2 base_b
+        done
+      done;
+      {
+        image = Tensor.of_array (Shape.chw ~channels:3 ~height:size ~width:size) data;
+        label;
+      })
+
+(* Two-link planar arm, links 0.5 + 0.5. *)
+let arm_forward ~theta1 ~theta2 =
+  let l1 = 0.5 and l2 = 0.5 in
+  ( (l1 *. cos theta1) +. (l2 *. cos (theta1 +. theta2)),
+    (l1 *. sin theta1) +. (l2 *. sin (theta1 +. theta2)) )
+
+let arm_samples rng ~count =
+  Array.init count (fun _ ->
+      (* Sample joint angles, derive the target by forward kinematics so
+         every sample is reachable and the inverse mapping is consistent. *)
+      let theta1 = Rng.uniform rng ~min:0.2 ~max:(Float.pi /. 2.0) in
+      let theta2 = Rng.uniform rng ~min:0.3 ~max:(Float.pi *. 0.75) in
+      let x, y = arm_forward ~theta1 ~theta2 in
+      (* Normalise everything into [0, 1] for the tile coder. *)
+      let nx = (x +. 1.0) /. 2.0 and ny = (y +. 1.0) /. 2.0 in
+      let nt1 = theta1 /. Float.pi and nt2 = theta2 /. Float.pi in
+      ( Tensor.of_array (Shape.vector 2) [| nx; ny |],
+        Tensor.of_array (Shape.vector 2) [| nt1; nt2 |] ))
+
+let tsp_instance rng ~cities =
+  Array.init cities (fun _ ->
+      [| Rng.float rng 1.0; Rng.float rng 1.0 |])
+
+let dist a b =
+  let dx = a.(0) -. b.(0) and dy = a.(1) -. b.(1) in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let tour_length cities tour =
+  let n = Array.length tour in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. dist cities.(tour.(i)) cities.(tour.((i + 1) mod n))
+  done;
+  !acc
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) xs in
+          List.map (fun p -> x :: p) (permutations rest))
+        xs
+
+let tsp_optimal_length cities =
+  let n = Array.length cities in
+  if n > 8 then invalid_arg "Datasets.tsp_optimal_length: too many cities";
+  (* Fix city 0 as the start; enumerate the rest. *)
+  let rest = List.init (n - 1) (fun i -> i + 1) in
+  List.fold_left
+    (fun best perm ->
+      Float.min best (tour_length cities (Array.of_list (0 :: perm))))
+    infinity (permutations rest)

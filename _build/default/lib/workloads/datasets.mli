@@ -1,0 +1,35 @@
+(** Synthetic dataset generators.
+
+    The paper trains on MNIST/Cifar/ImageNet; those sets are not shipped
+    here, so structurally similar synthetic data exercises the same code
+    paths: parametric digit glyphs for the MNIST-class CNN, colour/texture
+    patterns for the Cifar-class CNN, two-link-arm inverse kinematics for
+    CMAC, and random city tours for the Hopfield TSP solver. *)
+
+type labeled = { image : Db_tensor.Tensor.t; label : int }
+
+val digit_glyphs :
+  Db_util.Rng.t -> size:int -> count:int -> labeled array
+(** [size x size] single-channel images of 10 stroke-based digit-like
+    glyph classes with jitter and noise. *)
+
+val colour_patterns :
+  Db_util.Rng.t -> size:int -> count:int -> classes:int -> labeled array
+(** 3-channel images of [classes] colour/texture families (Cifar stand-in). *)
+
+val arm_samples :
+  Db_util.Rng.t -> count:int -> (Db_tensor.Tensor.t * Db_tensor.Tensor.t) array
+(** (target position, joint angles): inverse kinematics of a 2-link planar
+    arm with link lengths 0.5/0.5, targets inside the reachable annulus.
+    Both are normalised to [0, 1] so CMAC tile coding applies directly. *)
+
+val arm_forward : theta1:float -> theta2:float -> float * float
+(** Forward kinematics (for checking the learned controller). *)
+
+val tsp_instance : Db_util.Rng.t -> cities:int -> float array array
+(** Random city coordinates in the unit square. *)
+
+val tsp_optimal_length : float array array -> float
+(** Brute-force shortest tour (cities <= 8). *)
+
+val tour_length : float array array -> int array -> float

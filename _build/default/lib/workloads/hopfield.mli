@@ -1,0 +1,31 @@
+(** Hopfield-Tank TSP solver (the paper's 2-layer Hopfield benchmark).
+
+    An [n]-city tour is encoded in [n * n] neurons V(city, position); the
+    recurrent weight matrix carries the classic constraint penalties (one
+    city per position, one position per city) plus the distance term; the
+    network relaxes under the tanh dynamics of {!Db_nn.Layer.Recurrent}
+    and the final activations are decoded greedily into a valid tour. *)
+
+type t = {
+  cities : float array array;
+  network : Db_nn.Network.t;
+  params : Db_nn.Params.t;
+  input : Db_tensor.Tensor.t;  (** constant bias currents *)
+}
+
+val build : ?steps:int -> cities:float array array -> unit -> t
+(** Default 60 relaxation steps. *)
+
+val input_blob : string
+(** Name of the network's input blob ("bias"). *)
+
+val decode_tour : t -> Db_tensor.Tensor.t -> int array
+(** Greedy decoding of the activation matrix into a permutation: for each
+    position pick the strongest not-yet-used city. *)
+
+val solve : t -> int array
+(** Run the float network and decode. *)
+
+val tour_quality : t -> int array -> float
+(** Eq. (1)-style accuracy of the tour length against the brute-force
+    optimum, as a percentage. *)

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Db_baseline Db_core Db_fpga Db_sim Db_workloads Printf

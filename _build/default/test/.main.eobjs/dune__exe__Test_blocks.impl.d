@@ -1,0 +1,1 @@
+test/test_blocks.ml: Alcotest Db_blocks Db_fixed Db_fpga Db_hdl Db_util Float List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Db_blocks Db_core Db_fpga Db_hdl Db_mem Db_nn Db_sched Db_util Db_workloads List String

@@ -1,0 +1,1 @@
+test/test_fixed.ml: Alcotest Db_fixed Db_tensor Float Format List QCheck QCheck_alcotest

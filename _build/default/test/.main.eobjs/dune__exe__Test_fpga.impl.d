@@ -1,0 +1,1 @@
+test/test_fpga.ml: Alcotest Db_fpga QCheck QCheck_alcotest

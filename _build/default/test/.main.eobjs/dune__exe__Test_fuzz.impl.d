@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Db_core Db_fixed Db_fpga Db_nn Db_sched Db_sim Db_tensor Db_util Float Format List Printf QCheck QCheck_alcotest String Sys

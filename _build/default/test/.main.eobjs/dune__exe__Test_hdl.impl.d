@@ -1,0 +1,1 @@
+test/test_hdl.ml: Alcotest Db_hdl Db_util List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Db_core Db_fpga Db_hdl Db_nn Db_report Db_sim Db_tensor Db_util Db_workloads Float List Printf String

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Array Db_hdl Db_mem Db_util Db_workloads Hashtbl List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Db_core Db_fixed Db_nn Db_tensor Db_util Db_workloads Float List String

@@ -1,0 +1,1 @@
+test/test_prototxt.ml: Alcotest Db_prototxt Db_util Float List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Db_hdl Db_nn Db_sched Db_tensor Db_util Db_workloads List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Db_blocks Db_core Db_mem Db_nn Db_sched Db_sim Db_tensor Db_util Db_workloads Float List Printf Stdlib

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Db_tensor Db_util Float Format List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_train.ml: Alcotest Array Db_nn Db_tensor Db_train Db_util Float List Stdlib

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Db_nn Db_tensor Db_util Db_workloads Float List Printf

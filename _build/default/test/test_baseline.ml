@@ -1,0 +1,99 @@
+(* Tests for db_baseline: the CPU model, the Custom hand-design model and
+   the Zhang FPGA'15 reference point. *)
+
+module Cpu_model = Db_baseline.Cpu_model
+module Custom = Db_baseline.Custom
+module Zhang = Db_baseline.Zhang_fpga15
+
+let cpu = Cpu_model.xeon_2_4ghz
+
+let test_effective_rate_monotone () =
+  (* Bigger layers run closer to peak. *)
+  let small = Cpu_model.effective_gmacs cpu ~macs:1_000 in
+  let mid = Cpu_model.effective_gmacs cpu ~macs:1_000_000 in
+  let big = Cpu_model.effective_gmacs cpu ~macs:100_000_000 in
+  Alcotest.(check bool) "monotone" true (small <= mid && mid <= big);
+  Alcotest.(check bool) "bounded by peak" true (big <= cpu.Cpu_model.peak_gmacs);
+  Alcotest.(check bool) "floored" true (small >= cpu.Cpu_model.min_gmacs)
+
+let test_layer_overhead_floor () =
+  Alcotest.(check bool) "empty layer still costs dispatch" true
+    (Cpu_model.layer_seconds cpu ~macs:0 ~other_ops:0 >= cpu.Cpu_model.layer_overhead_s)
+
+let test_forward_scales_with_model () =
+  let small =
+    Db_workloads.Model_zoo.build
+      (Db_workloads.Model_zoo.ann_prototxt ~name:"s" ~inputs:4 ~hidden1:8
+         ~hidden2:8 ~outputs:2)
+  in
+  let big = Db_workloads.Model_zoo.build Db_workloads.Model_zoo.cifar_prototxt in
+  Alcotest.(check bool) "bigger model slower" true
+    (Cpu_model.forward_seconds cpu big > Cpu_model.forward_seconds cpu small)
+
+let test_cpu_energy () =
+  let net =
+    Db_workloads.Model_zoo.build
+      (Db_workloads.Model_zoo.ann_prototxt ~name:"s" ~inputs:4 ~hidden1:8
+         ~hidden2:8 ~outputs:2)
+  in
+  let t = Cpu_model.forward_seconds cpu net in
+  Alcotest.(check (float 1e-12)) "E = P t" (t *. 95.0) (Cpu_model.forward_energy_j cpu net)
+
+let test_alexnet_cpu_plausible () =
+  (* The substitute CPU model should put AlexNet in the 50-500 ms band a
+     2016-era single socket would deliver. *)
+  let net = Db_workloads.Model_zoo.build Db_workloads.Model_zoo.alexnet_prototxt in
+  let t = Cpu_model.forward_seconds cpu net in
+  Alcotest.(check bool) (Printf.sprintf "alexnet %.0f ms plausible" (t *. 1e3))
+    true
+    (t > 0.05 && t < 0.5)
+
+let test_custom_factors () =
+  Alcotest.(check bool) "custom faster factor > 1" true (Custom.speedup_over_generated > 1.0);
+  Alcotest.(check bool) "custom resource saving < 1" true (Custom.lut_ff_saving < 1.0)
+
+let test_custom_of_design () =
+  let net =
+    Db_workloads.Model_zoo.build
+      (Db_workloads.Model_zoo.ann_prototxt ~name:"c" ~inputs:4 ~hidden1:8
+         ~hidden2:8 ~outputs:2)
+  in
+  let design =
+    Db_core.Generator.generate
+      (Db_core.Constraints.with_dsp_cap Db_core.Constraints.db_medium 2)
+      net
+  in
+  let report = Db_sim.Simulator.timing design in
+  let custom = Custom.of_design design report in
+  Alcotest.(check bool) "custom faster" true
+    (custom.Custom.custom_seconds < report.Db_sim.Simulator.seconds);
+  let used = Db_core.Design.resource_usage design in
+  Alcotest.(check bool) "custom fewer luts" true
+    (custom.Custom.custom_resources.Db_fpga.Resource.luts < used.Db_fpga.Resource.luts);
+  Alcotest.(check int) "same dsps" used.Db_fpga.Resource.dsps
+    custom.Custom.custom_resources.Db_fpga.Resource.dsps;
+  Alcotest.(check bool) "custom lower energy" true
+    (custom.Custom.custom_energy_j < report.Db_sim.Simulator.energy_j)
+
+let test_zhang_constants () =
+  Alcotest.(check (float 1e-9)) "time" 21.6e-3 Zhang.alexnet_seconds;
+  Alcotest.(check (float 1e-9)) "energy" 0.5 Zhang.alexnet_energy_j;
+  Alcotest.(check string) "device" "Virtex7-485T" Zhang.device.Db_fpga.Device.device_name
+
+let suite =
+  [
+    ( "baseline.cpu",
+      [
+        Alcotest.test_case "rate curve" `Quick test_effective_rate_monotone;
+        Alcotest.test_case "dispatch floor" `Quick test_layer_overhead_floor;
+        Alcotest.test_case "scales with model" `Quick test_forward_scales_with_model;
+        Alcotest.test_case "energy" `Quick test_cpu_energy;
+        Alcotest.test_case "alexnet plausible" `Quick test_alexnet_cpu_plausible;
+      ] );
+    ( "baseline.custom",
+      [
+        Alcotest.test_case "factors" `Quick test_custom_factors;
+        Alcotest.test_case "of design" `Quick test_custom_of_design;
+      ] );
+    ( "baseline.zhang", [ Alcotest.test_case "constants" `Quick test_zhang_constants ] );
+  ]

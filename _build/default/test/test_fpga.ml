@@ -1,0 +1,114 @@
+(* Tests for db_fpga: resource vectors, device catalogue, power, timing. *)
+
+module Resource = Db_fpga.Resource
+module Device = Db_fpga.Device
+module Power = Db_fpga.Power
+module Timing = Db_fpga.Timing
+
+let test_resource_arithmetic () =
+  let a = Resource.make ~luts:100 ~ffs:50 ~dsps:2 ~bram_bits:1024 () in
+  let b = Resource.make ~luts:10 ~dsps:1 () in
+  let sum = Resource.add a b in
+  Alcotest.(check int) "luts" 110 sum.Resource.luts;
+  Alcotest.(check int) "dsps" 3 sum.Resource.dsps;
+  Alcotest.(check int) "ffs carried" 50 sum.Resource.ffs;
+  let doubled = Resource.scale 2 a in
+  Alcotest.(check int) "scaled" 200 doubled.Resource.luts;
+  Alcotest.(check int) "sum list" 110 (Resource.sum [ a; b ]).Resource.luts
+
+let test_resource_fits () =
+  let small = Resource.make ~luts:10 ~dsps:1 () in
+  let big = Resource.make ~luts:100 ~dsps:10 ~ffs:5 ~bram_bits:8 () in
+  Alcotest.(check bool) "fits" true (Resource.fits small ~within:big);
+  Alcotest.(check bool) "does not fit" false (Resource.fits big ~within:small);
+  let head = Resource.headroom small ~within:big in
+  Alcotest.(check int) "headroom luts" 90 head.Resource.luts
+
+let test_resource_utilisation () =
+  let used = Resource.make ~luts:50 ~dsps:5 () in
+  let cap = Resource.make ~luts:100 ~dsps:10 ~ffs:100 ~bram_bits:100 () in
+  Alcotest.(check (float 1e-9)) "max ratio" 0.5 (Resource.utilisation used ~within:cap)
+
+let test_resource_fraction () =
+  let cap = Resource.make ~luts:1000 ~ffs:2000 ~dsps:100 ~bram_bits:4096 () in
+  let quarter = Resource.fraction 0.25 cap in
+  Alcotest.(check int) "luts" 250 quarter.Resource.luts;
+  Alcotest.(check int) "dsps" 25 quarter.Resource.dsps;
+  (* Tiny positive capacities never round to zero. *)
+  let tiny = Resource.fraction 0.001 (Resource.make ~dsps:10 ()) in
+  Alcotest.(check int) "at least one" 1 tiny.Resource.dsps
+
+let test_device_catalogue () =
+  Alcotest.(check int) "7045 DSPs" 900 Device.zynq_7045.Device.capacity.Resource.dsps;
+  Alcotest.(check int) "7020 DSPs" 220 Device.zynq_7020.Device.capacity.Resource.dsps;
+  Alcotest.(check bool) "7045 bigger than 7020" true
+    (Resource.fits Device.zynq_7020.Device.capacity
+       ~within:Device.zynq_7045.Device.capacity);
+  let found = Device.find "zynq-7020" in
+  Alcotest.(check string) "case-insensitive find" "Zynq-7020" found.Device.device_name
+
+let test_power_monotone () =
+  let small = Resource.make ~luts:100 ~dsps:1 () in
+  let large = Resource.make ~luts:10000 ~dsps:100 () in
+  let p r =
+    (Power.accelerator_power ~device:Device.zynq_7045 ~used:r ~clock_mhz:100.0 ())
+      .Power.total_w
+  in
+  Alcotest.(check bool) "more fabric, more power" true (p large > p small);
+  Alcotest.(check bool) "static floor" true (p small >= Device.zynq_7045.Device.static_power_w)
+
+let test_power_frequency_scales () =
+  let used = Resource.make ~luts:1000 ~dsps:10 () in
+  let d100 = Power.dynamic_of_resources used ~clock_mhz:100.0 in
+  let d200 = Power.dynamic_of_resources used ~clock_mhz:200.0 in
+  Alcotest.(check (float 1e-9)) "linear in frequency" (2.0 *. d100) d200
+
+let test_energy () =
+  let p = { Power.static_w = 1.0; dynamic_w = 1.0; total_w = 2.0 } in
+  Alcotest.(check (float 1e-12)) "E = P t" 1.0 (Power.energy_j p ~seconds:0.5)
+
+let test_timing () =
+  let t = Timing.default in
+  Alcotest.(check (float 1e-15)) "cycle" 1e-8 (Timing.cycle_seconds t);
+  Alcotest.(check (float 1e-9)) "1000 cycles" 1e-5 (Timing.cycles_to_seconds t 1000);
+  Alcotest.(check (float 1e-9)) "ms" 0.01 (Timing.cycles_to_ms t 1000);
+  Alcotest.(check int) "inverse" 1000 (Timing.seconds_to_cycles t 1e-5);
+  Alcotest.check_raises "bad frequency"
+    (Invalid_argument "Timing.at_mhz: non-positive frequency") (fun () ->
+      ignore (Timing.at_mhz 0.0))
+
+let prop_fits_antisymmetric =
+  QCheck.Test.make ~name:"fits is reflexive" ~count:50
+    QCheck.(quad small_nat small_nat small_nat small_nat)
+    (fun (a, b, c, d) ->
+      let r = Resource.make ~luts:a ~ffs:b ~dsps:c ~bram_bits:d () in
+      Resource.fits r ~within:r)
+
+let prop_add_monotone =
+  QCheck.Test.make ~name:"adding never helps fitting" ~count:50
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let r = Resource.make ~luts:a () and extra = Resource.make ~luts:(b + 1) () in
+      not (Resource.fits (Resource.add r extra) ~within:r))
+
+let suite =
+  [
+    ( "fpga.resource",
+      [
+        Alcotest.test_case "arithmetic" `Quick test_resource_arithmetic;
+        Alcotest.test_case "fits/headroom" `Quick test_resource_fits;
+        Alcotest.test_case "utilisation" `Quick test_resource_utilisation;
+        Alcotest.test_case "fraction" `Quick test_resource_fraction;
+        QCheck_alcotest.to_alcotest prop_fits_antisymmetric;
+        QCheck_alcotest.to_alcotest prop_add_monotone;
+      ] );
+    ( "fpga.device",
+      [ Alcotest.test_case "catalogue" `Quick test_device_catalogue ] );
+    ( "fpga.power",
+      [
+        Alcotest.test_case "monotone" `Quick test_power_monotone;
+        Alcotest.test_case "frequency" `Quick test_power_frequency_scales;
+        Alcotest.test_case "energy" `Quick test_energy;
+      ] );
+    ( "fpga.timing", [ Alcotest.test_case "conversions" `Quick test_timing ] );
+  ]

@@ -1,0 +1,195 @@
+(* End-to-end fuzzing: random (but valid) sequential topologies are pushed
+   through the whole flow — generate, fold, compile, emit RTL, simulate,
+   and play back the control path — and the invariants that must hold for
+   *every* network are checked.  This is the failure-injection net that
+   catches generator regressions no hand-written test anticipates. *)
+
+module Shape = Db_tensor.Shape
+module Tensor = Db_tensor.Tensor
+module Layer = Db_nn.Layer
+module Network = Db_nn.Network
+
+(* A random valid sequential CNN/MLP: layer choices are constrained by the
+   running shape so every generated network shape-infers. *)
+let random_network rng =
+  let module R = Db_util.Rng in
+  let channels = 1 + R.int rng 3 in
+  let size = 6 + (2 * R.int rng 4) in
+  let nodes = ref [] in
+  let counter = ref 0 in
+  let fresh prefix =
+    incr counter;
+    Printf.sprintf "%s%d" prefix !counter
+  in
+  let push name layer bottom top =
+    nodes := { Network.node_name = name; layer; bottoms = [ bottom ]; tops = [ top ] } :: !nodes
+  in
+  let input_blob = "data" in
+  nodes :=
+    [
+      {
+        Network.node_name = "in";
+        layer = Layer.Input { shape = Shape.chw ~channels ~height:size ~width:size };
+        bottoms = [];
+        tops = [ input_blob ];
+      };
+    ];
+  let blob = ref input_blob and c = ref channels and hw = ref size in
+  let stages = 1 + R.int rng 4 in
+  let flat = ref false in
+  for _ = 1 to stages do
+    if not !flat then begin
+      match R.int rng 6 with
+      | 0 ->
+          let nout = 1 + R.int rng 8 in
+          let k = if R.bool rng then 3 else 1 in
+          let name = fresh "conv" in
+          push name
+            (Layer.Convolution
+               { num_output = nout; kernel_size = k; stride = 1; pad = k / 2;
+                 group = 1; bias = R.bool rng })
+            !blob name;
+          blob := name;
+          c := nout
+      | 1 when !hw >= 4 && !hw mod 2 = 0 ->
+          let name = fresh "pool" in
+          let method_ = if R.bool rng then Layer.Max else Layer.Average in
+          push name (Layer.Pooling { method_; kernel_size = 2; stride = 2 }) !blob name;
+          blob := name;
+          hw := !hw / 2
+      | 2 ->
+          let name = fresh "act" in
+          let act = R.pick rng [| Layer.Relu; Layer.Sigmoid; Layer.Tanh |] in
+          push name (Layer.Activation act) !blob name;
+          blob := name
+      | 3 ->
+          let name = fresh "lrn" in
+          push name (Layer.Lrn { local_size = 3; alpha = 1e-4; beta = 0.75; k = 1.0 }) !blob name;
+          blob := name
+      | 4 ->
+          let name = fresh "lcn" in
+          push name (Layer.Lcn { window = 3; epsilon = 0.05 }) !blob name;
+          blob := name
+      | _ ->
+          let name = fresh "fc" in
+          let nout = 2 + R.int rng 12 in
+          push name (Layer.Inner_product { num_output = nout; bias = R.bool rng }) !blob name;
+          blob := name;
+          flat := true;
+          c := nout
+    end
+    else begin
+      match R.int rng 2 with
+      | 0 ->
+          let name = fresh "act" in
+          push name (Layer.Activation (R.pick rng [| Layer.Relu; Layer.Sigmoid; Layer.Tanh |])) !blob name;
+          blob := name
+      | _ ->
+          let name = fresh "fc" in
+          let nout = 2 + R.int rng 12 in
+          push name (Layer.Inner_product { num_output = nout; bias = R.bool rng }) !blob name;
+          blob := name;
+          c := nout
+    end
+  done;
+  (* Always end with an FC head so the output is a small vector. *)
+  let head = fresh "head" in
+  push head (Layer.Inner_product { num_output = 4; bias = true }) !blob head;
+  ( Network.create ~name:(Printf.sprintf "fuzz-%d" (R.int rng 100000))
+      (List.rev !nodes),
+    Shape.chw ~channels ~height:size ~width:size )
+
+let flow_invariants seed =
+  let rng = Db_util.Rng.create seed in
+  let net, input_shape = random_network rng in
+  let dsp_cap = 1 + Db_util.Rng.int rng 8 in
+  let cons = Db_core.Constraints.with_dsp_cap Db_core.Constraints.db_medium dsp_cap in
+  let design = Db_core.Generator.generate cons net in
+  (* 1. Budget respected. *)
+  let fits =
+    Db_fpga.Resource.fits
+      (Db_core.Design.resource_usage design)
+      ~within:cons.Db_core.Constraints.budget
+  in
+  (* 2. Folding conserves the model's MACs. *)
+  let stats = Db_nn.Model_stats.compute net in
+  let macs_ok =
+    Db_sched.Folding.total_macs design.Db_core.Design.schedule.Db_sched.Schedule.folds
+    = stats.Db_nn.Model_stats.total_macs
+  in
+  (* 3. The RTL validates and emits. *)
+  let rtl_ok = String.length (Db_core.Design.verilog design) > 0 in
+  (* 4. The simulator produces cycles. *)
+  let report = Db_sim.Simulator.timing design in
+  let sim_ok = report.Db_sim.Simulator.total_cycles > 0 in
+  (* 5. Control playback is memory-safe. *)
+  let playback = Db_sim.Control_playback.playback design in
+  let safe = playback.Db_sim.Control_playback.violations = [] in
+  (* 6. The accelerator's arithmetic matches the quantized interpreter
+     (same saturation, same rounding; only the Approx-LUT interpolation
+     differs), and tracks the float reference whenever the float pass
+     stays inside the representable range (saturation on adversarial
+     random nets is expected fixed-point behaviour, not a bug). *)
+  let params = Db_nn.Params.init_xavier rng net in
+  let input = Tensor.random_uniform rng input_shape ~min:0.0 ~max:1.0 in
+  let accel =
+    Db_sim.Simulator.functional_output design params ~inputs:[ ("data", input) ]
+  in
+  let fmt = design.Db_core.Design.datapath.Db_sched.Datapath.fmt in
+  let quantized = Db_nn.Quantized.output ~fmt net params ~inputs:[ ("data", input) ] in
+  let reference = Db_nn.Interpreter.output net params ~inputs:[ ("data", input) ] in
+  let close_to_quantized = Tensor.l2_distance accel quantized < 0.3 in
+  let in_range =
+    Tensor.fold (fun acc v -> acc && Float.abs v < 0.5 *. Db_fixed.Fixed.max_float fmt)
+      true reference
+  in
+  let close = close_to_quantized && ((not in_range) || Tensor.l2_distance accel reference < 1.5) in
+  if not fits then QCheck.Test.fail_report "budget violated";
+  if not macs_ok then QCheck.Test.fail_report "folding lost MACs";
+  if not rtl_ok then QCheck.Test.fail_report "no RTL";
+  if not sim_ok then QCheck.Test.fail_report "no cycles";
+  if not safe then
+    QCheck.Test.fail_report
+      (String.concat "; " playback.Db_sim.Control_playback.violations);
+  if not close then
+    QCheck.Test.fail_report
+      (Printf.sprintf "accelerator diverges from float reference (l2 %g)"
+         (Tensor.l2_distance accel reference));
+  true
+
+let prop_random_network_flow =
+  QCheck.Test.make ~name:"random topology survives the whole flow" ~count:40
+    QCheck.small_int (fun seed -> flow_invariants (abs seed + 1))
+
+let test_specific_seeds () =
+  (* A few fixed seeds run on every CI pass regardless of qcheck's draws. *)
+  List.iter (fun seed -> ignore (flow_invariants seed)) [ 1; 7; 13; 99; 1234 ]
+
+let suite =
+  [
+    ( "fuzz.flow",
+      [
+        QCheck_alcotest.to_alcotest prop_random_network_flow;
+        Alcotest.test_case "pinned seeds" `Quick test_specific_seeds;
+      ] );
+  ]
+
+(* debug helper: dump distances for a seed when run directly *)
+let () =
+  match Sys.getenv_opt "FUZZ_DEBUG_SEED" with
+  | None -> ()
+  | Some s ->
+      let seed = int_of_string s in
+      let rng = Db_util.Rng.create seed in
+      let net, input_shape = random_network rng in
+      Format.printf "%a@." Db_nn.Network.pp net;
+      let cons = Db_core.Constraints.with_dsp_cap Db_core.Constraints.db_medium (1 + Db_util.Rng.int rng 8) in
+      let design = Db_core.Generator.generate cons net in
+      let params = Db_nn.Params.init_xavier rng net in
+      let input = Tensor.random_uniform rng input_shape ~min:0.0 ~max:1.0 in
+      let accel = Db_sim.Simulator.functional_output design params ~inputs:[ ("data", input) ] in
+      let fmt = design.Db_core.Design.datapath.Db_sched.Datapath.fmt in
+      let q = Db_nn.Quantized.output ~fmt net params ~inputs:[ ("data", input) ] in
+      let r = Db_nn.Interpreter.output net params ~inputs:[ ("data", input) ] in
+      Format.printf "accel=%a@.quant=%a@.float=%a@." Tensor.pp accel Tensor.pp q Tensor.pp r;
+      Printf.printf "accel-quant %g accel-float %g\n" (Tensor.l2_distance accel q) (Tensor.l2_distance accel r)

@@ -1,0 +1,310 @@
+(* Tests for db_hdl: RTL validation, FSM semantics and Verilog emission. *)
+
+module Rtl = Db_hdl.Rtl
+module Fsm = Db_hdl.Fsm
+module Verilog = Db_hdl.Verilog
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let leaf =
+  {
+    Rtl.mod_name = "leaf";
+    ports =
+      [
+        { Rtl.port_name = "clk"; direction = Rtl.Input; width = 1 };
+        { Rtl.port_name = "d"; direction = Rtl.Input; width = 8 };
+        { Rtl.port_name = "q"; direction = Rtl.Output; width = 8 };
+      ];
+    localparams = [];
+    body = Rtl.Behavioral [ "assign q = d;" ];
+  }
+
+let top_with instances nets =
+  {
+    Rtl.mod_name = "top";
+    ports = [ { Rtl.port_name = "clk"; direction = Rtl.Input; width = 1 } ];
+    localparams = [];
+    body = Rtl.Structural { nets; instances; assigns = [] };
+  }
+
+let good_design =
+  {
+    Rtl.top = "top";
+    modules =
+      [
+        leaf;
+        top_with
+          [
+            {
+              Rtl.inst_name = "u0";
+              module_ref = "leaf";
+              parameters = [];
+              connections = [ ("clk", "clk"); ("d", "bus"); ("q", "bus2") ];
+            };
+          ]
+          [
+            { Rtl.net_name = "bus"; net_width = 8 };
+            { Rtl.net_name = "bus2"; net_width = 8 };
+          ];
+      ];
+  }
+
+let test_validate_good () = Rtl.validate good_design
+
+let expect_invalid design fragment =
+  match Rtl.validate design with
+  | () -> Alcotest.failf "expected validation failure (%s)" fragment
+  | exception Db_util.Error.Deepburning_error msg ->
+      Alcotest.(check bool) ("mentions " ^ fragment) true (contains msg fragment)
+
+let test_validate_missing_module () =
+  expect_invalid
+    {
+      Rtl.top = "top";
+      modules =
+        [
+          top_with
+            [
+              {
+                Rtl.inst_name = "u0";
+                module_ref = "ghost";
+                parameters = [];
+                connections = [];
+              };
+            ]
+            [];
+        ];
+    }
+    "undeclared module"
+
+let test_validate_unknown_port () =
+  expect_invalid
+    {
+      good_design with
+      Rtl.modules =
+        [
+          leaf;
+          top_with
+            [
+              {
+                Rtl.inst_name = "u0";
+                module_ref = "leaf";
+                parameters = [];
+                connections = [ ("nonexistent", "clk") ];
+              };
+            ]
+            [];
+        ];
+    }
+    "no port"
+
+let test_validate_unknown_net () =
+  expect_invalid
+    {
+      good_design with
+      Rtl.modules =
+        [
+          leaf;
+          top_with
+            [
+              {
+                Rtl.inst_name = "u0";
+                module_ref = "leaf";
+                parameters = [];
+                connections = [ ("d", "missing_net") ];
+              };
+            ]
+            [];
+        ];
+    }
+    "unknown net"
+
+let test_validate_missing_top () =
+  expect_invalid { Rtl.top = "nope"; modules = [ leaf ] } "top module"
+
+let test_instances_queries () =
+  Alcotest.(check int) "instances of top" 1
+    (List.length (Rtl.instances_of good_design "top"));
+  Alcotest.(check int) "count by prefix" 1
+    (Rtl.count_instances good_design ~module_prefix:"le")
+
+let test_verilog_emission () =
+  let text = Verilog.emit_design good_design in
+  Alcotest.(check bool) "has leaf module" true (contains text "module leaf (");
+  Alcotest.(check bool) "has top module" true (contains text "module top (");
+  Alcotest.(check bool) "top comes last" true
+    (String.length text - String.index text 't' > 0);
+  Alcotest.(check bool) "instance" true (contains text "leaf u0 (");
+  Alcotest.(check bool) "wire decl" true (contains text "wire [7:0] bus;");
+  Alcotest.(check bool) "endmodule per module" true
+    (List.length (String.split_on_char 'e' text) > 0)
+
+let counter_fsm =
+  {
+    Fsm.fsm_name = "counter";
+    states = [ "idle"; "run"; "done" ];
+    initial = "idle";
+    inputs = [ "go"; "stop" ];
+    outputs = [ "tick"; "finished" ];
+    transitions =
+      [
+        { Fsm.from_state = "idle"; guard = Some "go"; to_state = "run"; actions = [ "tick" ] };
+        { Fsm.from_state = "run"; guard = Some "stop"; to_state = "done"; actions = [ "finished" ] };
+        { Fsm.from_state = "run"; guard = None; to_state = "run"; actions = [ "tick" ] };
+      ];
+  }
+
+let test_fsm_validate () = Fsm.validate counter_fsm
+
+let test_fsm_rejects_nondeterminism () =
+  let bad =
+    {
+      counter_fsm with
+      Fsm.transitions =
+        counter_fsm.Fsm.transitions
+        @ [ { Fsm.from_state = "idle"; guard = Some "go"; to_state = "done"; actions = [] } ];
+    }
+  in
+  match Fsm.validate bad with
+  | () -> Alcotest.fail "expected nondeterminism rejection"
+  | exception Db_util.Error.Deepburning_error _ -> ()
+
+let test_fsm_rejects_unknown_guard () =
+  let bad =
+    {
+      counter_fsm with
+      Fsm.transitions =
+        [ { Fsm.from_state = "idle"; guard = Some "warp"; to_state = "run"; actions = [] } ];
+    }
+  in
+  match Fsm.validate bad with
+  | () -> Alcotest.fail "expected unknown guard rejection"
+  | exception Db_util.Error.Deepburning_error _ -> ()
+
+let test_fsm_step_semantics () =
+  let s1, a1 = Fsm.step counter_fsm ~state:"idle" ~asserted:[ "go" ] in
+  Alcotest.(check string) "idle -go-> run" "run" s1;
+  Alcotest.(check (list string)) "tick" [ "tick" ] a1;
+  let s2, _ = Fsm.step counter_fsm ~state:"idle" ~asserted:[] in
+  Alcotest.(check string) "idle stays without go" "idle" s2;
+  let s3, a3 = Fsm.step counter_fsm ~state:"run" ~asserted:[] in
+  Alcotest.(check string) "run self-loop" "run" s3;
+  Alcotest.(check (list string)) "self tick" [ "tick" ] a3;
+  let s4, a4 = Fsm.step counter_fsm ~state:"run" ~asserted:[ "stop" ] in
+  Alcotest.(check string) "guard wins over epsilon" "done" s4;
+  Alcotest.(check (list string)) "finished" [ "finished" ] a4
+
+let test_fsm_run_trace () =
+  let trace = Fsm.run counter_fsm ~asserted:[ [ "go" ]; []; [ "stop" ] ] in
+  Alcotest.(check (list string))
+    "state trace" [ "run"; "run"; "done" ]
+    (List.map fst trace)
+
+let test_fsm_reachability () =
+  let unreachable =
+    {
+      counter_fsm with
+      Fsm.states = counter_fsm.Fsm.states @ [ "limbo" ];
+    }
+  in
+  let reach = Fsm.reachable_states unreachable in
+  Alcotest.(check bool) "limbo unreachable" false (List.mem "limbo" reach);
+  Alcotest.(check bool) "done reachable" true (List.mem "done" reach)
+
+let test_fsm_to_verilog () =
+  let m = Fsm.to_module counter_fsm ~clock:"clk" ~reset:"rst" in
+  let text = Verilog.emit_module m in
+  Alcotest.(check bool) "module name" true (contains text "module counter (");
+  Alcotest.(check bool) "one-hot register" true (contains text "reg [2:0] state;");
+  Alcotest.(check bool) "case statement" true (contains text "case (state)");
+  Alcotest.(check bool) "guard if" true (contains text "if (go)")
+
+(* Property: a random linear pipeline FSM visits all its states in order. *)
+let prop_linear_fsm_walk =
+  QCheck.Test.make ~name:"linear FSM walks its chain" ~count:30
+    QCheck.(int_range 2 10)
+    (fun n ->
+      let states = List.init n (fun i -> Printf.sprintf "s%d" i) in
+      let transitions =
+        List.init (n - 1) (fun i ->
+            {
+              Fsm.from_state = Printf.sprintf "s%d" i;
+              guard = Some "step";
+              to_state = Printf.sprintf "s%d" (i + 1);
+              actions = [];
+            })
+      in
+      let fsm =
+        {
+          Fsm.fsm_name = "chain";
+          states;
+          initial = "s0";
+          inputs = [ "step" ];
+          outputs = [];
+          transitions;
+        }
+      in
+      Fsm.validate fsm;
+      let trace = Fsm.run fsm ~asserted:(List.init (n - 1) (fun _ -> [ "step" ])) in
+      List.map fst trace = List.tl states)
+
+let suite =
+  [
+    ( "hdl.rtl",
+      [
+        Alcotest.test_case "validate good" `Quick test_validate_good;
+        Alcotest.test_case "missing module" `Quick test_validate_missing_module;
+        Alcotest.test_case "unknown port" `Quick test_validate_unknown_port;
+        Alcotest.test_case "unknown net" `Quick test_validate_unknown_net;
+        Alcotest.test_case "missing top" `Quick test_validate_missing_top;
+        Alcotest.test_case "queries" `Quick test_instances_queries;
+        Alcotest.test_case "verilog emission" `Quick test_verilog_emission;
+      ] );
+    ( "hdl.fsm",
+      [
+        Alcotest.test_case "validate" `Quick test_fsm_validate;
+        Alcotest.test_case "nondeterminism" `Quick test_fsm_rejects_nondeterminism;
+        Alcotest.test_case "unknown guard" `Quick test_fsm_rejects_unknown_guard;
+        Alcotest.test_case "step" `Quick test_fsm_step_semantics;
+        Alcotest.test_case "run trace" `Quick test_fsm_run_trace;
+        Alcotest.test_case "reachability" `Quick test_fsm_reachability;
+        Alcotest.test_case "verilog" `Quick test_fsm_to_verilog;
+        QCheck_alcotest.to_alcotest prop_linear_fsm_walk;
+      ] );
+  ]
+
+(* --- Verilog lint (appended suite) ----------------------------------------- *)
+
+let test_lint_clean_design () =
+  Db_hdl.Lint.assert_clean (Verilog.emit_design good_design)
+
+let test_lint_catches_imbalance () =
+  let bad = "module m (\n  input wire clk\n);\n  always @(posedge clk) begin\n    x <= 1;\nendmodule\n" in
+  Alcotest.(check bool) "missing end detected" true (Db_hdl.Lint.check bad <> [])
+
+let test_lint_ignores_comments_and_strings () =
+  let ok =
+    "module m (\n  input wire clk\n);\n  // begin begin begin (\n  \
+     initial $display(\"begin ( [\");\nendmodule\n"
+  in
+  Alcotest.(check (list string)) "no issues" []
+    (List.map (fun i -> i.Db_hdl.Lint.message) (Db_hdl.Lint.check ok))
+
+let test_lint_paren_imbalance () =
+  let bad = "module m (\n  input wire clk\n);\n  assign x = (a + b;\nendmodule\n" in
+  Alcotest.(check bool) "paren caught" true (Db_hdl.Lint.check bad <> [])
+
+let suite =
+  suite
+  @ [
+      ( "hdl.lint",
+        [
+          Alcotest.test_case "clean design" `Quick test_lint_clean_design;
+          Alcotest.test_case "imbalance" `Quick test_lint_catches_imbalance;
+          Alcotest.test_case "comments/strings" `Quick test_lint_ignores_comments_and_strings;
+          Alcotest.test_case "parens" `Quick test_lint_paren_imbalance;
+        ] );
+    ]

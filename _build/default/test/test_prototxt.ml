@@ -1,0 +1,209 @@
+(* Tests for db_prototxt: lexer, parser, printer and the round trip. *)
+
+module Ast = Db_prototxt.Ast
+module Lexer = Db_prototxt.Lexer
+module Parser = Db_prototxt.Parser
+module Printer = Db_prototxt.Printer
+
+let parse = Parser.parse
+
+let test_scalar_fields () =
+  let doc = parse {|name: "net" count: 42 rate: 0.5 kind: MAX flag: true|} in
+  Alcotest.(check (option string)) "string" (Some "net") (Ast.opt_string doc "name");
+  Alcotest.(check (option int)) "int" (Some 42) (Ast.opt_int doc "count");
+  Alcotest.(check bool) "float" true (Ast.opt_float doc "rate" = Some 0.5);
+  Alcotest.(check (option string)) "enum" (Some "MAX") (Ast.opt_enum doc "kind");
+  Alcotest.(check (option string)) "bool as enum" (Some "true") (Ast.opt_enum doc "flag")
+
+let test_nested_messages () =
+  let doc =
+    parse
+      {|layers { name: "conv1" param { num_output: 20 kernel_size: 5 } }|}
+  in
+  match Ast.messages doc "layers" with
+  | [ fields ] -> begin
+      Alcotest.(check string) "name" "conv1" (Ast.find_string fields "name");
+      match Ast.opt_message fields "param" with
+      | Some p -> Alcotest.(check int) "nested int" 20 (Ast.find_int p "num_output")
+      | None -> Alcotest.fail "missing param message"
+    end
+  | other -> Alcotest.failf "expected 1 layers block, got %d" (List.length other)
+
+let test_repeated_fields () =
+  let doc = parse {|m { bottom: "a" bottom: "b" dim: 1 dim: 2 dim: 3 }|} in
+  match Ast.messages doc "m" with
+  | [ fields ] ->
+      Alcotest.(check (list string)) "bottoms" [ "a"; "b" ] (Ast.strings fields "bottom");
+      Alcotest.(check (list int)) "dims" [ 1; 2; 3 ] (Ast.ints fields "dim")
+  | _ -> Alcotest.fail "expected one message"
+
+let test_comments_and_commas () =
+  let doc = parse "# header comment\na: 1, b: 2 # trailing\nc: 3" in
+  Alcotest.(check (option int)) "a" (Some 1) (Ast.opt_int doc "a");
+  Alcotest.(check (option int)) "b" (Some 2) (Ast.opt_int doc "b");
+  Alcotest.(check (option int)) "c" (Some 3) (Ast.opt_int doc "c")
+
+let test_negative_and_scientific () =
+  let doc = parse "a: -5 b: -0.25 c: 1e-3 d: 2.5E2" in
+  Alcotest.(check (option int)) "neg int" (Some (-5)) (Ast.opt_int doc "a");
+  Alcotest.(check bool) "neg float" true (Ast.opt_float doc "b" = Some (-0.25));
+  Alcotest.(check bool) "sci" true (Ast.opt_float doc "c" = Some 0.001);
+  Alcotest.(check bool) "sci upper" true (Ast.opt_float doc "d" = Some 250.0)
+
+(* tiny substring check without extra deps *)
+let astring_contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_error_unterminated_string () =
+  match parse {|name: "oops|} with
+  | (_ : Ast.document) -> Alcotest.fail "expected error"
+  | exception Db_util.Error.Deepburning_error msg ->
+      Alcotest.(check bool) "mentions string" true
+        (astring_contains msg "unterminated string")
+
+let test_error_missing_value () =
+  match parse "a:" with
+  | (_ : Ast.document) -> Alcotest.fail "expected error"
+  | exception Db_util.Error.Deepburning_error msg ->
+      Alcotest.(check bool) "mentions value" true (astring_contains msg "a value")
+
+let test_error_unbalanced_brace () =
+  match parse "m { a: 1" with
+  | (_ : Ast.document) -> Alcotest.fail "expected error"
+  | exception Db_util.Error.Deepburning_error msg ->
+      Alcotest.(check bool) "mentions brace" true (astring_contains msg "'}'")
+
+let test_error_position () =
+  match parse "a: 1\nb: {" with
+  | (_ : Ast.document) -> Alcotest.fail "expected error"
+  | exception Db_util.Error.Deepburning_error msg ->
+      Alcotest.(check bool) "line 2 reported" true (astring_contains msg "line 2")
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize {|x: "s" { }|} in
+  let kinds = List.map (fun (l : Lexer.located) -> l.Lexer.token) toks in
+  Alcotest.(check int) "token count incl eof" 6 (List.length kinds)
+
+let test_print_parse_roundtrip () =
+  let doc =
+    parse
+      {|
+name: "roundtrip"
+layers {
+  name: "conv1"
+  type: CONVOLUTION
+  bottom: "data"
+  top: "conv1"
+  convolution_param { num_output: 20 kernel_size: 5 stride: 1 }
+}
+layers { name: "relu1" type: RELU bottom: "conv1" top: "conv1b" }
+|}
+  in
+  let printed = Printer.print doc in
+  let reparsed = parse printed in
+  Alcotest.(check bool) "documents equal" true (Ast.equal_document doc reparsed)
+
+let test_print_float_reparses_as_float () =
+  let doc = [ Ast.Scalar ("r", Ast.Float 2.0) ] in
+  let reparsed = parse (Printer.print doc) in
+  Alcotest.(check bool) "still a float" true (Ast.opt_float reparsed "r" = Some 2.0);
+  (match Ast.opt_int reparsed "r" with
+  | (_ : int option) -> Alcotest.fail "expected a type error"
+  | exception Db_util.Error.Deepburning_error _ -> ())
+
+let test_paper_fig4_script () =
+  (* The exact flavour of script from Fig. 4 of the paper. *)
+  let doc =
+    parse
+      {|
+layers {
+  name: "conv1"
+  type: CONVOLUTION
+  bottom: "data"
+  top: "conv1"
+  param { num_output: 20 kernel_size: 5 stride: 1}
+  connect { name: "c2p1" direction: forward type: full_per_channel }
+}
+layers {
+  name: "pool1"
+  type: POOLING
+  bottom: "conv1"
+  top: "pool1"
+  pooling_param { pool: MAX kernel_size: 2 stride: 2 }
+}
+layers {
+  name: "relu1"
+  type: RELU
+  bottom: "ip1"
+  top: "ip1b"
+  connect { name: "p2f2" direction: recurrent type: file_specified }
+}
+|}
+  in
+  Alcotest.(check int) "three layers" 3 (List.length (Ast.messages doc "layers"))
+
+(* Property: printing any generated document re-parses to an equal one. *)
+let gen_value =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> Ast.Int i) (int_range (-1000) 1000);
+        map (fun f -> Ast.Float (Float.round (f *. 100.0) /. 100.0)) (float_range (-10.0) 10.0);
+        map (fun s -> Ast.String s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 8));
+        map (fun s -> Ast.Enum ("E" ^ s)) (string_size ~gen:(char_range 'A' 'Z') (int_range 1 5));
+        map (fun b -> Ast.Bool b) bool;
+      ])
+
+let gen_name =
+  QCheck.Gen.(
+    map (fun s -> "f" ^ s) (string_size ~gen:(char_range 'a' 'z') (int_range 1 6)))
+
+let rec gen_field depth =
+  QCheck.Gen.(
+    if depth = 0 then map2 (fun n v -> Ast.Scalar (n, v)) gen_name gen_value
+    else
+      frequency
+        [
+          (3, map2 (fun n v -> Ast.Scalar (n, v)) gen_name gen_value);
+          ( 1,
+            map2
+              (fun n fields -> Ast.Message (n, fields))
+              gen_name
+              (list_size (int_range 0 4) (gen_field (depth - 1))) );
+        ])
+
+let gen_document = QCheck.Gen.list_size (QCheck.Gen.int_range 0 6) (gen_field 2)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse round trip" ~count:100
+    (QCheck.make gen_document) (fun doc ->
+      Ast.equal_document doc (parse (Printer.print doc)))
+
+let suite =
+  [
+    ( "prototxt.parse",
+      [
+        Alcotest.test_case "scalars" `Quick test_scalar_fields;
+        Alcotest.test_case "nested" `Quick test_nested_messages;
+        Alcotest.test_case "repeated" `Quick test_repeated_fields;
+        Alcotest.test_case "comments" `Quick test_comments_and_commas;
+        Alcotest.test_case "numbers" `Quick test_negative_and_scientific;
+        Alcotest.test_case "lexer" `Quick test_lexer_tokens;
+        Alcotest.test_case "paper Fig.4" `Quick test_paper_fig4_script;
+      ] );
+    ( "prototxt.errors",
+      [
+        Alcotest.test_case "unterminated string" `Quick test_error_unterminated_string;
+        Alcotest.test_case "missing value" `Quick test_error_missing_value;
+        Alcotest.test_case "unbalanced brace" `Quick test_error_unbalanced_brace;
+        Alcotest.test_case "position" `Quick test_error_position;
+      ] );
+    ( "prototxt.roundtrip",
+      [
+        Alcotest.test_case "explicit" `Quick test_print_parse_roundtrip;
+        Alcotest.test_case "float stays float" `Quick test_print_float_reparses_as_float;
+        QCheck_alcotest.to_alcotest prop_roundtrip;
+      ] );
+  ]
