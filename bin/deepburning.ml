@@ -163,6 +163,85 @@ let zoo_cmd =
     (Cmd.info "zoo" ~doc:"List or print the bundled model scripts.")
     Term.(const run $ action_arg $ name_arg)
 
+let lint_cmd =
+  let model_opt_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "m"; "model" ] ~docv:"MODEL"
+          ~doc:"Caffe-compatible model description (.prototxt).")
+  in
+  let zoo_arg =
+    Arg.(
+      value & flag
+      & info [ "zoo" ]
+          ~doc:"Lint the generated design of every bundled zoo model.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Treat warnings as errors (exit non-zero).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit diagnostics as a JSON array on stdout.")
+  in
+  let run model_path constraint_path tiling zoo strict json =
+    let code = ref 0 in
+    let rc =
+      wrap (fun () ->
+          let targets =
+            if zoo then
+              List.map (fun (name, src) -> (name, src)) zoo_models
+            else
+              match model_path with
+              | Some path -> [ (Filename.basename path, read_file path) ]
+              | None ->
+                  Db_util.Error.fail
+                    "lint: pass --model FILE or --zoo"
+          in
+          let constraint_script =
+            match constraint_path with
+            | Some path -> read_file path
+            | None -> default_constraint_script
+          in
+          List.iter
+            (fun (name, model) ->
+              let design =
+                Db_core.Generator.generate_from_script ~tiling_enabled:tiling
+                  ~model ~constraint_script ()
+              in
+              let diags = Db_core.Design.analyze design in
+              let diags =
+                if strict then Db_analysis.Diagnostic.strictify diags
+                else diags
+              in
+              if json then
+                print_endline (Db_analysis.Diagnostic.json_of_list diags)
+              else begin
+                Printf.printf "== %s (%s): %s\n" name
+                  design.Db_core.Design.rtl.Db_hdl.Rtl.top
+                  (Db_analysis.Diagnostic.summary diags);
+                List.iter
+                  (fun d ->
+                    print_endline ("  " ^ Db_analysis.Diagnostic.to_string d))
+                  diags
+              end;
+              if Db_analysis.Diagnostic.errors diags <> [] then code := 2)
+            targets)
+    in
+    if rc <> 0 then rc else !code
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Generate a design and run the semantic RTL analyzer over it \
+          (drivers, widths, combinational loops, FSM reachability).")
+    Term.(
+      const run $ model_opt_arg $ constraint_arg $ tiling_arg $ zoo_arg
+      $ strict_arg $ json_arg)
+
 let verify_cmd =
   let run model_path constraint_path tiling =
     wrap (fun () ->
@@ -190,6 +269,6 @@ let main_cmd =
   let doc = "automatic generation of FPGA-based NN accelerators (DAC'16 reproduction)" in
   Cmd.group
     (Cmd.info "deepburning" ~version:"1.0.0" ~doc)
-    [ generate_cmd; simulate_cmd; verify_cmd; stats_cmd; zoo_cmd ]
+    [ generate_cmd; simulate_cmd; verify_cmd; lint_cmd; stats_cmd; zoo_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,489 @@
+(* Semantic static analysis over Rtl.design values and Fsm.t machines.
+
+   Structural modules get a full driver/reader model: every net and port is
+   tracked bit-precisely where possible, so shorted drivers (DB-E001) are
+   detected even when two slices of the same bus overlap only partially.
+   Behavioral modules are leaf templates of raw Verilog, so they get textual
+   checks (output driven, input read, latch heuristic) over a comment- and
+   string-stripped body. *)
+
+module Rtl = Db_hdl.Rtl
+module Fsm = Db_hdl.Fsm
+module Lint = Db_hdl.Lint
+module D = Diagnostic
+module W = Expr_width
+
+let code_multi_driver = "DB-E001"
+let code_width_mismatch = "DB-E002"
+let code_port_width_mismatch = "DB-E003"
+let code_comb_loop = "DB-E004"
+let code_param_unknown = "DB-E005"
+let code_redeclared = "DB-E006"
+let code_fsm_invalid = "DB-E007"
+let code_undriven_net = "DB-W101"
+let code_unused_net = "DB-W102"
+let code_undriven_output = "DB-W103"
+let code_latch = "DB-W104"
+let code_fsm_unreachable = "DB-W105"
+let code_fsm_sink = "DB-W106"
+let code_implicit_net = "DB-W107"
+let code_unused_input = "DB-I201"
+
+let contains text sub =
+  let n = String.length text and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let word_present text word = Lint.count_word text word > 0
+
+(* A driver covers either a known bit range of its target or an unknown
+   subset (e.g. an indexed select with a dynamic base).  Unknown subsets
+   count for driven-ness but are excluded from overlap detection. *)
+type driver = { range : (int * int) option; desc : string }
+
+(* --- combinational classification ------------------------------------- *)
+
+(* A module is combinational (its outputs can respond to inputs in the same
+   cycle) iff it contains no clocked process.  For behavioral leaves that is
+   a posedge/negedge scan; structural modules are combinational when they
+   have continuous assigns or any combinational child.  This is conservative
+   at module granularity: a sequential leaf breaks every path through it. *)
+let build_comb_table (design : Rtl.design) =
+  let tbl = Hashtbl.create 16 in
+  let rec comb (m : Rtl.module_decl) =
+    match Hashtbl.find_opt tbl m.Rtl.mod_name with
+    | Some b -> b
+    | None ->
+        Hashtbl.add tbl m.Rtl.mod_name false (* cycle guard *);
+        let b =
+          match m.Rtl.body with
+          | Rtl.Behavioral lines ->
+              let text = Lint.strip_comments (String.concat "\n" lines) in
+              not (contains text "posedge" || contains text "negedge")
+          | Rtl.Structural { instances; assigns; _ } ->
+              assigns <> []
+              || List.exists
+                   (fun (i : Rtl.instance) ->
+                     match Rtl.find_module design i.Rtl.module_ref with
+                     | callee -> comb callee
+                     | exception Not_found -> false)
+                   instances
+        in
+        Hashtbl.replace tbl m.Rtl.mod_name b;
+        b
+  in
+  fun m -> comb m
+
+(* --- cycle search ------------------------------------------------------ *)
+
+let find_cycle nodes succs =
+  let state = Hashtbl.create 64 in
+  let found = ref None in
+  let rec visit path n =
+    if !found = None then
+      match Hashtbl.find_opt state n with
+      | Some `Done -> ()
+      | Some `Gray ->
+          (* [path] runs from the current node back to the root; the cycle is
+             the prefix up to (and including) the re-entered node. *)
+          let rec take acc = function
+            | [] -> acc
+            | x :: _ when x = n -> x :: acc
+            | x :: rest -> take (x :: acc) rest
+          in
+          found := Some (n :: take [] path)
+      | None ->
+          Hashtbl.add state n `Gray;
+          List.iter (visit (n :: path)) (succs n);
+          Hashtbl.replace state n `Done
+  in
+  List.iter (fun n -> visit [] n) nodes;
+  !found
+
+(* --- structural module analysis ---------------------------------------- *)
+
+let analyze_structural (design : Rtl.design) add comb_of (m : Rtl.module_decl)
+    (nets : Rtl.net list) (instances : Rtl.instance list)
+    (assigns : (string * string) list) =
+  let scope = m.Rtl.mod_name in
+  let diag ~code ~severity ?item fmt =
+    Printf.ksprintf (fun msg -> add (D.v ~code ~severity ~scope ?item msg)) fmt
+  in
+  let widths = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Rtl.port) -> Hashtbl.replace widths p.Rtl.port_name p.Rtl.width)
+    m.Rtl.ports;
+  List.iter
+    (fun (n : Rtl.net) ->
+      if Hashtbl.mem widths n.Rtl.net_name then
+        diag ~code:code_redeclared ~severity:D.Error ~item:n.Rtl.net_name
+          "net %S declared more than once (or shadows a port)" n.Rtl.net_name
+      else Hashtbl.replace widths n.Rtl.net_name n.Rtl.net_width)
+    nets;
+  let params = Hashtbl.create 8 in
+  List.iter (fun (k, v) -> Hashtbl.replace params k v) m.Rtl.localparams;
+  let param name = Hashtbl.find_opt params name in
+  let net_width name = Hashtbl.find_opt widths name in
+  let drivers : (string, driver list ref) Hashtbl.t = Hashtbl.create 64 in
+  let reads = Hashtbl.create 64 in
+  let full_range name =
+    match net_width name with Some w -> Some (0, w - 1) | None -> None
+  in
+  let add_driver base range desc =
+    match Hashtbl.find_opt drivers base with
+    | Some l -> l := { range; desc } :: !l
+    | None -> Hashtbl.add drivers base (ref [ { range; desc } ])
+  in
+  let add_lvalue_driver target desc =
+    match W.lvalue ~param target with
+    | Some (W.Whole base) -> add_driver base (full_range base) desc
+    | Some (W.Slice (base, sel)) ->
+        let range =
+          match sel with
+          | W.Range (lo, hi) -> Some (lo, hi)
+          | W.Bit i -> Some (i, i)
+          | W.Indexed _ | W.Opaque ->
+              (* indexed selects with dynamic bases are not positioned; they
+                 still count as drivers for driven-ness *)
+              None
+        in
+        add_driver base range desc
+    | None -> ()
+  in
+  (* Input ports are driven from outside the module. *)
+  List.iter
+    (fun (p : Rtl.port) ->
+      if p.Rtl.direction = Rtl.Input then
+        add_driver p.Rtl.port_name (full_range p.Rtl.port_name) "input port")
+    m.Rtl.ports;
+  let note_reads expr =
+    List.iter
+      (fun id ->
+        if Hashtbl.mem widths id then Hashtbl.replace reads id ()
+        else if param id = None then
+          diag ~code:code_implicit_net ~severity:D.Warning ~item:id
+            "identifier %S is not a declared net, port or localparam" id)
+      (W.identifiers expr)
+  in
+  (* continuous assigns *)
+  List.iter
+    (fun (lhs, rhs) ->
+      add_lvalue_driver lhs (Printf.sprintf "assign to %S" lhs);
+      (let lhs_width =
+         match W.lvalue ~param lhs with
+         | Some (W.Whole base) -> net_width base
+         | Some (W.Slice (_, W.Range (lo, hi))) -> Some (hi - lo + 1)
+         | Some (W.Slice (_, W.Bit _)) -> Some 1
+         | Some (W.Slice (_, W.Indexed k)) -> Some k
+         | Some (W.Slice (_, W.Opaque)) | None -> None
+       in
+       match (lhs_width, W.infer ~net_width ~param rhs) with
+       | Some l, W.Known r when l <> r ->
+           diag ~code:code_width_mismatch ~severity:D.Error ~item:lhs
+             "assign %s = %s: lhs is %d bit(s) but rhs is %d bit(s)" lhs rhs l
+             r
+       | _ -> ());
+      note_reads rhs)
+    assigns;
+  (* instances *)
+  List.iter
+    (fun (inst : Rtl.instance) ->
+      match Rtl.find_module design inst.Rtl.module_ref with
+      | exception Not_found -> () (* Rtl.validate reports undeclared modules *)
+      | callee ->
+          List.iter
+            (fun (k, _) ->
+              if not (List.mem_assoc k callee.Rtl.localparams) then
+                diag ~code:code_param_unknown ~severity:D.Error ~item:k
+                  "instance %S overrides parameter %S, which module %S does \
+                   not declare"
+                  inst.Rtl.inst_name k inst.Rtl.module_ref)
+            inst.Rtl.parameters;
+          List.iter
+            (fun (formal, actual) ->
+              match
+                List.find_opt
+                  (fun (p : Rtl.port) -> p.Rtl.port_name = formal)
+                  callee.Rtl.ports
+              with
+              | None -> () (* Rtl.validate reports unknown formals *)
+              | Some fp ->
+                  (match W.infer ~net_width ~param actual with
+                  | W.Known w when w <> fp.Rtl.width ->
+                      diag ~code:code_port_width_mismatch ~severity:D.Error
+                        ~item:formal
+                        "instance %S port %S is %d bit(s) but actual %S is %d \
+                         bit(s)"
+                        inst.Rtl.inst_name formal fp.Rtl.width actual w
+                  | _ -> ());
+                  (match fp.Rtl.direction with
+                  | Rtl.Output -> (
+                      match W.lvalue ~param actual with
+                      | Some (W.Whole base | W.Slice (base, _))
+                        when Hashtbl.mem widths base ->
+                          add_lvalue_driver actual
+                            (Printf.sprintf "output %s.%s" inst.Rtl.inst_name
+                               formal)
+                      | _ ->
+                          (* an output wired to an expression is at best a
+                             read of its identifiers *)
+                          note_reads actual)
+                  | Rtl.Input -> note_reads actual))
+            inst.Rtl.connections)
+    instances;
+  (* multiple drivers: sort positioned ranges and scan for overlap *)
+  Hashtbl.iter
+    (fun base ds ->
+      let positioned =
+        List.filter_map
+          (fun d ->
+            match d.range with Some (lo, hi) -> Some (lo, hi, d.desc) | None -> None)
+          !ds
+        |> List.sort compare
+      in
+      let rec scan = function
+        | (_, hi1, d1) :: ((lo2, _, d2) :: _ as rest) ->
+            if lo2 <= hi1 then
+              diag ~code:code_multi_driver ~severity:D.Error ~item:base
+                "net %S has conflicting drivers: %s and %s" base d1 d2
+            else scan rest
+        | _ -> ()
+      in
+      scan positioned)
+    drivers;
+  (* undriven / unused nets *)
+  List.iter
+    (fun (n : Rtl.net) ->
+      let name = n.Rtl.net_name in
+      let driven = Hashtbl.mem drivers name in
+      let read = Hashtbl.mem reads name in
+      match (driven, read) with
+      | true, true -> ()
+      | false, true ->
+          diag ~code:code_undriven_net ~severity:D.Warning ~item:name
+            "net %S is read but never driven" name
+      | true, false ->
+          diag ~code:code_unused_net ~severity:D.Warning ~item:name
+            "net %S is driven but never read" name
+      | false, false ->
+          diag ~code:code_unused_net ~severity:D.Warning ~item:name
+            "net %S is never driven nor read" name)
+    nets;
+  (* ports of a structural module *)
+  List.iter
+    (fun (p : Rtl.port) ->
+      match p.Rtl.direction with
+      | Rtl.Output ->
+          if not (Hashtbl.mem drivers p.Rtl.port_name) then
+            diag ~code:code_undriven_output ~severity:D.Warning
+              ~item:p.Rtl.port_name "output port %S is never driven"
+              p.Rtl.port_name
+      | Rtl.Input ->
+          if not (Hashtbl.mem reads p.Rtl.port_name) then
+            diag ~code:code_unused_input ~severity:D.Info ~item:p.Rtl.port_name
+              "input port %S is never read" p.Rtl.port_name)
+    m.Rtl.ports;
+  (* combinational loops: edges from read nets to driven nets through
+     assigns and through combinational instances *)
+  let edges : (string, string list ref) Hashtbl.t = Hashtbl.create 64 in
+  let add_edge src dst =
+    match Hashtbl.find_opt edges src with
+    | Some l -> l := dst :: !l
+    | None -> Hashtbl.add edges src (ref [ dst ])
+  in
+  let bases_of_target target =
+    match W.lvalue ~param target with
+    | Some (W.Whole base) | Some (W.Slice (base, _)) ->
+        if Hashtbl.mem widths base then [ base ] else []
+    | None -> []
+  in
+  let read_ids expr =
+    List.filter (Hashtbl.mem widths) (W.identifiers expr)
+  in
+  List.iter
+    (fun (lhs, rhs) ->
+      let dsts = bases_of_target lhs in
+      List.iter
+        (fun src -> List.iter (fun dst -> add_edge src dst) dsts)
+        (read_ids rhs))
+    assigns;
+  List.iter
+    (fun (inst : Rtl.instance) ->
+      match Rtl.find_module design inst.Rtl.module_ref with
+      | exception Not_found -> ()
+      | callee when comb_of callee ->
+          let ins = ref [] and outs = ref [] in
+          List.iter
+            (fun (formal, actual) ->
+              match
+                List.find_opt
+                  (fun (p : Rtl.port) -> p.Rtl.port_name = formal)
+                  callee.Rtl.ports
+              with
+              | Some { Rtl.direction = Rtl.Input; _ } ->
+                  ins := read_ids actual @ !ins
+              | Some { Rtl.direction = Rtl.Output; _ } ->
+                  outs := bases_of_target actual @ !outs
+              | None -> ())
+            inst.Rtl.connections;
+          List.iter
+            (fun src -> List.iter (fun dst -> add_edge src dst) !outs)
+            !ins
+      | _ -> ())
+    instances;
+  let nodes = Hashtbl.fold (fun k _ acc -> k :: acc) edges [] in
+  let succs n =
+    match Hashtbl.find_opt edges n with Some l -> !l | None -> []
+  in
+  match find_cycle (List.sort compare nodes) succs with
+  | Some cycle ->
+      diag ~code:code_comb_loop ~severity:D.Error
+        ?item:(match cycle with n :: _ -> Some n | [] -> None)
+        "combinational loop: %s" (String.concat " -> " cycle)
+  | None -> ()
+
+(* --- behavioral module analysis ----------------------------------------- *)
+
+(* Incomplete case detection: inside an always @* block, a [case] without a
+   [default] arm infers a latch.  We scan word tokens with a small stack so
+   nested case statements are attributed correctly. *)
+let latch_check add scope text =
+  let squashed =
+    String.concat ""
+      (String.split_on_char ' '
+         (String.concat "" (String.split_on_char '\t' text)))
+  in
+  let has_comb_always =
+    contains squashed "always@*" || contains squashed "always@(*)"
+  in
+  if has_comb_always then begin
+    let words = ref [] in
+    let n = String.length text in
+    let i = ref 0 in
+    while !i < n do
+      if Lint.is_word_char text.[!i] then begin
+        let j = ref !i in
+        while !j < n && Lint.is_word_char text.[!j] do
+          incr j
+        done;
+        words := String.sub text !i (!j - !i) :: !words;
+        i := !j
+      end
+      else incr i
+    done;
+    let stack = ref [] in
+    List.iter
+      (fun w ->
+        match w with
+        | "case" | "casez" | "casex" -> stack := ref false :: !stack
+        | "default" -> (
+            match !stack with top :: _ -> top := true | [] -> ())
+        | "endcase" -> (
+            match !stack with
+            | top :: rest ->
+                if not !top then
+                  add
+                    (D.v ~code:code_latch ~severity:D.Warning ~scope
+                       "case statement without a default arm inside always \
+                        @* infers a latch");
+                stack := rest
+            | [] -> ())
+        | _ -> ())
+      (List.rev !words)
+  end
+
+let analyze_behavioral add (m : Rtl.module_decl) lines =
+  let scope = m.Rtl.mod_name in
+  let text = Lint.strip_comments (String.concat "\n" lines) in
+  List.iter
+    (fun (p : Rtl.port) ->
+      let used = word_present text p.Rtl.port_name in
+      match p.Rtl.direction with
+      | Rtl.Output ->
+          if not used then
+            add
+              (D.v ~code:code_undriven_output ~severity:D.Warning ~scope
+                 ~item:p.Rtl.port_name
+                 (Printf.sprintf "behavioral body never drives output %S"
+                    p.Rtl.port_name))
+      | Rtl.Input ->
+          if not used then
+            add
+              (D.v ~code:code_unused_input ~severity:D.Info ~scope
+                 ~item:p.Rtl.port_name
+                 (Printf.sprintf "behavioral body never reads input %S"
+                    p.Rtl.port_name)))
+    m.Rtl.ports;
+  latch_check add scope text
+
+(* --- FSM analysis ------------------------------------------------------- *)
+
+let fsm (f : Fsm.t) =
+  let scope = f.Fsm.fsm_name in
+  match Fsm.validate f with
+  | exception Db_util.Error.Deepburning_error msg ->
+      [ D.v ~code:code_fsm_invalid ~severity:D.Error ~scope msg ]
+  | () ->
+      let reach = Fsm.reachable_states f in
+      let reachable = Hashtbl.create 16 in
+      List.iter (fun s -> Hashtbl.replace reachable s ()) reach;
+      let has_exit = Hashtbl.create 16 in
+      List.iter
+        (fun (tr : Fsm.transition) ->
+          Hashtbl.replace has_exit tr.Fsm.from_state ())
+        f.Fsm.transitions;
+      let unreachable =
+        List.filter_map
+          (fun s ->
+            if Hashtbl.mem reachable s then None
+            else
+              Some
+                (D.v ~code:code_fsm_unreachable ~severity:D.Warning ~scope
+                   ~item:s
+                   (Printf.sprintf "state %S is unreachable from %S" s
+                      f.Fsm.initial)))
+          f.Fsm.states
+      in
+      let sinks =
+        (* a machine with no transitions at all is a degenerate stub, not a
+           trap; only flag sinks when the FSM actually moves *)
+        if f.Fsm.transitions = [] then []
+        else
+          List.filter_map
+            (fun s ->
+              if Hashtbl.mem reachable s && not (Hashtbl.mem has_exit s) then
+                Some
+                  (D.v ~code:code_fsm_sink ~severity:D.Warning ~scope ~item:s
+                     (Printf.sprintf
+                        "state %S is reachable but has no outgoing transition"
+                        s))
+              else None)
+            f.Fsm.states
+      in
+      unreachable @ sinks
+
+(* --- entry points ------------------------------------------------------- *)
+
+let design ?(fsms = []) (d : Rtl.design) =
+  let acc = ref [] in
+  let add dg = acc := dg :: !acc in
+  let comb_of = build_comb_table d in
+  List.iter
+    (fun (m : Rtl.module_decl) ->
+      match m.Rtl.body with
+      | Rtl.Behavioral lines -> analyze_behavioral add m lines
+      | Rtl.Structural { nets; instances; assigns } ->
+          analyze_structural d add comb_of m nets instances assigns)
+    d.Rtl.modules;
+  List.iter (fun f -> List.iter add (fsm f)) fsms;
+  D.sort (List.rev !acc)
+
+let assert_no_errors ?(strict = false) ?(fsms = []) d =
+  let diags = design ~fsms d in
+  let diags = if strict then D.strictify diags else diags in
+  match D.errors diags with
+  | [] -> ()
+  | first :: _ as errs ->
+      Db_util.Error.failf_at ~component:"rtl-analysis"
+        "design %S: %d error(s); first: %s" d.Rtl.top (List.length errs)
+        (D.to_string first)

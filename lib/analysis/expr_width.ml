@@ -1,0 +1,387 @@
+(* Width inference over the Verilog expression fragment the generator and the
+   block templates emit: identifiers, part-selects, sized/unsized literals,
+   concatenation, replication, the usual unary/binary/ternary operators and
+   $system functions.  The engine is deliberately tolerant: anything it cannot
+   parse infers [Unknown], which downstream checks treat as "no opinion". *)
+
+type width =
+  | Known of int  (* bit width fully determined *)
+  | Flex  (* unsized constant: stretches to fit any context *)
+  | Unknown  (* could not be inferred *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Sized of int  (* based literal with an explicit size, e.g. 8'hff *)
+  | Unsized  (* based literal without a size, e.g. 'b0 *)
+  | Sym of string
+
+exception Unparsed
+
+let is_id_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9') || c = '$'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_value_char c =
+  is_digit c
+  || (c >= 'a' && c <= 'f')
+  || (c >= 'A' && c <= 'F')
+  || c = 'x' || c = 'X' || c = 'z' || c = 'Z' || c = '_' || c = '?'
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let int_of_digits str =
+    match int_of_string (String.concat "" (String.split_on_char '_' str)) with
+    | v -> v
+    | exception _ -> raise Unparsed
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_id_start c || c = '$' then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_id_char s.[!j] do
+        incr j
+      done;
+      push (Ident (String.sub s !i (!j - !i)));
+      i := !j
+    end
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && (is_digit s.[!j] || s.[!j] = '_') do
+        incr j
+      done;
+      if !j < n && s.[!j] = '\'' then begin
+        let size = int_of_digits (String.sub s !i (!j - !i)) in
+        let k = ref (!j + 1) in
+        if !k < n && (s.[!k] = 's' || s.[!k] = 'S') then incr k;
+        if !k < n then incr k (* base letter: b/o/d/h *);
+        while !k < n && is_value_char s.[!k] do
+          incr k
+        done;
+        push (Sized size);
+        i := !k
+      end
+      else begin
+        push (Int (int_of_digits (String.sub s !i (!j - !i))));
+        i := !j
+      end
+    end
+    else if c = '\'' then begin
+      let k = ref (!i + 1) in
+      if !k < n && (s.[!k] = 's' || s.[!k] = 'S') then incr k;
+      if !k < n then incr k;
+      while !k < n && is_value_char s.[!k] do
+        incr k
+      done;
+      push Unsized;
+      i := !k
+    end
+    else begin
+      let three = if !i + 2 < n then String.sub s !i 3 else "" in
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      if three = "<<<" || three = ">>>" then begin
+        push (Sym three);
+        i := !i + 3
+      end
+      else if
+        List.mem two
+          [ "<<"; ">>"; "=="; "!="; "<="; ">="; "&&"; "||"; "+:"; "-:" ]
+      then begin
+        push (Sym two);
+        i := !i + 2
+      end
+      else begin
+        push (Sym (String.make 1 c));
+        incr i
+      end
+    end
+  done;
+  List.rev !toks
+
+let identifiers expr =
+  match tokenize expr with
+  | toks ->
+      List.filter_map
+        (function
+          | Ident id when String.length id > 0 && id.[0] <> '$' -> Some id
+          | _ -> None)
+        toks
+      |> List.sort_uniq compare
+  | exception Unparsed -> []
+
+(* Constant folding for slice bounds and replication counts: integers,
+   parameter references, and left-associative + - * chains. *)
+let eval_const ~param toks =
+  let value = function
+    | Int v -> Some v
+    | Ident id -> param id
+    | _ -> None
+  in
+  let rec go acc = function
+    | [] -> Some acc
+    | Sym "+" :: t :: rest -> (
+        match value t with Some v -> go (acc + v) rest | None -> None)
+    | Sym "-" :: t :: rest -> (
+        match value t with Some v -> go (acc - v) rest | None -> None)
+    | Sym "*" :: t :: rest -> (
+        match value t with Some v -> go (acc * v) rest | None -> None)
+    | _ -> None
+  in
+  match toks with
+  | first :: rest -> (
+      match value first with Some v -> go v rest | None -> None)
+  | [] -> None
+
+(* Split the token list of a bracketed select into its meaning.  [toks] is
+   everything between '[' and the matching ']'. *)
+type select =
+  | Bit of int  (* [i] with a constant index *)
+  | Range of int * int  (* [hi:lo] — normalized (lo, hi) *)
+  | Indexed of int  (* [base +: k] / [base -: k] — width k *)
+  | Opaque  (* could not be resolved *)
+
+let classify_select ~param toks =
+  let depth = ref 0 in
+  let before = ref [] in
+  let sep = ref None in
+  let after = ref [] in
+  List.iter
+    (fun t ->
+      (match t with
+      | Sym ("[" | "(" | "{") -> incr depth
+      | Sym ("]" | ")" | "}") -> decr depth
+      | _ -> ());
+      match (!sep, t) with
+      | None, Sym ((":" | "+:" | "-:") as s) when !depth = 0 -> sep := Some s
+      | None, _ -> before := t :: !before
+      | Some _, _ -> after := t :: !after)
+    toks;
+  let before = List.rev !before and after = List.rev !after in
+  match !sep with
+  | None -> (
+      match eval_const ~param before with Some i -> Bit i | None -> Opaque)
+  | Some ":" -> (
+      match (eval_const ~param before, eval_const ~param after) with
+      | Some hi, Some lo -> Range (min hi lo, max hi lo)
+      | _ -> Opaque)
+  | Some _ -> (
+      match eval_const ~param after with Some k -> Indexed k | None -> Opaque)
+
+type lvalue =
+  | Whole of string
+  | Slice of string * select
+
+let lvalue ~param expr =
+  match tokenize expr with
+  | [ Ident id ] when id.[0] <> '$' -> Some (Whole id)
+  | Ident id :: Sym "[" :: rest when id.[0] <> '$' -> (
+      match List.rev rest with
+      | Sym "]" :: body_rev ->
+          Some (Slice (id, classify_select ~param (List.rev body_rev)))
+      | _ -> None)
+  | _ -> None
+  | exception Unparsed -> None
+
+let infer ~net_width ~param expr =
+  let toks = try Array.of_list (tokenize expr) with Unparsed -> [||] in
+  if Array.length toks = 0 then Unknown
+  else begin
+    let pos = ref 0 in
+    let peek () = if !pos < Array.length toks then Some toks.(!pos) else None in
+    let next () =
+      match peek () with
+      | Some t ->
+          incr pos;
+          t
+      | None -> raise Unparsed
+    in
+    let expect_sym sym =
+      match next () with Sym s when s = sym -> () | _ -> raise Unparsed
+    in
+    let comb_max a b =
+      match (a, b) with
+      | Known x, Known y -> Known (max x y)
+      | Flex, w | w, Flex -> w
+      | Unknown, _ | _, Unknown -> Unknown
+    in
+    let comb_sum a b =
+      match (a, b) with
+      | Known x, Known y -> Known (x + y)
+      | _ -> Unknown (* unsized operands in a concat are ill-formed *)
+    in
+    (* Collect tokens up to the ']' matching an already-consumed '['. *)
+    let select_tokens () =
+      let depth = ref 0 in
+      let buf = ref [] in
+      let rec collect () =
+        match next () with
+        | Sym "]" when !depth = 0 -> ()
+        | t ->
+            (match t with
+            | Sym ("[" | "(" | "{") -> incr depth
+            | Sym ("]" | ")" | "}") -> decr depth
+            | _ -> ());
+            buf := t :: !buf;
+            collect ()
+      in
+      collect ();
+      List.rev !buf
+    in
+    let rec expr_w () =
+      let c = binary () in
+      match peek () with
+      | Some (Sym "?") ->
+          incr pos;
+          let a = expr_w () in
+          expect_sym ":";
+          let b = expr_w () in
+          comb_max a b
+      | _ -> c
+    (* Precedence is irrelevant for width: ==/&&/compares yield 1, shifts keep
+       the left width, everything else takes the max — one flat scan works. *)
+    and binary () =
+      let left = ref (unary ()) in
+      let continue = ref true in
+      while !continue do
+        match peek () with
+        | Some (Sym ("==" | "!=" | "<" | ">" | "<=" | ">=" | "&&" | "||")) ->
+            incr pos;
+            ignore (unary ());
+            left := Known 1
+        | Some (Sym ("<<" | ">>" | "<<<" | ">>>")) ->
+            incr pos;
+            ignore (unary ())
+        | Some (Sym ("+" | "-" | "*" | "/" | "%" | "&" | "|" | "^")) ->
+            incr pos;
+            left := comb_max !left (unary ())
+        | _ -> continue := false
+      done;
+      !left
+    and unary () =
+      match peek () with
+      | Some (Sym ("~" | "-" | "+")) ->
+          incr pos;
+          unary ()
+      | Some (Sym "!") ->
+          incr pos;
+          ignore (unary ());
+          Known 1
+      | Some (Sym ("&" | "|" | "^")) ->
+          (* reduction operator in prefix position *)
+          incr pos;
+          ignore (unary ());
+          Known 1
+      | _ -> primary ()
+    and primary () =
+      match next () with
+      | Int _ -> Flex
+      | Unsized -> Flex
+      | Sized w -> Known w
+      | Sym "(" ->
+          let w = expr_w () in
+          expect_sym ")";
+          w
+      | Sym "{" -> braces ()
+      | Ident id when id.[0] = '$' ->
+          (* $signed(e), $unsigned(e): transparent to width *)
+          expect_sym "(";
+          let w = expr_w () in
+          expect_sym ")";
+          w
+      | Ident id -> (
+          let base =
+            match net_width id with
+            | Some w -> Known w
+            | None -> ( match param id with Some _ -> Flex | None -> Unknown)
+          in
+          match peek () with
+          | Some (Sym "[") ->
+              incr pos;
+              let sel = classify_select ~param (select_tokens ()) in
+              (match sel with
+              | Bit _ -> Known 1
+              | Range (lo, hi) -> Known (hi - lo + 1)
+              | Indexed k -> Known k
+              | Opaque -> Unknown)
+          | _ -> base)
+      | _ -> raise Unparsed
+    and braces () =
+      (* After '{': either a replication {N{...}} or a concatenation. *)
+      let saved = !pos in
+      let replication =
+        match
+          try Some (expr_rep_count ()) with Unparsed -> None
+        with
+        | Some n -> (
+            match peek () with
+            | Some (Sym "{") ->
+                incr pos;
+                let inner = concat_tail () in
+                expect_sym "}";
+                Some
+                  (match inner with
+                  | Known x -> Known (n * x)
+                  | _ -> Unknown)
+            | _ ->
+                pos := saved;
+                None)
+        | None ->
+            pos := saved;
+            None
+      in
+      match replication with Some w -> w | None -> concat_tail ()
+    and expr_rep_count () =
+      (* replication count: integer or parameter, optionally parenthesized *)
+      match next () with
+      | Int v -> v
+      | Ident id when id.[0] <> '$' -> (
+          match param id with Some v -> v | None -> raise Unparsed)
+      | Sym "(" ->
+          let v = expr_rep_count_chain () in
+          expect_sym ")";
+          v
+      | _ -> raise Unparsed
+    and expr_rep_count_chain () =
+      let v = ref (expr_rep_count ()) in
+      let continue = ref true in
+      while !continue do
+        match peek () with
+        | Some (Sym "+") ->
+            incr pos;
+            v := !v + expr_rep_count ()
+        | Some (Sym "-") ->
+            incr pos;
+            v := !v - expr_rep_count ()
+        | Some (Sym "*") ->
+            incr pos;
+            v := !v * expr_rep_count ()
+        | _ -> continue := false
+      done;
+      !v
+    and concat_tail () =
+      (* comma-separated elements, consuming the closing '}' *)
+      let w = ref (expr_w ()) in
+      let continue = ref true in
+      while !continue do
+        match next () with
+        | Sym "," -> w := comb_sum !w (expr_w ())
+        | Sym "}" -> continue := false
+        | _ -> raise Unparsed
+      done;
+      !w
+    in
+    match
+      let w = expr_w () in
+      if !pos <> Array.length toks then raise Unparsed;
+      w
+    with
+    | w -> w
+    | exception Unparsed -> Unknown
+  end

@@ -1,0 +1,39 @@
+(** Bit-width inference for the Verilog expression fragment used by the
+    generator and the block templates.
+
+    The engine never raises: anything outside the supported fragment infers
+    {!Unknown}, which the analyzer treats as "no opinion" rather than an
+    error, so exotic expressions can never cause false positives. *)
+
+type width =
+  | Known of int  (** width fully determined *)
+  | Flex  (** unsized constant — stretches to fit any context *)
+  | Unknown  (** not inferrable *)
+
+val infer :
+  net_width:(string -> int option) ->
+  param:(string -> int option) ->
+  string ->
+  width
+(** [infer ~net_width ~param expr] infers the width of [expr].  [net_width]
+    resolves declared nets and ports; [param] resolves localparams (used for
+    slice bounds and replication counts). *)
+
+val identifiers : string -> string list
+(** All identifiers referenced by an expression (deduplicated, sorted);
+    [$system] functions are excluded. *)
+
+type select =
+  | Bit of int  (** [\[i\]] with a constant index *)
+  | Range of int * int  (** [\[hi:lo\]], normalized to (lo, hi) *)
+  | Indexed of int  (** [\[base +: k\]] or [\[base -: k\]] *)
+  | Opaque  (** bounds not statically resolvable *)
+
+type lvalue =
+  | Whole of string  (** a bare identifier *)
+  | Slice of string * select  (** identifier with a part/bit select *)
+
+val lvalue :
+  param:(string -> int option) -> string -> lvalue option
+(** Parse an assignment target / instance output actual.  Returns [None] for
+    anything that is not an identifier or an identifier select. *)

@@ -112,8 +112,15 @@ let activation_unit ~name ~fmt ~lut =
        Printf.sprintf "// range [%g, %g] mapped onto the %d-entry %s table"
          lut.Approx_lut.lo lut.Approx_lut.hi (Approx_lut.entries lut)
          lut.Approx_lut.lut_name;
-       Printf.sprintf "wire [%d:0] key;" (addr_bits - 1);
-       Printf.sprintf "wire [%d:0] frac;" (w - 1);
+       (* top bits of x index the table; the remainder interpolates *)
+       (if addr_bits <= w then
+          Printf.sprintf "wire [%d:0] key = x[%d:%d];" (addr_bits - 1) (w - 1)
+            (w - addr_bits)
+        else
+          Printf.sprintf "wire [%d:0] key = {{%d{1'b0}}, x};" (addr_bits - 1)
+            (addr_bits - w));
+       Printf.sprintf "wire [%d:0] frac = x << %d;" (w - 1)
+         (Stdlib.min addr_bits (w - 1));
        Printf.sprintf "wire [%d:0] value;" (w - 1);
        Printf.sprintf "%s rom_i (.key(key), .frac(frac), .value(value));"
          rom.Rtl.mod_name;
@@ -192,13 +199,30 @@ let classifier_ksorter ~name ~fmt ~k ~fan_in =
         out_port "top_indices" (k * 16);
       ])
     [ ("K", k); ("FAN_IN", fan_in) ]
-    [
-      "// bitonic k-sorter (Beigel & Gill): keeps the k largest scores";
-      Printf.sprintf "reg [%d:0] best_idx [0:%d];" 15 (k - 1);
-      Printf.sprintf "reg signed [%d:0] best_val [0:%d];" (w - 1) (k - 1);
-      "integer i;";
-      "// comparator network evaluated one score per cycle";
-    ]
+    ([
+       "// compare-and-keep sorter: retains the k largest scores seen so far";
+       Printf.sprintf "reg [%d:0] best_idx [0:%d];" 15 (k - 1);
+       Printf.sprintf "reg signed [%d:0] best_val [0:%d];" (w - 1) (k - 1);
+       Printf.sprintf "wire signed [%d:0] head = scores[%d:0];" (w - 1) (w - 1);
+       "integer i;";
+       "always @(posedge clk) begin";
+       "  if (rst) begin";
+       Printf.sprintf "    for (i = 0; i < %d; i = i + 1) begin" k;
+       "      best_idx[i] <= 16'd0;";
+       Printf.sprintf "      best_val[i] <= -%d'sd1 <<< %d;" w (w - 1);
+       "    end";
+       "  end else if (valid_in) begin";
+       "    if ($signed(head) > $signed(best_val[0])) begin";
+       "      best_val[0] <= head;";
+       "      best_idx[0] <= best_idx[0] + 16'd1;";
+       "    end";
+       "  end";
+       "end";
+     ]
+    @ List.init k (fun j ->
+          Printf.sprintf "assign top_indices[%d:%d] = best_idx[%d];"
+            (((j + 1) * 16) - 1)
+            (j * 16) j))
 
 let agu ~name ~kind_label ~pattern_count ~addr_bits =
   behavioural name
@@ -214,11 +238,28 @@ let agu ~name ~kind_label ~pattern_count ~addr_bits =
     [
       Printf.sprintf "// %s: replays one of %d compiler-generated patterns"
         kind_label pattern_count;
-      Printf.sprintf "reg [%d:0] cursor_x, cursor_y, cursor_block;" (addr_bits - 1);
+      Printf.sprintf "reg [%d:0] cursor_x;" (addr_bits - 1);
       Printf.sprintf "reg [%d:0] base;" (addr_bits - 1);
+      "reg running;";
       "// start / x_length / y_length / stride / offset / repeat come from";
       "// the per-pattern constant tables synthesised alongside this module";
+      "always @(posedge clk) begin";
+      "  if (rst) begin";
+      "    running <= 1'b0;";
+      "    cursor_x <= 0;";
+      "    base <= 0;";
+      "  end else if (trigger && !running) begin";
+      "    running <= 1'b1;";
+      "    cursor_x <= 0;";
+      "    base <= base + pattern_select[0];";
+      "  end else if (running) begin";
+      "    cursor_x <= cursor_x + 1'b1;";
+      "    if (&cursor_x) running <= 1'b0;";
+      "  end";
+      "end";
       "assign addr = base + cursor_x;";
+      "assign addr_valid = running;";
+      "assign done_pulse = running && (&cursor_x);";
     ]
 
 let coordinator ~name ~n_states ~n_signals =
@@ -239,6 +280,8 @@ let coordinator ~name ~n_states ~n_signals =
       "  else if (fold_done) state <= {state, 1'b0} | {state[0+:1], 1'b0};";
       "end";
       "assign phase = state;";
+      Printf.sprintf "assign reconfigure = state[%d:0];"
+        (Stdlib.max 1 n_signals - 1);
     ]
 
 let buffer ~name ~fmt ~words ~port_words =

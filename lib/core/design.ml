@@ -15,6 +15,12 @@ let lanes t = t.datapath.Db_sched.Datapath.lanes
 
 let verilog t = Db_hdl.Verilog.emit_design t.rtl
 
+let analysis_fsms t =
+  Compiler.agu_pattern_fsms t.program
+  @ [ Db_sched.Schedule.coordinator_fsm t.schedule ]
+
+let analyze t = Db_analysis.Analyze.design ~fsms:(analysis_fsms t) t.rtl
+
 let power t =
   Db_fpga.Power.accelerator_power
     ~device:t.constraints.Constraints.device

@@ -20,6 +20,11 @@ val lanes : t -> int
 val verilog : t -> string
 (** The full Verilog text of the generated accelerator. *)
 
+val analyze : t -> Db_analysis.Diagnostic.t list
+(** Run the semantic static analyzer ({!Db_analysis.Analyze}) over the RTL
+    plus the design's FSMs (AGU pattern machines and the coordinator).
+    Sorted errors-first; empty for a healthy design. *)
+
 val power : t -> Db_fpga.Power.t
 (** Board power while the accelerator runs (device static + dynamic of the
     occupied resources at the constraint's clock). *)

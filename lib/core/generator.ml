@@ -49,10 +49,70 @@ let connections_for (decl : Rtl.module_decl) ~bus_of =
       (p.Rtl.port_name, actual))
     decl.Rtl.ports
 
+(* Adapt an identifier-typed source net of [from_width] bits to a context
+   expecting [to_width] bits: slice down or zero-extend up. *)
+let fit expr ~from_width ~to_width =
+  if from_width = to_width then expr
+  else if from_width > to_width then
+    Printf.sprintf "%s[%d:0]" expr (to_width - 1)
+  else Printf.sprintf "{{%d{1'b0}}, %s}" (to_width - from_width) expr
+
+(* Pack a list of 1-bit nets into a [width]-bit vector. Surplus nets are
+   OR-folded round-robin into the available bits (rather than dropped) so
+   every status net keeps a consumer; missing bits are zero. *)
+let concat_bits nets ~width =
+  if nets = [] then Printf.sprintf "%d'd0" width
+  else begin
+    let groups = Array.make width [] in
+    List.iteri (fun i n -> groups.(i mod width) <- n :: groups.(i mod width)) nets;
+    let bit i =
+      match List.rev groups.(i) with
+      | [] -> "1'b0"
+      | [ only ] -> only
+      | many -> "(" ^ String.concat " | " many ^ ")"
+    in
+    if width = 1 then bit 0
+    else
+      "{"
+      ^ String.concat ", " (List.init width (fun i -> bit (width - 1 - i)))
+      ^ "}"
+  end
+
 let build_rtl network datapath ~block_set ~program =
   let dp_w = datapath.Datapath.fmt.Db_fixed.Fixed.total_bits in
   let lanes = datapath.Datapath.lanes in
   let simd = datapath.Datapath.simd in
+  let port_words = datapath.Datapath.port_words in
+  (* Widths of the nets referenced across block boundaries, recovered from
+     the block inventory so every cross-block connection can be width-exact. *)
+  let find_kind f = List.find_map (fun (b : Block.t) -> f b.Block.kind) block_set.Block_set.blocks in
+  let agu_addr_bits wanted =
+    Option.value ~default:32
+      (find_kind (function
+        | Block.Agu { agu_kind; addr_bits; _ } when agu_kind = wanted ->
+            Some addr_bits
+        | _ -> None))
+  in
+  let main_addr_bits = agu_addr_bits Block.Main_agu in
+  let data_addr_bits = agu_addr_bits Block.Data_agu in
+  let weight_addr_bits = agu_addr_bits Block.Weight_agu in
+  let coord_phase_bits =
+    Option.value ~default:1
+      (find_kind (function
+        | Block.Coordinator { n_states; _ } -> Some (Stdlib.max 1 n_states)
+        | _ -> None))
+  in
+  let ksorter_bits =
+    find_kind (function
+      | Block.Classifier_ksorter { k; _ } -> Some (k * 16)
+      | _ -> None)
+  in
+  let has_pool =
+    List.exists
+      (fun (b : Block.t) ->
+        match b.Block.kind with Block.Pooling_unit _ -> true | _ -> false)
+      block_set.Block_set.blocks
+  in
   (* Deduplicated leaf modules. *)
   let module_table = Hashtbl.create 32 in
   let leaf_modules = ref [] in
@@ -88,8 +148,10 @@ let build_rtl network datapath ~block_set ~program =
   declare "feature_bus" (lanes * simd * dp_w);
   declare "weight_bus" (lanes * simd * dp_w);
   declare "partial_bus" (lanes * dp_w);
+  declare "accum_bus" (lanes * dp_w);
   declare "xbar_bus" (lanes * dp_w);
   declare "post_act_bus" (lanes * dp_w);
+  if has_pool then declare "pool_bus" (lanes * dp_w);
   declare "fold_done" 1;
   declare "lane_clear" 1;
   declare "lane_valid" 1;
@@ -102,30 +164,77 @@ let build_rtl network datapath ~block_set ~program =
     | None -> None
   in
   let slice bus ~index ~width = Printf.sprintf "%s[%d:%d]" bus (((index + 1) * width) - 1) (index * width) in
+  (* 1-bit status nets of the lowered pattern FSMs; they feed the AGUs'
+     pattern_select inputs so every FSM output has a consumer. *)
+  let fsm_valid_nets =
+    List.map (fun (m : Rtl.module_decl) -> m.Rtl.mod_name ^ "_addr_valid") fsm_modules
+  in
+  let fsm_done_nets =
+    List.map (fun (m : Rtl.module_decl) -> m.Rtl.mod_name ^ "_done_pulse") fsm_modules
+  in
+  (* Every per-unit result net feeding the post-activation bus. *)
+  let y_sources = ref [] in
   List.iter
     (fun (b : Block.t) ->
       let mod_ref = ensure_module b in
       let decl = Block.to_module { b with Block.block_name = mod_ref } in
       let idx = Option.value ~default:0 (lane_index b.Block.block_name) in
+      let dedicated port width =
+        (* Dedicated net for this instance's port. *)
+        let n = Printf.sprintf "%s_%s" b.Block.block_name port in
+        declare n width;
+        n
+      in
+      let y_net port width =
+        let n = dedicated port width in
+        y_sources := n :: !y_sources;
+        n
+      in
       let bus_of port_name width =
-        match port_name with
-        | "feature" -> slice "feature_bus" ~index:idx ~width
-        | "weight" -> slice "weight_bus" ~index:idx ~width
-        | "partial_sum" | "value" when width = dp_w ->
+        match (b.Block.kind, port_name) with
+        | Block.Synergy_neuron _, "feature" -> slice "feature_bus" ~index:idx ~width
+        | Block.Synergy_neuron _, "weight" -> slice "weight_bus" ~index:idx ~width
+        | Block.Synergy_neuron _, "partial_sum" ->
             slice "partial_bus" ~index:idx ~width
-        | "total" | "result" -> slice "xbar_bus" ~index:idx ~width
-        | "x" -> slice "xbar_bus" ~index:0 ~width
-        | "y" -> slice "post_act_bus" ~index:0 ~width
-        | "in_bus" -> "partial_bus"
-        | "out_bus" -> "xbar_bus"
-        | "clear" -> "lane_clear"
-        | "valid_in" -> "lane_valid"
-        | "fold_done" -> "fold_done"
-        | other ->
-            (* Dedicated net per remaining port of this instance. *)
-            let n = Printf.sprintf "%s_%s" b.Block.block_name other in
-            declare n width;
-            n
+        | Block.Accumulator _, "value" -> slice "partial_bus" ~index:idx ~width
+        | Block.Accumulator _, "total" -> slice "accum_bus" ~index:idx ~width
+        | Block.Pooling_unit _, "value" -> slice "accum_bus" ~index:idx ~width
+        | Block.Pooling_unit _, "result" -> slice "pool_bus" ~index:idx ~width
+        | (Block.Activation_unit _ | Block.Dropout_unit), "x" ->
+            slice "xbar_bus" ~index:0 ~width
+        | (Block.Activation_unit _ | Block.Dropout_unit), "y" -> y_net "y" width
+        | Block.Dropout_unit, "enable_inference" -> "1'b1"
+        | Block.Lrn_unit _, "centre" -> slice "xbar_bus" ~index:0 ~width
+        | Block.Lrn_unit _, "neighbours" ->
+            fit "xbar_bus" ~from_width:(lanes * dp_w) ~to_width:width
+        | Block.Lrn_unit _, "normalised" -> y_net "normalised" width
+        | Block.Connection_box _, "in_bus" ->
+            fit "accum_bus" ~from_width:(lanes * dp_w) ~to_width:width
+        | Block.Connection_box _, "out_bus" -> "xbar_bus"
+        | Block.Connection_box _, "select" ->
+            fit "coordinator_phase" ~from_width:coord_phase_bits ~to_width:width
+        | Block.Connection_box _, "shift_amount" -> "4'd2"
+        | Block.Connection_box _, "shifted" -> y_net "shifted" width
+        | Block.Classifier_ksorter _, "scores" ->
+            fit "post_act_bus" ~from_width:(lanes * dp_w) ~to_width:width
+        | Block.Agu _, "trigger" -> "start"
+        | Block.Agu { agu_kind = Block.Main_agu; _ }, "pattern_select" ->
+            concat_bits fsm_done_nets ~width
+        | Block.Agu _, "pattern_select" -> concat_bits fsm_valid_nets ~width
+        | (Block.Feature_buffer _ | Block.Weight_buffer _), "wr_en" ->
+            "main_agu_addr_valid"
+        | (Block.Feature_buffer _ | Block.Weight_buffer _), "wr_addr" ->
+            fit "main_agu_addr" ~from_width:main_addr_bits ~to_width:width
+        | (Block.Feature_buffer _ | Block.Weight_buffer _), "wr_data" ->
+            fit "m_axi_rdata" ~from_width:64 ~to_width:width
+        | Block.Feature_buffer _, "rd_addr" ->
+            fit "data_agu_addr" ~from_width:data_addr_bits ~to_width:width
+        | Block.Weight_buffer _, "rd_addr" ->
+            fit "weight_agu_addr" ~from_width:weight_addr_bits ~to_width:width
+        | _, "clear" -> "lane_clear"
+        | _, "valid_in" -> "lane_valid"
+        | _, "fold_done" -> "fold_done"
+        | _, other -> dedicated other width
       in
       add_instance
         {
@@ -135,13 +244,19 @@ let build_rtl network datapath ~block_set ~program =
           connections = connections_for decl ~bus_of;
         })
     block_set.Block_set.blocks;
-  (* Instantiate the lowered AGU pattern FSMs with per-instance nets. *)
+  (* Instantiate the lowered AGU pattern FSMs: control inputs ride the shared
+     handshake nets; each output gets a per-instance status net. *)
   List.iter
     (fun (m : Rtl.module_decl) ->
       let bus_of port width =
-        let n = Printf.sprintf "%s_%s" m.Rtl.mod_name port in
-        declare n width;
-        n
+        match port with
+        | "trigger" -> "start"
+        | "row_done" -> "lane_valid"
+        | "all_rows_done" | "all_blocks_done" -> "fold_done"
+        | other ->
+            let n = Printf.sprintf "%s_%s" m.Rtl.mod_name other in
+            declare n width;
+            n
       in
       add_instance
         {
@@ -156,6 +271,56 @@ let build_rtl network datapath ~block_set ~program =
     ^ String.map
         (fun c -> if c = '-' || c = ' ' then '_' else c)
         network.Db_nn.Network.net_name
+  in
+  (* The post-activation bus carries whichever per-unit results exist; a
+     design with no activation/LRN/dropout stage forwards the crossbar. *)
+  let post_act_rhs =
+    match List.rev !y_sources with
+    | [] -> "xbar_bus"
+    | ys ->
+        let ored =
+          match ys with
+          | [ only ] -> only
+          | _ -> "(" ^ String.concat " | " ys ^ ")"
+        in
+        if lanes * dp_w = dp_w then ored
+        else Printf.sprintf "{{%d{1'b0}}, %s}" ((lanes - 1) * dp_w) ored
+  in
+  let wdata_terms =
+    [ fit "post_act_bus" ~from_width:(lanes * dp_w) ~to_width:64 ]
+    @ (if has_pool then
+         [ fit "pool_bus" ~from_width:(lanes * dp_w) ~to_width:64 ]
+       else [])
+    @
+    match ksorter_bits with
+    | Some kb -> [ fit "ksorter_top_indices" ~from_width:kb ~to_width:64 ]
+    | None -> []
+  in
+  let assigns =
+    [
+      (* handshakes: a fold completes when all three AGUs finish their
+         pattern; lanes accumulate while both on-chip reads are valid *)
+      ( "fold_done",
+        "main_agu_done_pulse & data_agu_done_pulse & weight_agu_done_pulse" );
+      ("lane_valid", "data_agu_addr_valid & weight_agu_addr_valid");
+      ("lane_clear", "fold_done | coordinator_reconfigure[0]");
+      (* on-chip buffer read ports feed the lane input buses *)
+      ( "feature_bus",
+        fit "feature_buffer_rd_data" ~from_width:(port_words * dp_w)
+          ~to_width:(lanes * simd * dp_w) );
+      ( "weight_bus",
+        fit "weight_buffer_rd_data" ~from_width:(port_words * dp_w)
+          ~to_width:(lanes * simd * dp_w) );
+      ("post_act_bus", post_act_rhs);
+      (* AXI: the main AGU addresses DRAM in both directions; results are
+         written back from the post-activation/pooling/classifier stage *)
+      ( "m_axi_araddr",
+        fit "main_agu_addr" ~from_width:main_addr_bits ~to_width:32 );
+      ( "m_axi_awaddr",
+        fit "main_agu_addr" ~from_width:main_addr_bits ~to_width:32 );
+      ("m_axi_wdata", String.concat " | " wdata_terms);
+      ("done", "fold_done");
+    ]
   in
   let top =
     {
@@ -178,7 +343,7 @@ let build_rtl network datapath ~block_set ~program =
           {
             nets = List.rev !nets;
             instances = List.rev !instances;
-            assigns = [ ("done", "fold_done") ];
+            assigns;
           };
     }
   in
@@ -200,16 +365,28 @@ let assemble ?tiling_enabled cons network (picked : Config_search.result) =
     build_rtl network picked.Config_search.datapath
       ~block_set:picked.Config_search.block_set ~program
   in
-  {
-    Design.network;
-    constraints = cons;
-    datapath = picked.Config_search.datapath;
-    schedule = picked.Config_search.schedule;
-    layout = picked.Config_search.layout;
-    block_set = picked.Config_search.block_set;
-    program;
-    rtl;
-  }
+  let design =
+    {
+      Design.network;
+      constraints = cons;
+      datapath = picked.Config_search.datapath;
+      schedule = picked.Config_search.schedule;
+      layout = picked.Config_search.layout;
+      block_set = picked.Config_search.block_set;
+      program;
+      rtl;
+    }
+  in
+  (* Every generated design must pass semantic analysis before it can be
+     emitted; a failure here is a generator bug, not a user error. *)
+  (match Db_analysis.Diagnostic.errors (Design.analyze design) with
+  | [] -> ()
+  | first :: _ as errs ->
+      Db_util.Error.failf_at ~component:"generator"
+        "generated design failed static analysis: %d error(s); first: %s"
+        (List.length errs)
+        (Db_analysis.Diagnostic.to_string first));
+  design
 
 let generate ?tiling_enabled cons network =
   assemble ?tiling_enabled cons network (Config_search.search cons network)

@@ -26,6 +26,26 @@ let validate t =
     t.states;
   if not (Hashtbl.mem state_set t.initial) then
     fail "%s: initial state %S not declared" t.fsm_name t.initial;
+  let check_unique what names =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun n ->
+        if Hashtbl.mem tbl n then fail "%s: duplicate %s %S" t.fsm_name what n
+        else Hashtbl.add tbl n ())
+      names
+  in
+  check_unique "input" t.inputs;
+  check_unique "output" t.outputs;
+  List.iter
+    (fun i ->
+      if List.mem i t.outputs then
+        fail "%s: %S declared as both input and output" t.fsm_name i)
+    t.inputs;
+  (* Hash sets for guard/action membership keep validation linear even for
+     coordinator machines with one output per fold. *)
+  let input_set = Hashtbl.create 16 and output_set = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace input_set i ()) t.inputs;
+  List.iter (fun o -> Hashtbl.replace output_set o ()) t.outputs;
   let seen = Hashtbl.create 16 in
   List.iter
     (fun tr ->
@@ -34,12 +54,12 @@ let validate t =
       if not (Hashtbl.mem state_set tr.to_state) then
         fail "%s: transition to unknown state %S" t.fsm_name tr.to_state;
       (match tr.guard with
-      | Some g when not (List.mem g t.inputs) ->
+      | Some g when not (Hashtbl.mem input_set g) ->
           fail "%s: guard %S is not a declared input" t.fsm_name g
       | Some _ | None -> ());
       List.iter
         (fun a ->
-          if not (List.mem a t.outputs) then
+          if not (Hashtbl.mem output_set a) then
             fail "%s: action %S is not a declared output" t.fsm_name a)
         tr.actions;
       let key = (tr.from_state, tr.guard) in
@@ -78,16 +98,25 @@ let run t ~asserted =
   go t.initial asserted []
 
 let reachable_states t =
+  (* Precomputed adjacency and an explicit worklist: coordinator machines
+     have one state per fold, so this must stay linear in states +
+     transitions and independent of the OCaml stack. *)
+  let succ = Hashtbl.create 64 in
+  List.iter (fun tr -> Hashtbl.add succ tr.from_state tr.to_state) t.transitions;
   let visited = Hashtbl.create 16 in
-  let rec visit s =
-    if not (Hashtbl.mem visited s) then begin
-      Hashtbl.add visited s ();
-      List.iter
-        (fun tr -> if tr.from_state = s then visit tr.to_state)
-        t.transitions
-    end
-  in
-  visit t.initial;
+  let work = ref [ t.initial ] in
+  while !work <> [] do
+    match !work with
+    | [] -> ()
+    | s :: rest ->
+        work := rest;
+        if not (Hashtbl.mem visited s) then begin
+          Hashtbl.add visited s ();
+          List.iter
+            (fun next -> if not (Hashtbl.mem visited next) then work := next :: !work)
+            (Hashtbl.find_all succ s)
+        end
+  done;
   List.filter (Hashtbl.mem visited) t.states
 
 let state_const states s =

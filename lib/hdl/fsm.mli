@@ -25,10 +25,11 @@ type t = {
 }
 
 val validate : t -> unit
-(** Checks: non-empty state list, initial state declared, transition
-    endpoints declared, guards declared as inputs, actions declared as
-    outputs, and determinism (at most one transition per (state, guard) and
-    at most one unguarded transition per state). *)
+(** Checks: non-empty state list, no duplicate state names, no duplicate
+    input/output declarations (and no name declared as both), initial state
+    declared, transition endpoints declared, guards declared as inputs,
+    actions declared as outputs, and determinism (at most one transition per
+    (state, guard) and at most one unguarded transition per state). *)
 
 val step : t -> state:string -> asserted:string list -> string * string list
 (** One clock edge of the machine: the first transition out of [state]

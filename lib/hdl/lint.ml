@@ -1,25 +1,57 @@
 type issue = { line : int; message : string }
 
-(* Count keyword occurrences as whole words, outside comments/strings. *)
-let strip_comments_and_strings line =
-  let buf = Buffer.create (String.length line) in
-  let n = String.length line in
-  let rec go i in_string =
+(* Replace comments (both [//] line comments and [/* ... */] block comments,
+   including multi-line spans) and string literals with whitespace, so that
+   keyword counting never sees quoted or commented-out text.  Newlines are
+   preserved even inside block comments, keeping line numbers stable. *)
+let strip_comments text =
+  let n = String.length text in
+  let buf = Buffer.create n in
+  let rec go i state =
     if i >= n then ()
-    else if in_string then begin
-      if line.[i] = '"' then go (i + 1) false else go (i + 1) true
-    end
-    else if i + 1 < n && line.[i] = '/' && line.[i + 1] = '/' then ()
-    else if line.[i] = '"' then begin
-      Buffer.add_char buf ' ';
-      go (i + 1) true
-    end
-    else begin
-      Buffer.add_char buf line.[i];
-      go (i + 1) false
-    end
+    else
+      let c = text.[i] in
+      match state with
+      | `Code ->
+          if c = '"' then begin
+            Buffer.add_char buf ' ';
+            go (i + 1) `Str
+          end
+          else if c = '/' && i + 1 < n && text.[i + 1] = '/' then
+            go (i + 2) `Line
+          else if c = '/' && i + 1 < n && text.[i + 1] = '*' then begin
+            Buffer.add_char buf ' ';
+            go (i + 2) `Block
+          end
+          else begin
+            Buffer.add_char buf c;
+            go (i + 1) `Code
+          end
+      | `Str ->
+          if c = '\n' then begin
+            (* unterminated string literal: recover at end of line *)
+            Buffer.add_char buf '\n';
+            go (i + 1) `Code
+          end
+          else if c = '"' then go (i + 1) `Code
+          else if c = '\\' && i + 1 < n then go (i + 2) `Str
+          else go (i + 1) `Str
+      | `Line ->
+          if c = '\n' then begin
+            Buffer.add_char buf '\n';
+            go (i + 1) `Code
+          end
+          else go (i + 1) `Line
+      | `Block ->
+          if c = '\n' then begin
+            Buffer.add_char buf '\n';
+            go (i + 1) `Block
+          end
+          else if c = '*' && i + 1 < n && text.[i + 1] = '/' then
+            go (i + 2) `Code
+          else go (i + 1) `Block
   in
-  go 0 false;
+  go 0 `Code;
   Buffer.contents buf
 
 let is_word_char c =
@@ -47,11 +79,10 @@ let check text =
   and cases = ref 0
   and parens = ref 0
   and brackets = ref 0 in
-  let lines = String.split_on_char '\n' text in
+  let lines = String.split_on_char '\n' (strip_comments text) in
   List.iteri
-    (fun idx raw ->
+    (fun idx line ->
       let line_no = idx + 1 in
-      let line = strip_comments_and_strings raw in
       modules := !modules + count_word line "module" - count_word line "endmodule";
       (* "endcase" contains no "case" word-match; count both separately. *)
       cases := !cases + count_word line "case" - count_word line "endcase";

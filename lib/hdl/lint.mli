@@ -10,6 +10,17 @@
 
 type issue = { line : int; message : string }
 
+val strip_comments : string -> string
+(** Replace [//] line comments, [/* ... */] block comments (multi-line spans
+    included) and string literals with whitespace.  Newlines are preserved,
+    so line numbers in the result match the input.  Shared with the semantic
+    analyzer ({!Db_analysis}) for scanning behavioural bodies. *)
+
+val is_word_char : char -> bool
+
+val count_word : string -> string -> int
+(** [count_word text word] counts whole-word occurrences of [word]. *)
+
 val check : string -> issue list
 (** Empty when the text passes every check. *)
 

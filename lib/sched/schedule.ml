@@ -30,40 +30,55 @@ let reconfigurations t =
   | first :: rest -> boundaries first.Folding.fold_layer rest
 
 let coordinator_fsm t =
-  let fold_states = List.map (fun f -> "s_" ^ f.Folding.event) t.folds in
-  let states = "idle" :: fold_states in
-  let outputs = List.map (fun f -> "ev_" ^ f.Folding.event) t.folds in
-  let rec transitions current = function
-    | [] ->
-        [
-          {
-            Db_hdl.Fsm.from_state = current;
-            guard = Some "fold_done";
-            to_state = "idle";
-            actions = [];
-          };
-        ]
-    | f :: rest ->
-        {
-          Db_hdl.Fsm.from_state = current;
-          guard = Some "fold_done";
-          to_state = "s_" ^ f.Folding.event;
-          actions = [ "ev_" ^ f.Folding.event ];
-        }
-        :: transitions ("s_" ^ f.Folding.event) rest
+  (* Fold events are unique by construction ("layer%d-fold%d"), but the FSM
+     contract (Fsm.validate) rejects duplicate states/outputs, so uniquify
+     defensively: a repeated event gets a "#n" suffix instead of aborting. *)
+  let seen = Hashtbl.create 64 in
+  let events =
+    List.map
+      (fun f ->
+        let e = f.Folding.event in
+        match Hashtbl.find_opt seen e with
+        | None ->
+            Hashtbl.replace seen e 1;
+            e
+        | Some n ->
+            Hashtbl.replace seen e (n + 1);
+            Printf.sprintf "%s#%d" e n)
+      t.folds
   in
-  (* The first transition fires on [start] instead of [fold_done]. *)
+  let fold_states = List.map (fun e -> "s_" ^ e) events in
+  let states = "idle" :: fold_states in
+  let outputs = List.map (fun e -> "ev_" ^ e) events in
+  (* Tail-recursive chain builder: deep schedules (one state per fold) must
+     not be limited by the OCaml stack. *)
   let all =
-    match t.folds with
+    match events with
     | [] -> []
     | first :: rest ->
-        {
-          Db_hdl.Fsm.from_state = "idle";
-          guard = Some "start";
-          to_state = "s_" ^ first.Folding.event;
-          actions = [ "ev_" ^ first.Folding.event ];
-        }
-        :: transitions ("s_" ^ first.Folding.event) rest
+        let step ~guard current e =
+          {
+            Db_hdl.Fsm.from_state = current;
+            guard = Some guard;
+            to_state = "s_" ^ e;
+            actions = [ "ev_" ^ e ];
+          }
+        in
+        (* The first transition fires on [start] instead of [fold_done]. *)
+        let rec chain current acc = function
+          | [] ->
+              List.rev
+                ({
+                   Db_hdl.Fsm.from_state = current;
+                   guard = Some "fold_done";
+                   to_state = "idle";
+                   actions = [];
+                 }
+                :: acc)
+          | e :: rest ->
+              chain ("s_" ^ e) (step ~guard:"fold_done" current e :: acc) rest
+        in
+        chain ("s_" ^ first) [ step ~guard:"start" "idle" first ] rest
   in
   let fsm =
     {

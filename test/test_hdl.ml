@@ -297,6 +297,59 @@ let test_lint_paren_imbalance () =
   let bad = "module m (\n  input wire clk\n);\n  assign x = (a + b;\nendmodule\n" in
   Alcotest.(check bool) "paren caught" true (Db_hdl.Lint.check bad <> [])
 
+let test_lint_block_comments () =
+  let ok =
+    "module m (\n  input wire clk\n);\n  /* begin ( [ case */\n  \
+     assign x = 1; /* inline ) */ assign y = 2;\nendmodule\n"
+  in
+  Alcotest.(check (list string)) "block comment ignored" []
+    (List.map (fun i -> i.Db_hdl.Lint.message) (Db_hdl.Lint.check ok))
+
+let test_lint_multiline_block_comment () =
+  let ok =
+    "module m (\n  input wire clk\n);\n  /* a multi-line comment\n     \
+     with begin case ( [ {\n     spanning three lines */\n  assign x = \
+     1;\nendmodule\n"
+  in
+  Alcotest.(check (list string)) "multi-line block comment ignored" []
+    (List.map (fun i -> i.Db_hdl.Lint.message) (Db_hdl.Lint.check ok));
+  (* Newlines inside the comment must survive stripping so line numbers in
+     later diagnostics stay accurate. *)
+  let stripped = Db_hdl.Lint.strip_comments "a\n/* x\n y */\nb" in
+  Alcotest.(check int) "line count preserved" 4
+    (List.length (String.split_on_char '\n' stripped))
+
+let test_lint_unterminated_block_comment () =
+  (* An unterminated block comment swallows the rest of the file; the
+     stripper must not loop or raise. *)
+  let stripped = Db_hdl.Lint.strip_comments "assign x = 1; /* oops\nmore" in
+  Alcotest.(check bool) "tail swallowed" false
+    (Db_hdl.Lint.count_word stripped "more" > 0)
+
+let test_fsm_rejects_duplicate_states () =
+  let bad = { counter_fsm with Fsm.states = [ "idle"; "run"; "idle"; "done" ] } in
+  match Fsm.validate bad with
+  | () -> Alcotest.fail "expected duplicate state rejection"
+  | exception Db_util.Error.Deepburning_error _ -> ()
+
+let test_fsm_rejects_duplicate_inputs () =
+  let bad = { counter_fsm with Fsm.inputs = [ "go"; "stop"; "go" ] } in
+  match Fsm.validate bad with
+  | () -> Alcotest.fail "expected duplicate input rejection"
+  | exception Db_util.Error.Deepburning_error _ -> ()
+
+let test_fsm_rejects_duplicate_outputs () =
+  let bad = { counter_fsm with Fsm.outputs = [ "tick"; "tick" ] } in
+  match Fsm.validate bad with
+  | () -> Alcotest.fail "expected duplicate output rejection"
+  | exception Db_util.Error.Deepburning_error _ -> ()
+
+let test_fsm_rejects_input_output_overlap () =
+  let bad = { counter_fsm with Fsm.outputs = [ "tick"; "go" ] } in
+  match Fsm.validate bad with
+  | () -> Alcotest.fail "expected input/output overlap rejection"
+  | exception Db_util.Error.Deepburning_error _ -> ()
+
 let suite =
   suite
   @ [
@@ -306,5 +359,21 @@ let suite =
           Alcotest.test_case "imbalance" `Quick test_lint_catches_imbalance;
           Alcotest.test_case "comments/strings" `Quick test_lint_ignores_comments_and_strings;
           Alcotest.test_case "parens" `Quick test_lint_paren_imbalance;
+          Alcotest.test_case "block comments" `Quick test_lint_block_comments;
+          Alcotest.test_case "multi-line block comments" `Quick
+            test_lint_multiline_block_comment;
+          Alcotest.test_case "unterminated block comment" `Quick
+            test_lint_unterminated_block_comment;
+        ] );
+      ( "hdl.fsm.validate",
+        [
+          Alcotest.test_case "duplicate states" `Quick
+            test_fsm_rejects_duplicate_states;
+          Alcotest.test_case "duplicate inputs" `Quick
+            test_fsm_rejects_duplicate_inputs;
+          Alcotest.test_case "duplicate outputs" `Quick
+            test_fsm_rejects_duplicate_outputs;
+          Alcotest.test_case "input/output overlap" `Quick
+            test_fsm_rejects_input_output_overlap;
         ] );
     ]
