@@ -9,8 +9,9 @@
      dune exec bench/main.exe -- quick        # skip AlexNet/NiN scale
    Sections: table1 table2 fig8 fig9 fig10 table3 summary training
              throughput ablation-tiling ablation-lut ablation-lanes
-             ablation-fixed report bechamel
-   (report writes RESULTS.md and is skipped by the default run) *)
+             ablation-fixed report bechamel json
+   (report writes RESULTS.md, json writes BENCH.json; both re-run whole
+   experiments and are skipped by the default run) *)
 
 module Experiments = Db_report.Experiments
 
@@ -124,8 +125,7 @@ let run_report () =
   Db_report.Report_writer.write ~path:"RESULTS.md" (config ());
   Printf.printf "wrote %s/RESULTS.md\n" (Sys.getcwd ())
 
-let run_bechamel () =
-  section_header "Bechamel micro-benchmarks (harness regeneration latency)";
+let bechamel_rows () =
   let open Bechamel in
   let cfg_small = { Experiments.seed = 42; benchmarks = [ "ANN-0"; "CMAC" ] } in
   let bench_of name f = Test.make ~name (Staged.stage f) in
@@ -160,14 +160,148 @@ let run_bechamel () =
     (fun name ols_result ->
       let ns =
         match Analyze.OLS.estimates ols_result with
-        | Some (est :: _) -> Printf.sprintf "%.0f ns/run" est
-        | Some [] | None -> "n/a"
+        | Some (est :: _) -> Some est
+        | Some [] | None -> None
       in
-      rows := [ name; ns ] :: !rows)
+      rows := (name, ns) :: !rows)
     results;
-  let rows = List.sort compare !rows in
+  List.sort compare !rows
+
+let run_bechamel () =
+  section_header "Bechamel micro-benchmarks (harness regeneration latency)";
   print_string
-    (Db_report.Table.render ~headers:[ "benchmark"; "monotonic clock" ] ~rows)
+    (Db_report.Table.render
+       ~headers:[ "benchmark"; "monotonic clock" ]
+       ~rows:
+         (List.map
+            (fun (name, ns) ->
+              [
+                name;
+                (match ns with
+                | Some est -> Printf.sprintf "%.0f ns/run" est
+                | None -> "n/a");
+              ])
+            (bechamel_rows ())))
+
+(* --- BENCH.json: the perf trajectory for future PRs ---------------------- *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* One AlexNet-scale convolution, timed on the naive reference loops and on
+   the im2col/GEMM path (identical results; see the equivalence tests). *)
+let conv_micro (name, cin, hw, cout, k, pad, group) =
+  let module Shape = Db_tensor.Shape in
+  let module Tensor = Db_tensor.Tensor in
+  let module Ops = Db_tensor.Ops in
+  let rng = Db_util.Rng.create 7 in
+  let input =
+    Tensor.random_uniform rng
+      (Shape.chw ~channels:cin ~height:hw ~width:hw)
+      ~min:(-1.0) ~max:1.0
+  in
+  let weights =
+    Tensor.random_uniform rng
+      (Shape.of_list [ cout; cin / group; k; k ])
+      ~min:(-1.0) ~max:1.0
+  in
+  let bias = Tensor.random_uniform rng (Shape.vector cout) ~min:(-1.0) ~max:1.0 in
+  let padding = Ops.symmetric_padding pad in
+  let _, naive_s =
+    time (fun () ->
+        Ops.conv2d_naive ~input ~weights ~bias:(Some bias) ~stride:1 ~padding
+          ~group)
+  in
+  let _, gemm_s =
+    time (fun () ->
+        Ops.conv2d ~input ~weights ~bias:(Some bias) ~stride:1 ~padding ~group)
+  in
+  (name, naive_s, gemm_s)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let run_json () =
+  section_header "Writing BENCH.json (per-section wall-clock + ns/run)";
+  let cfg = config () in
+  (* Cold vs warm fig8: the second run hits the design cache for every
+     (benchmark, budget) pair, isolating the cache's contribution. *)
+  Db_core.Design_cache.clear ();
+  let _, fig8_cold = time (fun () -> Experiments.fig8_fig9 cfg) in
+  let _, fig8_warm = time (fun () -> Experiments.fig8_fig9 cfg) in
+  let _, table3_s = time (fun () -> Experiments.table3 cfg) in
+  let _, fig10_s = time (fun () -> Experiments.fig10 cfg) in
+  let _, training_s = time (fun () -> Experiments.training cfg) in
+  let _, throughput_s = time (fun () -> Experiments.throughput cfg) in
+  let hits, misses = Db_core.Design_cache.stats () in
+  let micros =
+    List.map conv_micro
+      (("alexnet-conv3", 256, 13, 384, 3, 1, 1)
+      ::
+      (if !quick then []
+       else [ ("alexnet-conv2", 96, 27, 256, 5, 2, 2) ]))
+  in
+  let bech = bechamel_rows () in
+  let buf = Buffer.create 4096 in
+  let fsec = Printf.sprintf "%.6f" in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"jobs\": %d,\n" (Db_parallel.Pool.job_count ());
+  Printf.bprintf buf "  \"quick\": %b,\n" !quick;
+  Buffer.add_string buf "  \"sections_seconds\": {\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map
+          (fun (name, s) -> Printf.sprintf "    \"%s\": %s" name (fsec s))
+          [
+            ("fig8_fig9_cold", fig8_cold);
+            ("fig8_fig9_warm", fig8_warm);
+            ("table3", table3_s);
+            ("fig10", fig10_s);
+            ("training", training_s);
+            ("throughput", throughput_s);
+          ]));
+  Buffer.add_string buf "\n  },\n";
+  Printf.bprintf buf
+    "  \"design_cache\": { \"hits\": %d, \"misses\": %d },\n" hits misses;
+  Buffer.add_string buf "  \"conv_micro\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map
+          (fun (name, naive_s, gemm_s) ->
+            Printf.sprintf
+              "    { \"layer\": \"%s\", \"naive_seconds\": %s, \
+               \"gemm_seconds\": %s, \"speedup\": %.2f }"
+              (json_escape name) (fsec naive_s) (fsec gemm_s)
+              (naive_s /. gemm_s))
+          micros));
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf "  \"bechamel_ns_per_run\": {\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.filter_map
+          (fun (name, ns) ->
+            Option.map
+              (fun est ->
+                Printf.sprintf "    \"%s\": %.0f" (json_escape name) est)
+              ns)
+          bech));
+  Buffer.add_string buf "\n  }\n}\n";
+  let oc = open_out "BENCH.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s/BENCH.json (fig8 cold %ss -> warm %ss)\n"
+    (Sys.getcwd ()) (fsec fig8_cold) (fsec fig8_warm)
 
 let sections =
   [
@@ -186,6 +320,7 @@ let sections =
     ("ablation-fixed", run_ablation_fixed);
     ("report", run_report);
     ("bechamel", run_bechamel);
+    ("json", run_json);
   ]
 
 let () =
@@ -198,9 +333,11 @@ let () =
   let selected =
     match args with
     | [] ->
-        (* [report] re-runs every experiment to build RESULTS.md; run it
-           only when asked for explicitly. *)
-        List.filter (fun n -> n <> "report") (List.map fst sections)
+        (* [report] and [json] re-run every experiment to build their
+           output files; run them only when asked for explicitly. *)
+        List.filter
+          (fun n -> n <> "report" && n <> "json")
+          (List.map fst sections)
     | names ->
         List.iter
           (fun n ->

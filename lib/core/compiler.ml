@@ -84,9 +84,12 @@ let bulk_fetch blob_entry ~name ~words ~offset =
   }
 
 (* The per-blob fraction is pure in (blob, plan, shape); memoise it so the
-   many folds of one layer don't re-walk the window sweep. *)
+   many folds of one layer don't re-walk the window sweep.  Guarded by a
+   mutex: compilation may run from several pool workers at once. *)
 let seq_fraction_cache : (string * string * bool, float) Hashtbl.t =
   Hashtbl.create 64
+
+let seq_fraction_lock = Mutex.create ()
 
 let window_seq_fraction ~tiling_enabled entry ~bottoms_shape =
   let shape_sig =
@@ -104,7 +107,13 @@ let window_seq_fraction ~tiling_enabled entry ~bottoms_shape =
     | None -> "row"
   in
   let key = (shape_sig ^ "/" ^ plan_sig, entry.Layout.entry_name, tiling_enabled) in
-  match Hashtbl.find_opt seq_fraction_cache key with
+  let cached =
+    Mutex.lock seq_fraction_lock;
+    let r = Hashtbl.find_opt seq_fraction_cache key in
+    Mutex.unlock seq_fraction_lock;
+    r
+  in
+  match cached with
   | Some f -> f
   | None ->
       let f =
@@ -118,7 +127,9 @@ let window_seq_fraction ~tiling_enabled entry ~bottoms_shape =
               ~width:(Shape.width shape)
         | Some _, _ | None, _ -> if tiling_enabled then 0.9 else 0.4
       in
+      Mutex.lock seq_fraction_lock;
       Hashtbl.replace seq_fraction_cache key f;
+      Mutex.unlock seq_fraction_lock;
       f
 
 let compile ?(tiling_enabled = true) net ~datapath ~schedule ~layout =

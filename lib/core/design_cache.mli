@@ -1,0 +1,22 @@
+(** Content-keyed memoisation of {!Generator.generate}.
+
+    The cache key is a canonical dump of the network structure (every node
+    name, layer config and blob edge, via {!Db_nn.Network.pp}) plus every
+    field of the constraint config and the tiling/lanes options, so a hit
+    is returned exactly when the generator would rebuild the same design.
+    Safe to call from pool workers; generation itself runs outside the
+    cache lock. *)
+
+val generate :
+  ?tiling_enabled:bool -> Constraints.t -> Db_nn.Network.t -> Design.t
+(** Memoised {!Generator.generate} (same defaults). *)
+
+val generate_with_lanes :
+  ?tiling_enabled:bool -> Constraints.t -> Db_nn.Network.t -> lanes:int -> Design.t
+(** Memoised {!Generator.generate_with_lanes}. *)
+
+val stats : unit -> int * int
+(** [(hits, misses)] since start or the last {!clear}. *)
+
+val clear : unit -> unit
+(** Drop every cached design and reset {!stats}. *)

@@ -27,15 +27,25 @@ let associative_encode ~cells_per_dim ~active_cells input =
 
 let classify_top_k ~top_k input =
   let n = Tensor.numel input in
-  let indices = Array.init n (fun i -> i) in
-  (* Stable selection: larger value first, lower index wins ties, matching
-     the hardware k-sorter's deterministic comparator network. *)
-  Array.sort
-    (fun a b ->
-      let va = Tensor.get input a and vb = Tensor.get input b in
-      if va > vb then -1 else if va < vb then 1 else compare a b)
-    indices;
-  Tensor.init (Shape.vector top_k) (fun i -> float_of_int indices.(i))
+  (* Partial selection instead of sorting all n logits: k passes, each
+     picking the largest remaining value.  The ascending scan with a strict
+     [>] means the lowest index wins ties — the same order as the hardware
+     k-sorter's deterministic comparator network. *)
+  let used = Array.make n false in
+  let selected = Array.make top_k 0 in
+  for rank = 0 to top_k - 1 do
+    let best = ref (-1) in
+    for i = 0 to n - 1 do
+      if
+        (not used.(i))
+        && (!best < 0 || Tensor.get input i > Tensor.get input !best)
+      then best := i
+    done;
+    if !best < 0 then invalid_arg "index out of bounds";
+    used.(!best) <- true;
+    selected.(rank) <- !best
+  done;
+  Tensor.init (Shape.vector top_k) (fun i -> float_of_int selected.(i))
 
 let recurrent_forward ~w_in ~w_rec ~bias ~steps input =
   let num_output = Shape.dim (Tensor.shape w_in) 0 in
@@ -150,9 +160,12 @@ let eval_layer layer ~params ~bottoms =
   | Layer.Classifier { top_k } -> classify_top_k ~top_k (Ops.flatten (one ()))
 
 let forward net params ~inputs =
-  let env = ref [] in
+  (* O(1) blob lookup; [order] keeps the production-order listing that the
+     caller sees (including rebindings, as the old assoc list did). *)
+  let env : (string, Tensor.t) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
   let blob name =
-    match List.assoc_opt name !env with
+    match Hashtbl.find_opt env name with
     | Some t -> t
     | None -> fail "blob %S not available" name
   in
@@ -178,8 +191,12 @@ let forward net params ~inputs =
             let params = Params.get params node.Network.node_name in
             eval_layer layer ~params ~bottoms
       in
-      List.iter (fun top -> env := (top, out) :: !env) node.Network.tops);
-  List.rev !env
+      List.iter
+        (fun top ->
+          Hashtbl.replace env top out;
+          order := (top, out) :: !order)
+        node.Network.tops);
+  List.rev !order
 
 let output net params ~inputs =
   let env = forward net params ~inputs in

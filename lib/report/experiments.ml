@@ -1,9 +1,11 @@
 module Benchmarks = Db_workloads.Benchmarks
 module Design = Db_core.Design
+module Design_cache = Db_core.Design_cache
 module Constraints = Db_core.Constraints
 module Simulator = Db_sim.Simulator
 module Resource = Db_fpga.Resource
 module Tensor = Db_tensor.Tensor
+module Pool = Db_parallel.Pool
 
 type run_config = { seed : int; benchmarks : string list }
 
@@ -103,7 +105,7 @@ let design_for ?(budget = `Db) (b : Benchmarks.t) =
         Constraints.with_dsp_cap Constraints.db_small
           (Stdlib.max 1 (b.Benchmarks.dsp_cap / 2))
   in
-  Db_core.Generator.generate cons b.Benchmarks.network
+  Design_cache.generate cons b.Benchmarks.network
 
 (* --- Fig. 8 / Fig. 9 ---------------------------------------------------- *)
 
@@ -124,7 +126,7 @@ type perf_row = {
 }
 
 let fig8_fig9 config =
-  List.map
+  Pool.map_list
     (fun b ->
       let cpu = Db_baseline.Cpu_model.xeon_2_4ghz in
       let cpu_s = Db_baseline.Cpu_model.forward_seconds cpu b.Benchmarks.network in
@@ -201,7 +203,7 @@ let outputs_of_impl prepared run_one =
   Array.map run_one prepared.Benchmarks.eval_inputs
 
 let fig10 config =
-  List.map
+  Pool.map_list
     (fun b ->
       let prepared = Benchmarks.prepare_cached b ~seed:config.seed in
       let net = prepared.Benchmarks.accuracy_network in
@@ -216,7 +218,7 @@ let fig10 config =
       let cons =
         Constraints.with_dsp_cap Constraints.db_medium b.Benchmarks.dsp_cap
       in
-      let design = Db_core.Generator.generate cons net in
+      let design = Design_cache.generate cons net in
       let db_outputs =
         outputs_of_impl prepared (fun input ->
             Simulator.functional_output design prepared.Benchmarks.params
@@ -253,7 +255,7 @@ type resource_row = {
 
 let table3 config =
   let rows =
-    List.map
+    Pool.map_list
       (fun b ->
         let design = design_for ~budget:`Db b in
         let db = Design.resource_usage design in
@@ -309,7 +311,7 @@ type training_row = {
 
 let training config =
   let cpu = Db_baseline.Cpu_model.xeon_2_4ghz in
-  List.map
+  Pool.map_list
     (fun b ->
       let sps budget =
         (Db_sim.Training_sim.iteration (design_for ~budget b))
@@ -351,7 +353,7 @@ type throughput_row = {
 }
 
 let throughput config =
-  List.map
+  Pool.map_list
     (fun b ->
       let design = design_for ~budget:`Db b in
       let single = Simulator.timing design in
@@ -449,22 +451,23 @@ let ablation_tiling config =
          (fun acc l -> acc + l.Simulator.lr_memory_cycles)
          0 report.Simulator.per_layer)
   in
-  List.filter_map
-    (fun b ->
-      let cons =
-        Constraints.with_dsp_cap Constraints.db_medium b.Benchmarks.dsp_cap
-      in
-      let with_tiling =
-        Db_core.Generator.generate ~tiling_enabled:true cons b.Benchmarks.network
-      in
-      let without =
-        Db_core.Generator.generate ~tiling_enabled:false cons
-          b.Benchmarks.network
-      in
-      let m_with = dram_busy with_tiling and m_without = dram_busy without in
-      if m_with = m_without then None
-      else Some (b.Benchmarks.bench_name, m_with, m_without))
-    (selected config)
+  List.filter_map Fun.id
+    (Pool.map_list
+       (fun b ->
+         let cons =
+           Constraints.with_dsp_cap Constraints.db_medium b.Benchmarks.dsp_cap
+         in
+         let with_tiling =
+           Design_cache.generate ~tiling_enabled:true cons b.Benchmarks.network
+         in
+         let without =
+           Design_cache.generate ~tiling_enabled:false cons
+             b.Benchmarks.network
+         in
+         let m_with = dram_busy with_tiling and m_without = dram_busy without in
+         if m_with = m_without then None
+         else Some (b.Benchmarks.bench_name, m_with, m_without))
+       (selected config))
 
 let render_ablation_tiling rows =
   Table.render
@@ -505,10 +508,10 @@ let render_ablation_lut rows =
 let ablation_lanes ~benchmark ~lanes_list =
   let b = Benchmarks.find benchmark in
   let cons = Constraints.db_large in
-  List.map
+  Pool.map_list
     (fun lanes ->
       let design =
-        Db_core.Generator.generate_with_lanes cons b.Benchmarks.network ~lanes
+        Design_cache.generate_with_lanes cons b.Benchmarks.network ~lanes
       in
       let report = Simulator.timing design in
       ( lanes,
@@ -526,7 +529,7 @@ let render_ablation_lanes rows =
          rows)
 
 let ablation_fixed_point config ~widths =
-  List.map
+  Pool.map_list
     (fun b ->
       let prepared = Benchmarks.prepare_cached b ~seed:config.seed in
       let net = prepared.Benchmarks.accuracy_network in

@@ -12,7 +12,8 @@ let conv_output_dim ~input ~kernel ~stride ~pad_lo ~pad_hi =
   if span < 0 then invalid_arg "Ops.conv_output_dim: kernel larger than padded input";
   (span / stride) + 1
 
-let conv2d ~input ~weights ~bias ~stride ~padding ~group =
+(* Shared shape validation for both convolution paths. *)
+let conv2d_dims ~input ~weights ~bias ~stride ~padding ~group =
   let ishape = Tensor.shape input and wshape = Tensor.shape weights in
   if Shape.rank ishape <> 3 then invalid_arg "Ops.conv2d: input must be CHW";
   if Shape.rank wshape <> 4 then invalid_arg "Ops.conv2d: weights must be OIKK";
@@ -33,6 +34,12 @@ let conv2d ~input ~weights ~bias ~stride ~padding ~group =
       if Tensor.numel b <> cout then invalid_arg "Ops.conv2d: bias length mismatch");
   let oh = conv_output_dim ~input:h ~kernel:kh ~stride ~pad_lo:padding.top ~pad_hi:padding.bottom in
   let ow = conv_output_dim ~input:w ~kernel:kw ~stride ~pad_lo:padding.left ~pad_hi:padding.right in
+  (cin, h, w, cout, cin_g, kh, kw, oh, ow)
+
+let conv2d_naive ~input ~weights ~bias ~stride ~padding ~group =
+  let _cin, h, w, cout, cin_g, kh, kw, oh, ow =
+    conv2d_dims ~input ~weights ~bias ~stride ~padding ~group
+  in
   let out = Tensor.create (Shape.chw ~channels:cout ~height:oh ~width:ow) in
   let idata = Tensor.data input and wdata = Tensor.data weights in
   let odata = Tensor.data out in
@@ -64,6 +71,108 @@ let conv2d ~input ~weights ~bias ~stride ~padding ~group =
   done;
   out
 
+(* Lower one channel group's receptive fields into a (cin_g*kh*kw) x (oh*ow)
+   row-major patch matrix.  Row k holds input tap (ic, ky, kx) with
+   k = ((ic*kh)+ky)*kw+kx, i.e. the exact accumulation order of the naive
+   loops, so the GEMM below adds contributions in the same sequence (padded
+   taps contribute literal zeros).  Rows are independent, so the fill is
+   parallel over k. *)
+let im2col ~idata ~base_ic ~cin_g ~h ~w ~kh ~kw ~stride ~padding ~oh ~ow =
+  let krows = cin_g * kh * kw in
+  let n = oh * ow in
+  let patch = Array.make (krows * n) 0.0 in
+  Db_parallel.Pool.parallel_for ~work:(krows * n) ~lo:0 ~hi:krows (fun k ->
+      let ic = k / (kh * kw) in
+      let ky = k / kw mod kh in
+      let kx = k mod kw in
+      let irow_base = (base_ic + ic) * h * w in
+      let prow_base = k * n in
+      for oy = 0 to oh - 1 do
+        let iy = (oy * stride) + ky - padding.top in
+        if iy >= 0 && iy < h then begin
+          let isrc = irow_base + (iy * w) in
+          let pdst = prow_base + (oy * ow) in
+          for ox = 0 to ow - 1 do
+            let ix = (ox * stride) + kx - padding.left in
+            if ix >= 0 && ix < w then patch.(pdst + ox) <- idata.(isrc + ix)
+          done
+        end
+      done);
+  patch
+
+(* C[m x n] += A[m x k] * B[k x n] with C pre-filled (bias), all row-major.
+   Parallel over blocks of C rows; within a task, rows are processed four
+   at a time so each streamed B row is reused from registers/L1 four times.
+   Every C element accumulates its k terms in ascending order regardless of
+   the blocking, which keeps results bitwise-stable across pool widths. *)
+let gemm ~m ~n ~k ~a ~a_off ~b ~c ~c_off =
+  Db_parallel.Pool.parallel_for ~chunk:4 ~work:(m * n * k) ~lo:0
+    ~hi:((m + 3) / 4) (fun blk ->
+      let i0 = blk * 4 in
+      let rows = Stdlib.min 4 (m - i0) in
+      if rows = 4 then begin
+        let r0 = c_off + (i0 * n)
+        and r1 = c_off + ((i0 + 1) * n)
+        and r2 = c_off + ((i0 + 2) * n)
+        and r3 = c_off + ((i0 + 3) * n) in
+        for p = 0 to k - 1 do
+          let a0 = a.(a_off + (i0 * k) + p)
+          and a1 = a.(a_off + ((i0 + 1) * k) + p)
+          and a2 = a.(a_off + ((i0 + 2) * k) + p)
+          and a3 = a.(a_off + ((i0 + 3) * k) + p) in
+          let bp = p * n in
+          for j = 0 to n - 1 do
+            let bv = b.(bp + j) in
+            c.(r0 + j) <- c.(r0 + j) +. (a0 *. bv);
+            c.(r1 + j) <- c.(r1 + j) +. (a1 *. bv);
+            c.(r2 + j) <- c.(r2 + j) +. (a2 *. bv);
+            c.(r3 + j) <- c.(r3 + j) +. (a3 *. bv)
+          done
+        done
+      end
+      else
+        for i = i0 to i0 + rows - 1 do
+          let ri = c_off + (i * n) in
+          for p = 0 to k - 1 do
+            let av = a.(a_off + (i * k) + p) in
+            let bp = p * n in
+            for j = 0 to n - 1 do
+              c.(ri + j) <- c.(ri + j) +. (av *. b.(bp + j))
+            done
+          done
+        done)
+
+let conv2d ~input ~weights ~bias ~stride ~padding ~group =
+  let _cin, h, w, cout, cin_g, kh, kw, oh, ow =
+    conv2d_dims ~input ~weights ~bias ~stride ~padding ~group
+  in
+  let out = Tensor.create (Shape.chw ~channels:cout ~height:oh ~width:ow) in
+  let idata = Tensor.data input and wdata = Tensor.data weights in
+  let odata = Tensor.data out in
+  let cout_g = cout / group in
+  let n = oh * ow in
+  let krows = cin_g * kh * kw in
+  (match bias with
+  | None -> ()
+  | Some bt ->
+      let bdata = Tensor.data bt in
+      for oc = 0 to cout - 1 do
+        Array.fill odata (oc * n) n bdata.(oc)
+      done);
+  for g = 0 to group - 1 do
+    let patch =
+      im2col ~idata ~base_ic:(g * cin_g) ~cin_g ~h ~w ~kh ~kw ~stride ~padding
+        ~oh ~ow
+    in
+    (* Weight rows of this group are contiguous: row oc is exactly the
+       (cin_g*kh*kw)-long filter in tap order. *)
+    gemm ~m:cout_g ~n ~k:krows ~a:wdata
+      ~a_off:(g * cout_g * krows)
+      ~b:patch ~c:odata
+      ~c_off:(g * cout_g * n)
+  done;
+  out
+
 let pool_generic ~combine ~finish ~init_value ~input ~kernel ~stride =
   let ishape = Tensor.shape input in
   if Shape.rank ishape <> 3 then invalid_arg "Ops.pool: input must be CHW";
@@ -74,20 +183,21 @@ let pool_generic ~combine ~finish ~init_value ~input ~kernel ~stride =
   let ow = conv_output_dim ~input:w ~kernel ~stride ~pad_lo:0 ~pad_hi:0 in
   let out = Tensor.create (Shape.chw ~channels:c ~height:oh ~width:ow) in
   let idata = Tensor.data input and odata = Tensor.data out in
-  for ch = 0 to c - 1 do
-    for oy = 0 to oh - 1 do
-      for ox = 0 to ow - 1 do
-        let acc = ref init_value in
-        for ky = 0 to kernel - 1 do
-          for kx = 0 to kernel - 1 do
-            let iy = (oy * stride) + ky and ix = (ox * stride) + kx in
-            acc := combine !acc idata.((ch * h * w) + (iy * w) + ix)
-          done
-        done;
-        odata.((ch * oh * ow) + (oy * ow) + ox) <- finish !acc
-      done
-    done
-  done;
+  (* Channels are independent; each task owns whole output channels. *)
+  Db_parallel.Pool.parallel_for ~work:(c * oh * ow * kernel * kernel) ~lo:0
+    ~hi:c (fun ch ->
+      for oy = 0 to oh - 1 do
+        for ox = 0 to ow - 1 do
+          let acc = ref init_value in
+          for ky = 0 to kernel - 1 do
+            for kx = 0 to kernel - 1 do
+              let iy = (oy * stride) + ky and ix = (ox * stride) + kx in
+              acc := combine !acc idata.((ch * h * w) + (iy * w) + ix)
+            done
+          done;
+          odata.((ch * oh * ow) + (oy * ow) + ox) <- finish !acc
+        done
+      done);
   out
 
 let max_pool ~input ~kernel ~stride =
@@ -106,14 +216,13 @@ let global_avg_pool ~input =
   and h = Shape.dim ishape 1
   and w = Shape.dim ishape 2 in
   let out = Tensor.create (Shape.vector c) in
-  let idata = Tensor.data input in
-  for ch = 0 to c - 1 do
-    let acc = ref 0.0 in
-    for i = 0 to (h * w) - 1 do
-      acc := !acc +. idata.((ch * h * w) + i)
-    done;
-    Tensor.set out ch (!acc /. float_of_int (h * w))
-  done;
+  let idata = Tensor.data input and odata = Tensor.data out in
+  Db_parallel.Pool.parallel_for ~work:(c * h * w) ~lo:0 ~hi:c (fun ch ->
+      let acc = ref 0.0 in
+      for i = 0 to (h * w) - 1 do
+        acc := !acc +. idata.((ch * h * w) + i)
+      done;
+      odata.(ch) <- !acc /. float_of_int (h * w));
   out
 
 let fully_connected ~input ~weights ~bias =
@@ -131,13 +240,14 @@ let fully_connected ~input ~weights ~bias =
   let idata = Tensor.data input
   and wdata = Tensor.data weights
   and odata = Tensor.data out in
-  for o = 0 to nout - 1 do
-    let acc = ref (match bias with None -> 0.0 | Some b -> Tensor.get b o) in
-    for i = 0 to nin - 1 do
-      acc := !acc +. (wdata.((o * nin) + i) *. idata.(i))
-    done;
-    odata.(o) <- !acc
-  done;
+  (* Each output neuron owns its dot product; accumulation order within a
+     neuron is unchanged, so results match the scalar loop bitwise. *)
+  Db_parallel.Pool.parallel_for ~work:(nout * nin) ~lo:0 ~hi:nout (fun o ->
+      let acc = ref (match bias with None -> 0.0 | Some b -> Tensor.get b o) in
+      for i = 0 to nin - 1 do
+        acc := !acc +. (wdata.((o * nin) + i) *. idata.(i))
+      done;
+      odata.(o) <- !acc);
   out
 
 let relu t = Tensor.map (fun x -> Float.max 0.0 x) t
@@ -163,21 +273,21 @@ let lrn ~input ~local_size ~alpha ~beta ~k =
   let half = local_size / 2 in
   let out = Tensor.create ishape in
   let idata = Tensor.data input and odata = Tensor.data out in
-  for ch = 0 to c - 1 do
-    let lo = Stdlib.max 0 (ch - half) and hi = Stdlib.min (c - 1) (ch + half) in
-    for y = 0 to h - 1 do
-      for x = 0 to w - 1 do
-        let sq = ref 0.0 in
-        for j = lo to hi do
-          let v = idata.((j * h * w) + (y * w) + x) in
-          sq := !sq +. (v *. v)
-        done;
-        let scale = k +. (alpha /. float_of_int local_size *. !sq) in
-        let v = idata.((ch * h * w) + (y * w) + x) in
-        odata.((ch * h * w) + (y * w) + x) <- v /. (scale ** beta)
-      done
-    done
-  done;
+  Db_parallel.Pool.parallel_for ~work:(c * h * w * local_size) ~lo:0 ~hi:c
+    (fun ch ->
+      let lo = Stdlib.max 0 (ch - half) and hi = Stdlib.min (c - 1) (ch + half) in
+      for y = 0 to h - 1 do
+        for x = 0 to w - 1 do
+          let sq = ref 0.0 in
+          for j = lo to hi do
+            let v = idata.((j * h * w) + (y * w) + x) in
+            sq := !sq +. (v *. v)
+          done;
+          let scale = k +. (alpha /. float_of_int local_size *. !sq) in
+          let v = idata.((ch * h * w) + (y * w) + x) in
+          odata.((ch * h * w) + (y * w) + x) <- v /. (scale ** beta)
+        done
+      done);
   out
 
 let dropout_inference ~ratio t =

@@ -24,7 +24,22 @@ val conv2d :
 (** [conv2d ~input ~weights ~bias ~stride ~padding ~group] with
     [input : (Cin, H, W)], [weights : (Cout, Cin/group, K, K)] and
     [bias : (Cout)].  Channels are split into [group] independent groups as
-    in Caffe/Alexnet.  Raises [Invalid_argument] on inconsistent shapes. *)
+    in Caffe/Alexnet.  Raises [Invalid_argument] on inconsistent shapes.
+
+    Implemented as im2col + a cache-blocked GEMM running on the
+    {!Db_parallel.Pool}; accumulation order per output element matches
+    {!conv2d_naive}, so the two agree to within floating-point noise. *)
+
+val conv2d_naive :
+  input:Tensor.t ->
+  weights:Tensor.t ->
+  bias:Tensor.t option ->
+  stride:int ->
+  padding:padding ->
+  group:int ->
+  Tensor.t
+(** Reference convolution: the original 7-deep scalar loop nest.  Kept as
+    the oracle for the GEMM path's equivalence tests. *)
 
 val max_pool : input:Tensor.t -> kernel:int -> stride:int -> Tensor.t
 

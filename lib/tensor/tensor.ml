@@ -85,11 +85,15 @@ let iteri f t = Array.iteri f t.data
 
 let equal_approx ?(tol = 1e-9) a b =
   Shape.equal a.shape b.shape
-  && (let ok = ref true in
-      for i = 0 to numel a - 1 do
-        if Float.abs (a.data.(i) -. b.data.(i)) > tol then ok := false
-      done;
-      !ok)
+  &&
+  (* Early exit on the first mismatch; [not (diff > tol)] keeps the
+     historical NaN behaviour (NaN compares false, so it counts as equal). *)
+  let n = numel a in
+  let rec scan i =
+    i >= n
+    || (not (Float.abs (a.data.(i) -. b.data.(i)) > tol)) && scan (i + 1)
+  in
+  scan 0
 
 let l2_distance a b =
   if numel a <> numel b then invalid_arg "Tensor.l2_distance: numel mismatch";

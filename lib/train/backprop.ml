@@ -44,31 +44,59 @@ let conv_backward ~input ~weights ~stride ~pad ~group ~grad_output ~has_bias =
   and gwdata = Tensor.data gw
   and gbdata = Tensor.data gb in
   let cout_g = cout / group in
-  for oc = 0 to cout - 1 do
-    let g = oc / cout_g in
-    let base_ic = g * cin_g in
-    for oy = 0 to oh - 1 do
-      for ox = 0 to ow - 1 do
-        let go = godata.((oc * oh * ow) + (oy * ow) + ox) in
-        gbdata.(oc) <- gbdata.(oc) +. go;
-        for ic = 0 to cin_g - 1 do
-          for ky = 0 to k - 1 do
-            let iy = (oy * stride) + ky - pad in
-            if iy >= 0 && iy < h then
-              for kx = 0 to k - 1 do
-                let ix = (ox * stride) + kx - pad in
-                if ix >= 0 && ix < w then begin
-                  let ii = ((base_ic + ic) * h * w) + (iy * w) + ix in
-                  let wi = (((oc * cin_g) + ic) * k * k) + (ky * k) + kx in
-                  gxdata.(ii) <- gxdata.(ii) +. (wdata.(wi) *. go);
-                  gwdata.(wi) <- gwdata.(wi) +. (idata.(ii) *. go)
-                end
-              done
+  (* Two disjoint-write passes so the pool can split the work without
+     racing: gw/gb are owned by the output channel, gx by the input
+     channel.  Each pass keeps the original loop nesting (oc, oy, ox, ky,
+     kx ascending), so every gradient element accumulates its terms in the
+     same order as the single sequential pass — results are bitwise
+     unchanged for any pool width. *)
+  let conv_work = cout * oh * ow * cin_g * k * k in
+  Db_parallel.Pool.parallel_for ~work:conv_work ~lo:0 ~hi:cout (fun oc ->
+      let g = oc / cout_g in
+      let base_ic = g * cin_g in
+      for oy = 0 to oh - 1 do
+        for ox = 0 to ow - 1 do
+          let go = godata.((oc * oh * ow) + (oy * ow) + ox) in
+          gbdata.(oc) <- gbdata.(oc) +. go;
+          for ic = 0 to cin_g - 1 do
+            for ky = 0 to k - 1 do
+              let iy = (oy * stride) + ky - pad in
+              if iy >= 0 && iy < h then
+                for kx = 0 to k - 1 do
+                  let ix = (ox * stride) + kx - pad in
+                  if ix >= 0 && ix < w then begin
+                    let ii = ((base_ic + ic) * h * w) + (iy * w) + ix in
+                    let wi = (((oc * cin_g) + ic) * k * k) + (ky * k) + kx in
+                    gwdata.(wi) <- gwdata.(wi) +. (idata.(ii) *. go)
+                  end
+                done
+            done
           done
         done
-      done
-    done
-  done;
+      done);
+  Db_parallel.Pool.parallel_for ~work:conv_work ~lo:0 ~hi:(group * cin_g)
+    (fun gc ->
+      let g = gc / cin_g in
+      let ic = gc - (g * cin_g) in
+      for oc = g * cout_g to ((g + 1) * cout_g) - 1 do
+        for oy = 0 to oh - 1 do
+          for ox = 0 to ow - 1 do
+            let go = godata.((oc * oh * ow) + (oy * ow) + ox) in
+            for ky = 0 to k - 1 do
+              let iy = (oy * stride) + ky - pad in
+              if iy >= 0 && iy < h then
+                for kx = 0 to k - 1 do
+                  let ix = (ox * stride) + kx - pad in
+                  if ix >= 0 && ix < w then begin
+                    let ii = (gc * h * w) + (iy * w) + ix in
+                    let wi = (((oc * cin_g) + ic) * k * k) + (ky * k) + kx in
+                    gxdata.(ii) <- gxdata.(ii) +. (wdata.(wi) *. go)
+                  end
+                done
+            done
+          done
+        done
+      done);
   (gx, if has_bias then [ gw; gb ] else [ gw ])
 
 let max_pool_backward ~input ~kernel ~stride ~grad_output =
@@ -80,23 +108,23 @@ let max_pool_backward ~input ~kernel ~stride ~grad_output =
   let idata = Tensor.data input
   and godata = Tensor.data grad_output
   and gxdata = Tensor.data gx in
-  for ch = 0 to c - 1 do
-    for oy = 0 to oh - 1 do
-      for ox = 0 to ow - 1 do
-        (* Route the gradient to the argmax of the window (first on ties,
-           like the forward max). *)
-        let best = ref neg_infinity and best_i = ref (-1) in
-        for ky = 0 to kernel - 1 do
-          for kx = 0 to kernel - 1 do
-            let ii = (ch * h * w) + (((oy * stride) + ky) * w) + (ox * stride) + kx in
-            if idata.(ii) > !best then begin best := idata.(ii); best_i := ii end
-          done
-        done;
-        gxdata.(!best_i) <-
-          gxdata.(!best_i) +. godata.((ch * oh * ow) + (oy * ow) + ox)
-      done
-    done
-  done;
+  Db_parallel.Pool.parallel_for ~work:(c * oh * ow * kernel * kernel) ~lo:0
+    ~hi:c (fun ch ->
+      for oy = 0 to oh - 1 do
+        for ox = 0 to ow - 1 do
+          (* Route the gradient to the argmax of the window (first on ties,
+             like the forward max). *)
+          let best = ref neg_infinity and best_i = ref (-1) in
+          for ky = 0 to kernel - 1 do
+            for kx = 0 to kernel - 1 do
+              let ii = (ch * h * w) + (((oy * stride) + ky) * w) + (ox * stride) + kx in
+              if idata.(ii) > !best then begin best := idata.(ii); best_i := ii end
+            done
+          done;
+          gxdata.(!best_i) <-
+            gxdata.(!best_i) +. godata.((ch * oh * ow) + (oy * ow) + ox)
+        done
+      done);
   gx
 
 let avg_pool_backward ~input ~kernel ~stride ~grad_output =
@@ -107,19 +135,19 @@ let avg_pool_backward ~input ~kernel ~stride ~grad_output =
   let gx = Tensor.create ish in
   let godata = Tensor.data grad_output and gxdata = Tensor.data gx in
   let inv_area = 1.0 /. float_of_int (kernel * kernel) in
-  for ch = 0 to c - 1 do
-    for oy = 0 to oh - 1 do
-      for ox = 0 to ow - 1 do
-        let go = godata.((ch * oh * ow) + (oy * ow) + ox) *. inv_area in
-        for ky = 0 to kernel - 1 do
-          for kx = 0 to kernel - 1 do
-            let ii = (ch * h * w) + (((oy * stride) + ky) * w) + (ox * stride) + kx in
-            gxdata.(ii) <- gxdata.(ii) +. go
+  Db_parallel.Pool.parallel_for ~work:(c * oh * ow * kernel * kernel) ~lo:0
+    ~hi:c (fun ch ->
+      for oy = 0 to oh - 1 do
+        for ox = 0 to ow - 1 do
+          let go = godata.((ch * oh * ow) + (oy * ow) + ox) *. inv_area in
+          for ky = 0 to kernel - 1 do
+            for kx = 0 to kernel - 1 do
+              let ii = (ch * h * w) + (((oy * stride) + ky) * w) + (ox * stride) + kx in
+              gxdata.(ii) <- gxdata.(ii) +. go
+            done
           done
         done
-      done
-    done
-  done;
+      done);
   gx
 
 let backward_layer cache ~grad_output =
@@ -177,13 +205,27 @@ let backward_layer cache ~grad_output =
           and godata = Tensor.data grad_output
           and gwdata = Tensor.data gw
           and gxdata = Tensor.data gx in
-          for o = 0 to nout - 1 do
-            let go = godata.(o) in
-            for i = 0 to nin - 1 do
-              gwdata.((o * nin) + i) <- gwdata.((o * nin) + i) +. (go *. xdata.(i));
-              gxdata.(i) <- gxdata.(i) +. (go *. wdata.((o * nin) + i))
-            done
-          done;
+          (* gw rows are owned by o; gx elements by i.  The i-block pass
+             keeps o as the outer loop so each gx element still sums its
+             terms in ascending-o order, exactly as the fused loop did. *)
+          Db_parallel.Pool.parallel_for ~work:(nout * nin) ~lo:0 ~hi:nout
+            (fun o ->
+              let go = godata.(o) in
+              for i = 0 to nin - 1 do
+                gwdata.((o * nin) + i) <-
+                  gwdata.((o * nin) + i) +. (go *. xdata.(i))
+              done);
+          let block = 256 in
+          let nblocks = (nin + block - 1) / block in
+          Db_parallel.Pool.parallel_for ~work:(nout * nin) ~lo:0 ~hi:nblocks
+            (fun bi ->
+              let s = bi * block and e = Stdlib.min nin ((bi + 1) * block) in
+              for o = 0 to nout - 1 do
+                let go = godata.(o) in
+                for i = s to e - 1 do
+                  gxdata.(i) <- gxdata.(i) +. (go *. wdata.((o * nin) + i))
+                done
+              done);
           let gx = Tensor.reshape gx (Tensor.shape cache.c_input) in
           (Some gx, if bias then [ gw; Tensor.copy grad_output ] else [ gw ])
       | [] -> fail "inner product cache without weights"
@@ -220,21 +262,22 @@ let backward_layer cache ~grad_output =
       let idata = Tensor.data cache.c_input
       and godata = Tensor.data grad_output
       and gxdata = Tensor.data gx in
-      for ch = 0 to c - 1 do
-        let lo = Stdlib.max 0 (ch - half) and hi = Stdlib.min (c - 1) (ch + half) in
-        for y = 0 to h - 1 do
-          for x = 0 to w - 1 do
-            let sq = ref 0.0 in
-            for j = lo to hi do
-              let v = idata.((j * h * w) + (y * w) + x) in
-              sq := !sq +. (v *. v)
-            done;
-            let scale = k +. (alpha /. float_of_int local_size *. !sq) in
-            let i = (ch * h * w) + (y * w) + x in
-            gxdata.(i) <- godata.(i) /. (scale ** beta)
-          done
-        done
-      done;
+      Db_parallel.Pool.parallel_for ~work:(c * h * w * local_size) ~lo:0
+        ~hi:c (fun ch ->
+          let lo = Stdlib.max 0 (ch - half)
+          and hi = Stdlib.min (c - 1) (ch + half) in
+          for y = 0 to h - 1 do
+            for x = 0 to w - 1 do
+              let sq = ref 0.0 in
+              for j = lo to hi do
+                let v = idata.((j * h * w) + (y * w) + x) in
+                sq := !sq +. (v *. v)
+              done;
+              let scale = k +. (alpha /. float_of_int local_size *. !sq) in
+              let i = (ch * h * w) + (y * w) + x in
+              gxdata.(i) <- godata.(i) /. (scale ** beta)
+            done
+          done);
       (Some gx, [])
   | Layer.Associative _ -> (None, [])
   | Layer.Input _ | Layer.Lcn _ | Layer.Recurrent _ | Layer.Concat

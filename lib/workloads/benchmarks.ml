@@ -392,12 +392,32 @@ let find name = List.find (fun b -> b.bench_name = name) all
 
 let cache : (string * int, prepared) Hashtbl.t = Hashtbl.create 16
 
+(* Benchmarks are prepared from parallel experiment loops; serialise access
+   to the table (preparation itself runs outside the lock, and a racing
+   duplicate preparation is deterministic so either insert is fine). *)
+let cache_lock = Mutex.create ()
+
 let prepare_cached t ~seed =
-  match Hashtbl.find_opt cache (t.bench_name, seed) with
+  let key = (t.bench_name, seed) in
+  let cached =
+    Mutex.lock cache_lock;
+    let r = Hashtbl.find_opt cache key in
+    Mutex.unlock cache_lock;
+    r
+  in
+  match cached with
   | Some p -> p
   | None ->
       let p = t.prepare ~seed in
-      Hashtbl.add cache (t.bench_name, seed) p;
+      Mutex.lock cache_lock;
+      let p =
+        match Hashtbl.find_opt cache key with
+        | Some existing -> existing
+        | None ->
+            Hashtbl.add cache key p;
+            p
+      in
+      Mutex.unlock cache_lock;
       p
 
 let accuracy_percent prepared outputs =

@@ -2,7 +2,7 @@
 
 let () =
   Alcotest.run "deepburning"
-    (Test_util.suite @ Test_tensor.suite @ Test_fixed.suite
+    (Test_util.suite @ Test_parallel.suite @ Test_tensor.suite @ Test_fixed.suite
    @ Test_prototxt.suite @ Test_nn.suite @ Test_train.suite @ Test_hdl.suite
    @ Test_blocks.suite @ Test_fpga.suite @ Test_mem.suite @ Test_sched.suite
    @ Test_analysis.suite @ Test_core.suite @ Test_sim.suite
