@@ -245,6 +245,37 @@ let run_json () =
   let _, training_s = time (fun () -> Experiments.training cfg) in
   let _, throughput_s = time (fun () -> Experiments.throughput cfg) in
   let hits, misses = Db_core.Design_cache.stats () in
+  (* Fault-campaign throughput: seeded single-bit SEU sweep over the ANN-0
+     accelerator (fresh Xavier weights; trained ones would only change the
+     outcomes, not the cost per injection). *)
+  let fault_trials = if !quick then 150 else 400 in
+  let fault_result, faults_s =
+    time (fun () ->
+        let bench = Db_workloads.Benchmarks.find "ANN-0" in
+        let design = Experiments.design_for bench in
+        let net = design.Db_core.Design.network in
+        let rng = Db_util.Rng.create cfg.Experiments.seed in
+        let params = Db_nn.Params.init_xavier rng net in
+        let input_node = List.hd (Db_nn.Network.input_nodes net) in
+        let shape =
+          match input_node.Db_nn.Network.layer with
+          | Db_nn.Layer.Input { shape } -> shape
+          | _ -> assert false
+        in
+        let inputs =
+          Array.init 4 (fun _ ->
+              Db_tensor.Tensor.random_uniform rng shape ~min:(-1.0) ~max:1.0)
+        in
+        Db_fault.Campaign.run ~design ~params
+          ~input_blob:(List.hd input_node.Db_nn.Network.tops)
+          ~inputs
+          {
+            Db_fault.Campaign.default_config with
+            Db_fault.Campaign.trials = fault_trials;
+            cycle_budget = 20_000;
+            rates = [ 1e-4 ];
+          })
+  in
   let micros =
     List.map conv_micro
       (("alexnet-conv3", 256, 13, 384, 3, 1, 1)
@@ -274,6 +305,13 @@ let run_json () =
   Buffer.add_string buf "\n  },\n";
   Printf.bprintf buf
     "  \"design_cache\": { \"hits\": %d, \"misses\": %d },\n" hits misses;
+  Printf.bprintf buf
+    "  \"fault_campaign\": { \"trials\": %d, \"seconds\": %s, \
+     \"injections_per_second\": %.1f, \"silent_fraction\": %.4f },\n"
+    fault_trials (fsec faults_s)
+    (float_of_int fault_trials /. faults_s)
+    (Db_fault.Campaign.silent_fraction
+       fault_result.Db_fault.Campaign.res_total);
   Buffer.add_string buf "  \"conv_micro\": [\n";
   Buffer.add_string buf
     (String.concat ",\n"

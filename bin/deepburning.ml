@@ -50,15 +50,22 @@ let tiling_arg =
     & info [ "tiling" ] ~docv:"BOOL"
         ~doc:"Enable Method-1 data tiling (default true).")
 
-let wrap f =
-  try f (); 0
-  with
-  | Db_util.Error.Deepburning_error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      1
-  | Sys_error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      1
+(* Every repository exception maps to one failure class and that class to
+   one exit code (parse 3, validation 4, resource 5, simulation 6,
+   watchdog 7, io 8; 1 for anything unclassified — 2 belongs to cmdliner's
+   usage errors).  Foreign exceptions keep their backtrace. *)
+let report_error e =
+  match Db_util.Error.classify_exn e with
+  | None -> raise e
+  | Some cls ->
+      (match Db_util.Error.message_of_exn e with
+      | Some msg -> Printf.eprintf "deepburning: %s\n" msg
+      | None ->
+          Printf.eprintf "deepburning: %s error\n"
+            (Db_util.Error.class_name cls));
+      Db_util.Error.exit_code cls
+
+let wrap f = try f (); 0 with e -> report_error e
 
 let generate_cmd =
   let output_arg =
@@ -265,10 +272,205 @@ let verify_cmd =
           every AGU address against the data layout.")
     Term.(const run $ model_arg $ constraint_arg $ tiling_arg)
 
+let faults_cmd =
+  let module Campaign = Db_fault.Campaign in
+  let module Site = Db_fault.Site in
+  let net_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "m"; "model"; "net" ] ~docv:"MODEL"
+          ~doc:"Caffe-compatible model description (.prototxt).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Campaign seed; a fixed seed reproduces every trial bitwise.")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "trials" ] ~docv:"N" ~doc:"Single-bit injection trials.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "budget" ] ~docv:"CYCLES"
+          ~doc:"Watchdog cycle budget for control playback.")
+  in
+  let inputs_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "inputs" ] ~docv:"N"
+          ~doc:"Random benchmark inputs the campaign draws from.")
+  in
+  let scheme_doc = "$(docv) is none, parity, secded (ecc) or crc." in
+  let protect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "protect" ] ~docv:"SCHEME"
+          ~doc:("Protect every memory class with one scheme. " ^ scheme_doc))
+  in
+  let per_class_protect name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info
+          [ "protect-" ^ name ]
+          ~docv:"SCHEME"
+          ~doc:
+            (Printf.sprintf "Protection for the %s class (overrides \
+                             $(b,--protect)). %s" name scheme_doc))
+  in
+  let rates_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rates" ] ~docv:"R1,R2,..."
+          ~doc:
+            "Comma-separated raw fault rates (flipped bits per stored bit) \
+             for the degradation curve.")
+  in
+  let targets_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "targets" ] ~docv:"CLASSES"
+          ~doc:
+            "Comma-separated target classes: weights, biases, luts, agu, \
+             buffers, fsm (default: all).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the campaign result as stable JSON (no timing fields; \
+             byte-identical for a fixed seed at any DEEPBURNING_JOBS).")
+  in
+  let class_of_string s =
+    match String.lowercase_ascii (String.trim s) with
+    | "weights" -> Site.Weights
+    | "biases" -> Site.Biases
+    | "luts" | "lut-tables" -> Site.Lut_tables
+    | "agu" | "agu-config" -> Site.Agu_config
+    | "buffers" | "data-buffer" -> Site.Data_buffer
+    | "fsm" | "control-fsm" -> Site.Control_fsm
+    | other -> Db_util.Error.failf_at ~component:"fault" "unknown target class %S" other
+  in
+  let run model_path constraint_path tiling seed trials budget ninputs protect
+      p_weights p_biases p_luts p_buffers p_agu rates targets json =
+    wrap (fun () ->
+        if ninputs <= 0 then
+          Db_util.Error.failf_at ~component:"fault"
+            "--inputs must be positive (got %d)" ninputs;
+        let design = load ~model_path ~constraint_path ~tiling in
+        let net = design.Db_core.Design.network in
+        let rng = Db_util.Rng.create seed in
+        let params = Db_nn.Params.init_xavier rng net in
+        let input_node =
+          match Db_nn.Network.input_nodes net with
+          | n :: _ -> n
+          | [] ->
+              Db_util.Error.failf_at ~component:"fault"
+                "network has no input node"
+        in
+        let input_blob = List.hd input_node.Db_nn.Network.tops in
+        let shape =
+          match input_node.Db_nn.Network.layer with
+          | Db_nn.Layer.Input { shape } -> shape
+          | _ ->
+              Db_util.Error.failf_at ~component:"fault"
+                "input node carries no shape"
+        in
+        let inputs =
+          Array.init ninputs (fun _ ->
+              Db_tensor.Tensor.random_uniform rng shape ~min:(-1.0) ~max:1.0)
+        in
+        let base =
+          match protect with
+          | None -> Campaign.unprotected
+          | Some s ->
+              let sch = Db_fault.Protect.of_string s in
+              {
+                Campaign.weights = sch;
+                biases = sch;
+                luts = sch;
+                buffers = sch;
+                agu = sch;
+              }
+        in
+        let field v cur =
+          match v with None -> cur | Some s -> Db_fault.Protect.of_string s
+        in
+        let protection =
+          {
+            Campaign.weights = field p_weights base.Campaign.weights;
+            biases = field p_biases base.Campaign.biases;
+            luts = field p_luts base.Campaign.luts;
+            buffers = field p_buffers base.Campaign.buffers;
+            agu = field p_agu base.Campaign.agu;
+          }
+        in
+        let rates =
+          match rates with
+          | None -> Campaign.default_config.Campaign.rates
+          | Some s ->
+              List.map
+                (fun x ->
+                  match float_of_string_opt (String.trim x) with
+                  | Some f when f >= 0.0 -> f
+                  | _ ->
+                      Db_util.Error.failf_at ~component:"fault"
+                        "bad fault rate %S" x)
+                (String.split_on_char ',' s)
+        in
+        let targets =
+          match targets with
+          | None -> Site.all_classes
+          | Some s ->
+              List.map class_of_string (String.split_on_char ',' s)
+        in
+        let config =
+          {
+            Campaign.seed;
+            trials;
+            cycle_budget = budget;
+            protection;
+            rates;
+            targets;
+          }
+        in
+        let result =
+          Campaign.run ~design ~params ~input_blob ~inputs config
+        in
+        print_string
+          (if json then Campaign.render_json result
+           else Campaign.render_text result))
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run a deterministic SEU-injection campaign over the generated \
+          accelerator: per-layer/per-class sensitivity, an \
+          accuracy-vs-fault-rate curve and the protection schemes' resource \
+          bill.")
+    Term.(
+      const run $ net_arg $ constraint_arg $ tiling_arg $ seed_arg
+      $ trials_arg $ budget_arg $ inputs_arg $ protect_arg
+      $ per_class_protect "weights" $ per_class_protect "biases"
+      $ per_class_protect "luts" $ per_class_protect "buffers"
+      $ per_class_protect "agu" $ rates_arg $ targets_arg $ json_arg)
+
 let main_cmd =
   let doc = "automatic generation of FPGA-based NN accelerators (DAC'16 reproduction)" in
   Cmd.group
     (Cmd.info "deepburning" ~version:"1.0.0" ~doc)
-    [ generate_cmd; simulate_cmd; verify_cmd; lint_cmd; stats_cmd; zoo_cmd ]
+    [
+      generate_cmd; simulate_cmd; verify_cmd; lint_cmd; faults_cmd; stats_cmd;
+      zoo_cmd;
+    ]
 
-let () = exit (Cmd.eval' main_cmd)
+let () = try exit (Cmd.eval' main_cmd) with e -> exit (report_error e)

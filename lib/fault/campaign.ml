@@ -1,0 +1,641 @@
+module Tensor = Db_tensor.Tensor
+module Fixed = Db_fixed.Fixed
+module Rng = Db_util.Rng
+module Pool = Db_parallel.Pool
+module Network = Db_nn.Network
+module Layer = Db_nn.Layer
+module Params = Db_nn.Params
+module Quantized = Db_nn.Quantized
+module Approx_lut = Db_blocks.Approx_lut
+module Access_pattern = Db_mem.Access_pattern
+module Compiler = Db_core.Compiler
+module Design = Db_core.Design
+module Resource = Db_fpga.Resource
+
+let fail fmt = Db_util.Error.failf_at ~component:"fault" fmt
+
+type protection = {
+  weights : Protect.scheme;
+  biases : Protect.scheme;
+  luts : Protect.scheme;
+  buffers : Protect.scheme;
+  agu : Protect.scheme;
+}
+
+let unprotected =
+  {
+    weights = Protect.Unprotected;
+    biases = Protect.Unprotected;
+    luts = Protect.Unprotected;
+    buffers = Protect.Unprotected;
+    agu = Protect.Unprotected;
+  }
+
+let scheme_for p = function
+  | Site.Weights -> p.weights
+  | Site.Biases -> p.biases
+  | Site.Lut_tables -> p.luts
+  | Site.Data_buffer -> p.buffers
+  | Site.Agu_config -> p.agu
+  | Site.Control_fsm -> Protect.Unprotected
+
+type config = {
+  seed : int;
+  trials : int;
+  cycle_budget : int;
+  protection : protection;
+  rates : float list;
+  targets : Site.target_class list;
+}
+
+let default_config =
+  {
+    seed = 42;
+    trials = 200;
+    cycle_budget = 200_000;
+    protection = unprotected;
+    rates = [ 1e-7; 1e-6; 1e-5; 1e-4; 1e-3 ];
+    targets = Site.all_classes;
+  }
+
+type outcome = Masked | Sdc | Top1_flip | Corrected | Retried | Hang
+
+let outcome_name = function
+  | Masked -> "masked"
+  | Sdc -> "sdc"
+  | Top1_flip -> "top1-flip"
+  | Corrected -> "corrected"
+  | Retried -> "retried"
+  | Hang -> "hang"
+
+type counts = {
+  injections : int;
+  masked : int;
+  sdc : int;
+  top1_flips : int;
+  corrected : int;
+  retried : int;
+  hangs : int;
+}
+
+let zero_counts =
+  {
+    injections = 0;
+    masked = 0;
+    sdc = 0;
+    top1_flips = 0;
+    corrected = 0;
+    retried = 0;
+    hangs = 0;
+  }
+
+let add_outcome c o =
+  let c = { c with injections = c.injections + 1 } in
+  match o with
+  | Masked -> { c with masked = c.masked + 1 }
+  | Sdc -> { c with sdc = c.sdc + 1 }
+  | Top1_flip -> { c with top1_flips = c.top1_flips + 1 }
+  | Corrected -> { c with corrected = c.corrected + 1 }
+  | Retried -> { c with retried = c.retried + 1 }
+  | Hang -> { c with hangs = c.hangs + 1 }
+
+let silent_fraction c =
+  if c.injections = 0 then 0.0
+  else float_of_int (c.sdc + c.top1_flips) /. float_of_int c.injections
+
+type row = { row_label : string; row_counts : counts }
+
+type result = {
+  res_seed : int;
+  res_trials : int;
+  res_space_bits : int;
+  res_protection : protection;
+  res_total : counts;
+  res_per_class : row list;
+  res_per_layer : row list;
+  res_degradation : (float * float) list;
+  res_overheads : (string * string * Resource.t * float) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Bit-pattern plumbing                                               *)
+
+let sign_extend bits w =
+  if w land (1 lsl (bits - 1)) <> 0 then w - (1 lsl bits) else w
+
+(* LUT contents live in BRAM in the datapath's Q-format, so the campaign
+   baseline quantises them once; a flip then lands on exactly the stored
+   word and a cancelled flip is detected as Masked rather than drowned in
+   quantisation noise. *)
+let quantize_luts fmt luts =
+  List.map
+    (fun (l : Approx_lut.t) ->
+      {
+        l with
+        Approx_lut.values =
+          Array.map (fun v -> Fixed.to_float fmt (Fixed.of_float fmt v)) l.Approx_lut.values;
+      })
+    luts
+
+let tensors_equal a b =
+  let da = Tensor.data a and db = Tensor.data b in
+  Array.length da = Array.length db
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if x <> db.(i) then ok := false) da;
+  !ok
+
+(* Shallow rebuild: every tensor shared except the one replaced, so a
+   trial never mutates the caller's parameter store (trials run in
+   parallel over one shared [params]). *)
+let substitute_param params node idx t' =
+  let p' = Params.create () in
+  Params.iter params (fun name ts ->
+      if String.equal name node then
+        Params.set p' name (List.mapi (fun i t -> if i = idx then t' else t) ts)
+      else Params.set p' name ts);
+  p'
+
+(* ------------------------------------------------------------------ *)
+(* AGU configuration-register corruption                               *)
+
+let agu_mask = (1 lsl Site.agu_register_bits) - 1
+
+let agu_field_value (p : Access_pattern.t) = function
+  | Site.Start -> p.Access_pattern.start
+  | Site.X_length -> p.Access_pattern.x_length
+  | Site.Y_length -> p.Access_pattern.y_length
+  | Site.Stride -> p.Access_pattern.stride
+  | Site.Offset -> p.Access_pattern.offset
+  | Site.Repeat -> p.Access_pattern.repeat
+
+let agu_with_field (p : Access_pattern.t) field v =
+  match field with
+  | Site.Start -> { p with Access_pattern.start = v }
+  | Site.X_length -> { p with Access_pattern.x_length = v }
+  | Site.Y_length -> { p with Access_pattern.y_length = v }
+  | Site.Stride -> { p with Access_pattern.stride = v }
+  | Site.Offset -> { p with Access_pattern.offset = v }
+  | Site.Repeat -> { p with Access_pattern.repeat = v }
+
+(* Address stream straight from the counter arithmetic, with no
+   validation: a corrupted register produces whatever the counters
+   produce. *)
+let agu_addresses (p : Access_pattern.t) =
+  let row = p.Access_pattern.x_length in
+  let block = row * p.Access_pattern.y_length in
+  List.init (block * p.Access_pattern.repeat) (fun i ->
+      let b = i / block and w = i mod block in
+      p.Access_pattern.start
+      + (b * p.Access_pattern.offset)
+      + (w / row * p.Access_pattern.stride)
+      + (w mod row))
+
+let agu_cycles (p : Access_pattern.t) =
+  let words =
+    p.Access_pattern.x_length * p.Access_pattern.y_length * p.Access_pattern.repeat
+  in
+  words
+  + ((p.Access_pattern.y_length - 1) * p.Access_pattern.repeat)
+  + (p.Access_pattern.repeat - 1) + 2
+
+(* A zeroed length register makes the down-counter wrap through 2^24 —
+   the watchdog is what ends that run, so it classifies as Hang, as does
+   any corrupted pattern whose cycle count exceeds the budget. *)
+let classify_agu ~budget golden corrupted =
+  if
+    corrupted.Access_pattern.x_length <= 0
+    || corrupted.Access_pattern.y_length <= 0
+    || corrupted.Access_pattern.repeat <= 0
+  then Hang
+  else if agu_cycles corrupted > budget then Hang
+  else if agu_addresses corrupted = agu_addresses golden then Masked
+  else Sdc
+
+(* ------------------------------------------------------------------ *)
+(* Campaign                                                            *)
+
+type trial = {
+  t_class : Site.target_class;
+  t_layer : string option;
+  t_outcome : outcome;
+}
+
+let run ~design ~params ~input_blob ~inputs (config : config) =
+  if Array.length inputs = 0 then fail "campaign needs at least one input";
+  if config.trials <= 0 then
+    fail "campaign needs a positive trial count (got %d)" config.trials;
+  if config.cycle_budget <= 0 then
+    fail "campaign needs a positive cycle budget (got %d)" config.cycle_budget;
+  let fmt = design.Design.datapath.Db_sched.Datapath.fmt in
+  let word_bits = fmt.Fixed.total_bits in
+  let word_mask = (1 lsl word_bits) - 1 in
+  let net = design.Design.network in
+  let luts = quantize_luts fmt design.Design.program.Compiler.luts in
+  let eval = Db_sim.Lut_eval.of_luts luts in
+  let forward ~params ~eval input =
+    Quantized.output ~eval ~fmt net params ~inputs:[ (input_blob, input) ]
+  in
+  let classifier =
+    match List.rev net.Network.nodes with
+    | last :: _ -> (
+        match last.Network.layer with Layer.Classifier _ -> true | _ -> false)
+    | [] -> false
+  in
+  let top1_of t =
+    if classifier then int_of_float (Tensor.get t 0) else Tensor.max_index t
+  in
+  let golden = Array.map (fun i -> forward ~params ~eval i) inputs in
+  let golden_top1 = Array.map top1_of golden in
+  let stored_bits cls ~word_bits =
+    Protect.stored_bits (scheme_for config.protection cls) ~word_bits
+  in
+  let input_words = Tensor.numel inputs.(0) in
+  let space =
+    Site.enumerate ~design ~params ~input_blob ~input_words ~stored_bits
+      ~targets:config.targets
+  in
+  let classify_output input_idx out =
+    if tensors_equal out golden.(input_idx) then Masked
+    else if top1_of out = golden_top1.(input_idx) then Sdc
+    else Top1_flip
+  in
+  let run_trial t =
+    let rng = Rng.create (config.seed + t) in
+    let g, word, bit = Site.pick space rng in
+    let input_idx = Rng.int rng (Array.length inputs) in
+    let scheme = scheme_for config.protection g.Site.g_class in
+    let outcome =
+      match g.Site.g_payload with
+      | Site.P_param { node; tensor } -> (
+          let tens = List.nth (Params.get params node) tensor in
+          let v = Fixed.of_float fmt (Tensor.get tens word) in
+          match
+            Protect.transmit scheme ~word_bits ~word:(v land word_mask)
+              ~flips:[ bit ]
+          with
+          | Protect.Corrected -> Corrected
+          | Protect.Reloaded -> Retried
+          | Protect.Silent w ->
+              let v' = sign_extend word_bits w in
+              if v' = v then Masked
+              else begin
+                let t' = Tensor.copy tens in
+                Tensor.set t' word (Fixed.to_float fmt v');
+                let params' = substitute_param params node tensor t' in
+                classify_output input_idx
+                  (forward ~params:params' ~eval inputs.(input_idx))
+              end)
+      | Site.P_lut { lut } -> (
+          let l =
+            List.find (fun l -> String.equal l.Approx_lut.lut_name lut) luts
+          in
+          let v = Fixed.of_float fmt l.Approx_lut.values.(word) in
+          match
+            Protect.transmit scheme ~word_bits ~word:(v land word_mask)
+              ~flips:[ bit ]
+          with
+          | Protect.Corrected -> Corrected
+          | Protect.Reloaded -> Retried
+          | Protect.Silent w ->
+              let v' = sign_extend word_bits w in
+              if v' = v then Masked
+              else begin
+                let values = Array.copy l.Approx_lut.values in
+                values.(word) <- Fixed.to_float fmt v';
+                let luts' =
+                  List.map
+                    (fun (x : Approx_lut.t) ->
+                      if String.equal x.Approx_lut.lut_name lut then
+                        { x with Approx_lut.values }
+                      else x)
+                    luts
+                in
+                classify_output input_idx
+                  (forward ~params ~eval:(Db_sim.Lut_eval.of_luts luts')
+                     inputs.(input_idx))
+              end)
+      | Site.P_buffer _ -> (
+          let input = inputs.(input_idx) in
+          let v = Fixed.of_float fmt (Tensor.get input word) in
+          match
+            Protect.transmit scheme ~word_bits ~word:(v land word_mask)
+              ~flips:[ bit ]
+          with
+          | Protect.Corrected -> Corrected
+          | Protect.Reloaded -> Retried
+          | Protect.Silent w ->
+              let v' = sign_extend word_bits w in
+              if v' = v then Masked
+              else begin
+                let input' = Tensor.copy input in
+                Tensor.set input' word (Fixed.to_float fmt v');
+                classify_output input_idx (forward ~params ~eval input')
+              end)
+      | Site.P_agu { program; transfer } -> (
+          let p = List.nth design.Design.program.Compiler.programs program in
+          let tr = List.nth p.Compiler.transfers transfer in
+          let pat = tr.Compiler.pattern in
+          let field = Site.agu_fields.(word) in
+          let full = agu_field_value pat field in
+          let v = full land agu_mask in
+          match
+            Protect.transmit scheme ~word_bits:Site.agu_register_bits ~word:v
+              ~flips:[ bit ]
+          with
+          | Protect.Corrected -> Corrected
+          | Protect.Reloaded -> Retried
+          | Protect.Silent w ->
+              if w = v then Masked
+              else
+                let corrupted =
+                  agu_with_field pat field (full land lnot agu_mask lor w)
+                in
+                classify_agu ~budget:config.cycle_budget pat corrupted)
+      | Site.P_fsm { program } ->
+          if program < 0 then Hang
+            (* coordinator stuck: no fold ever retires *)
+          else begin
+            let p = List.nth design.Design.program.Compiler.programs program in
+            match p.Compiler.transfers with
+            | [] -> Hang
+            | tr :: _ -> (
+                let agu = Db_mem.Agu_sim.create tr.Compiler.pattern in
+                Db_mem.Agu_sim.inject_stuck_state agu;
+                match
+                  Db_mem.Agu_sim.run_to_completion
+                    ~max_cycles:config.cycle_budget agu
+                with
+                | _ -> Masked (* unreachable: a stuck machine never finishes *)
+                | exception Db_util.Error.Timeout _ -> Hang)
+          end
+    in
+    { t_class = g.Site.g_class; t_layer = g.Site.g_layer; t_outcome = outcome }
+  in
+  let slots =
+    Array.make config.trials
+      { t_class = Site.Weights; t_layer = None; t_outcome = Masked }
+  in
+  Pool.parallel_for ~chunk:1
+    ~work:(config.trials * 500_000)
+    ~lo:0 ~hi:config.trials
+    (fun t -> slots.(t) <- run_trial t);
+  let total =
+    Array.fold_left (fun acc tr -> add_outcome acc tr.t_outcome) zero_counts slots
+  in
+  let rows_of labels =
+    List.filter_map
+      (fun (label, matches) ->
+        let c =
+          Array.fold_left
+            (fun acc tr ->
+              if matches tr then add_outcome acc tr.t_outcome else acc)
+            zero_counts slots
+        in
+        if c.injections = 0 then None
+        else Some { row_label = label; row_counts = c })
+      labels
+  in
+  let per_class =
+    rows_of
+      (List.filter (fun c -> List.mem c config.targets) Site.all_classes
+      |> List.map (fun c -> (Site.class_name c, fun tr -> tr.t_class = c)))
+  in
+  let per_layer =
+    rows_of
+      (List.map
+         (fun (n : Network.node) ->
+           ( n.Network.node_name,
+             fun tr -> tr.t_layer = Some n.Network.node_name ))
+         net.Network.nodes
+      @ [ ("(global)", fun tr -> tr.t_layer = None) ])
+  in
+  (* Degradation sweeps raw fabric sensitivity, so it always injects into
+     unprotected architectural bits of the data-carrying classes. *)
+  let data_space =
+    Site.enumerate ~design ~params ~input_blob ~input_words
+      ~stored_bits:(fun _ ~word_bits -> word_bits)
+      ~targets:[ Site.Weights; Site.Biases; Site.Data_buffer ]
+  in
+  let degradation =
+    List.mapi
+      (fun ri rate ->
+        let n = Array.length inputs in
+        let hits = Array.make n false in
+        Pool.parallel_for ~chunk:1 ~work:(n * 500_000) ~lo:0 ~hi:n (fun i ->
+            let rng = Rng.create (config.seed + (1_000_003 * (ri + 1)) + i) in
+            let expected = rate *. float_of_int data_space.Site.total_bits in
+            let base = int_of_float expected in
+            let nflips =
+              base
+              + (if Rng.float rng 1.0 < expected -. float_of_int base then 1
+                 else 0)
+            in
+            if nflips = 0 then hits.(i) <- true
+            else begin
+              let params' = Params.copy params in
+              let input' = Tensor.copy inputs.(i) in
+              for _ = 1 to nflips do
+                let g, word, bit = Site.pick data_space rng in
+                let flip_word t =
+                  let v = Fixed.of_float fmt (Tensor.get t word) in
+                  let v' =
+                    sign_extend word_bits ((v land word_mask) lxor (1 lsl bit))
+                  in
+                  Tensor.set t word (Fixed.to_float fmt v')
+                in
+                match g.Site.g_payload with
+                | Site.P_param { node; tensor } ->
+                    flip_word (List.nth (Params.get params' node) tensor)
+                | Site.P_buffer _ -> flip_word input'
+                | _ -> ()
+              done;
+              let out = forward ~params:params' ~eval input' in
+              hits.(i) <- top1_of out = golden_top1.(i)
+            end);
+        let correct =
+          Array.fold_left (fun a h -> if h then a + 1 else a) 0 hits
+        in
+        (rate, 100.0 *. float_of_int correct /. float_of_int n))
+      config.rates
+  in
+  let overheads =
+    let usage = Design.resource_usage design in
+    List.filter_map
+      (fun cls ->
+        let scheme = scheme_for config.protection cls in
+        if scheme = Protect.Unprotected then None
+        else
+          let words = Site.class_words space cls in
+          if words = 0 then None
+          else
+            let wb =
+              if cls = Site.Agu_config then Site.agu_register_bits
+              else word_bits
+            in
+            let ov = Protect.resource_overhead scheme ~word_bits:wb ~words in
+            let pct = 100.0 *. Resource.utilisation ov ~within:usage in
+            Some (Site.class_name cls, Protect.name scheme, ov, pct))
+      [
+        Site.Weights; Site.Biases; Site.Lut_tables; Site.Agu_config;
+        Site.Data_buffer;
+      ]
+  in
+  {
+    res_seed = config.seed;
+    res_trials = config.trials;
+    res_space_bits = space.Site.total_bits;
+    res_protection = config.protection;
+    res_total = total;
+    res_per_class = per_class;
+    res_per_layer = per_layer;
+    res_degradation = degradation;
+    res_overheads = overheads;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let protection_fields p =
+  [
+    ("weights", p.weights);
+    ("biases", p.biases);
+    ("luts", p.luts);
+    ("buffers", p.buffers);
+    ("agu", p.agu);
+  ]
+
+let count_cells c =
+  [
+    string_of_int c.injections;
+    string_of_int c.masked;
+    string_of_int c.sdc;
+    string_of_int c.top1_flips;
+    string_of_int c.corrected;
+    string_of_int c.retried;
+    string_of_int c.hangs;
+    Printf.sprintf "%.1f%%" (100.0 *. silent_fraction c);
+  ]
+
+let count_headers =
+  [ "inj"; "masked"; "sdc"; "top1-flip"; "corrected"; "retried"; "hang"; "silent" ]
+
+let render_text r =
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf "fault campaign: %d trials, seed %d, %d stored bits\n"
+    r.res_trials r.res_seed r.res_space_bits;
+  Printf.bprintf buf "protection: %s\n\n"
+    (String.concat " "
+       (List.map
+          (fun (k, s) -> Printf.sprintf "%s=%s" k (Protect.name s))
+          (protection_fields r.res_protection)));
+  Buffer.add_string buf "outcomes by target class:\n";
+  Buffer.add_string buf
+    (Db_report.Table.render
+       ~headers:("class" :: count_headers)
+       ~rows:
+         (List.map
+            (fun row -> row.row_label :: count_cells row.row_counts)
+            r.res_per_class
+         @ [ "total" :: count_cells r.res_total ]));
+  Buffer.add_string buf "\nper-layer sensitivity:\n";
+  Buffer.add_string buf
+    (Db_report.Table.render
+       ~headers:("layer" :: count_headers)
+       ~rows:
+         (List.map
+            (fun row -> row.row_label :: count_cells row.row_counts)
+            r.res_per_layer));
+  if r.res_degradation <> [] then begin
+    Buffer.add_string buf
+      "\ntop-1 accuracy vs raw fault rate (unprotected weight/bias/buffer bits):\n";
+    Buffer.add_string buf
+      (Db_report.Table.render
+         ~headers:[ "fault rate"; "top-1 accuracy" ]
+         ~rows:
+           (List.map
+              (fun (rate, acc) ->
+                [ Printf.sprintf "%g" rate; Printf.sprintf "%.1f%%" acc ])
+              r.res_degradation))
+  end;
+  if r.res_overheads <> [] then begin
+    Buffer.add_string buf "\nprotection overhead:\n";
+    Buffer.add_string buf
+      (Db_report.Table.render
+         ~headers:[ "class"; "scheme"; "luts"; "ffs"; "bram bits"; "of design" ]
+         ~rows:
+           (List.map
+              (fun (cls, scheme, (ov : Resource.t), pct) ->
+                [
+                  cls; scheme;
+                  string_of_int ov.Resource.luts;
+                  string_of_int ov.Resource.ffs;
+                  string_of_int ov.Resource.bram_bits;
+                  Printf.sprintf "%.2f%%" pct;
+                ])
+              r.res_overheads))
+  end;
+  Buffer.contents buf
+
+let json_counts c =
+  Printf.sprintf
+    "{\"injections\": %d, \"masked\": %d, \"sdc\": %d, \"top1_flips\": %d, \
+     \"corrected\": %d, \"retried\": %d, \"hangs\": %d}"
+    c.injections c.masked c.sdc c.top1_flips c.corrected c.retried c.hangs
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_json r =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "{\n  \"seed\": %d,\n  \"trials\": %d,\n" r.res_seed
+    r.res_trials;
+  Printf.bprintf buf "  \"space_bits\": %d,\n" r.res_space_bits;
+  Printf.bprintf buf "  \"protection\": {%s},\n"
+    (String.concat ", "
+       (List.map
+          (fun (k, s) -> Printf.sprintf "\"%s\": \"%s\"" k (Protect.name s))
+          (protection_fields r.res_protection)));
+  Printf.bprintf buf "  \"total\": %s,\n" (json_counts r.res_total);
+  let row_objects label rows =
+    Printf.sprintf "  \"%s\": [\n%s\n  ]" label
+      (String.concat ",\n"
+         (List.map
+            (fun row ->
+              Printf.sprintf "    {\"label\": \"%s\", \"counts\": %s}"
+                (json_escape row.row_label) (json_counts row.row_counts))
+            rows))
+  in
+  Buffer.add_string buf (row_objects "per_class" r.res_per_class);
+  Buffer.add_string buf ",\n";
+  Buffer.add_string buf (row_objects "per_layer" r.res_per_layer);
+  Buffer.add_string buf ",\n";
+  Printf.bprintf buf "  \"degradation\": [\n%s\n  ],\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (rate, acc) ->
+            Printf.sprintf "    {\"rate\": %g, \"top1_accuracy\": %.6g}" rate
+              acc)
+          r.res_degradation));
+  Printf.bprintf buf "  \"protection_overhead\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (cls, scheme, (ov : Resource.t), pct) ->
+            Printf.sprintf
+              "    {\"class\": \"%s\", \"scheme\": \"%s\", \"luts\": %d, \
+               \"ffs\": %d, \"bram_bits\": %d, \"percent_of_design\": %.6g}"
+              cls scheme ov.Resource.luts ov.Resource.ffs ov.Resource.bram_bits
+              pct)
+          r.res_overheads));
+  Buffer.contents buf

@@ -1,0 +1,92 @@
+(** Deterministic SEU-injection campaigns over a generated design.
+
+    A campaign sweeps single-bit upsets across the enabled {!Site} classes
+    of one design, pushes each through the configured {!Protect} scheme and
+    — when the corrupted word survives to the datapath — through a full
+    fixed-point forward pass, then classifies the run.  Trial [t] draws
+    everything from [Rng.create (seed + t)] and writes its result into its
+    own slot, so the classification counts are bitwise identical for a
+    fixed seed at any [DEEPBURNING_JOBS] setting. *)
+
+type protection = {
+  weights : Protect.scheme;
+  biases : Protect.scheme;
+  luts : Protect.scheme;
+  buffers : Protect.scheme;
+  agu : Protect.scheme;
+}
+
+val unprotected : protection
+
+val scheme_for : protection -> Site.target_class -> Protect.scheme
+(** [Control_fsm] is never protected (the watchdog is its mitigation). *)
+
+type config = {
+  seed : int;
+  trials : int;
+  cycle_budget : int;  (** watchdog budget for control playback (cycles) *)
+  protection : protection;
+  rates : float list;  (** fault rates for the degradation curve *)
+  targets : Site.target_class list;
+}
+
+val default_config : config
+
+type outcome =
+  | Masked  (** output bit-identical to the fault-free run *)
+  | Sdc  (** silent data corruption: output differs, top-1 intact *)
+  | Top1_flip  (** silent corruption that flips the top-1 class *)
+  | Corrected  (** ECC repaired the word in place *)
+  | Retried  (** detected (parity/CRC); golden copy re-fetched *)
+  | Hang  (** control never completed; cycle-budget watchdog fired *)
+
+val outcome_name : outcome -> string
+
+type counts = {
+  injections : int;
+  masked : int;
+  sdc : int;
+  top1_flips : int;
+  corrected : int;
+  retried : int;
+  hangs : int;
+}
+
+val zero_counts : counts
+
+val silent_fraction : counts -> float
+(** (sdc + top1_flips) / injections — the figure protection must shrink. *)
+
+type row = { row_label : string; row_counts : counts }
+
+type result = {
+  res_seed : int;
+  res_trials : int;
+  res_space_bits : int;  (** stored bits across the enabled classes *)
+  res_protection : protection;
+  res_total : counts;
+  res_per_class : row list;  (** one row per enabled class that was hit *)
+  res_per_layer : row list;  (** network node order; "(global)" catches
+                                 sites owned by no layer *)
+  res_degradation : (float * float) list;
+      (** (raw fault rate, top-1 accuracy %) on unprotected
+          weight/bias/buffer bits *)
+  res_overheads : (string * string * Db_fpga.Resource.t * float) list;
+      (** (class, scheme, overhead, % of the design's own usage) *)
+}
+
+val run :
+  design:Db_core.Design.t ->
+  params:Db_nn.Params.t ->
+  input_blob:string ->
+  inputs:Db_tensor.Tensor.t array ->
+  config ->
+  result
+(** Raises {!Db_util.Error.Deepburning_error} on an empty input set, a
+    non-positive trial count or an empty fault space. *)
+
+val render_text : result -> string
+
+val render_json : result -> string
+(** Stable, timing-free JSON: byte-identical for a fixed seed regardless
+    of [DEEPBURNING_JOBS]. *)

@@ -1,0 +1,115 @@
+let fail fmt = Db_util.Error.failf_at ~component:"fault" fmt
+
+let check_range data_bits =
+  if data_bits < 1 || data_bits > 32 then
+    fail "ecc: data_bits %d out of [1, 32]" data_bits
+
+let parity ~data_bits word =
+  check_range data_bits;
+  let p = ref 0 in
+  for b = 0 to data_bits - 1 do
+    p := !p lxor ((word lsr b) land 1)
+  done;
+  !p
+
+let parity_encode ~data_bits word =
+  let data = word land ((1 lsl data_bits) - 1) in
+  data lor (parity ~data_bits data lsl data_bits)
+
+let parity_check ~data_bits stored =
+  parity ~data_bits:(data_bits + 1) stored = 0
+
+let hamming_check_bits ~data_bits =
+  check_range data_bits;
+  let rec go r = if 1 lsl r >= data_bits + r + 1 then r else go (r + 1) in
+  go 2
+
+let secded_total_bits ~data_bits = data_bits + hamming_check_bits ~data_bits + 1
+
+let is_power_of_two p = p land (p - 1) = 0
+
+(* Codeword layout: Hamming positions 1..m live at int bits 0..m-1 (position
+   p at bit p-1); the overall parity bit sits above them.  Data bits fill the
+   non-power-of-two positions in increasing order; check bit 2^i makes the
+   XOR over every position with bit i set even. *)
+
+let secded_encode ~data_bits word =
+  let r = hamming_check_bits ~data_bits in
+  let m = data_bits + r in
+  let bits = Array.make (m + 1) 0 in
+  (* Place data (positions are 1-indexed). *)
+  let d = ref 0 in
+  for pos = 1 to m do
+    if not (is_power_of_two pos) then begin
+      bits.(pos) <- (word lsr !d) land 1;
+      incr d
+    end
+  done;
+  (* Check bits. *)
+  for i = 0 to r - 1 do
+    let p = ref 0 in
+    for pos = 1 to m do
+      if pos land (1 lsl i) <> 0 && not (is_power_of_two pos) then
+        p := !p lxor bits.(pos)
+    done;
+    bits.(1 lsl i) <- !p
+  done;
+  (* Overall parity over the m Hamming bits. *)
+  let overall = ref 0 in
+  for pos = 1 to m do
+    overall := !overall lxor bits.(pos)
+  done;
+  let code = ref (!overall lsl m) in
+  for pos = m downto 1 do
+    code := !code lor (bits.(pos) lsl (pos - 1))
+  done;
+  !code
+
+type secded_verdict = Clean | Corrected | Double_error
+
+let extract_data ~data_bits bits m =
+  let word = ref 0 and d = ref 0 in
+  for pos = 1 to m do
+    if not (is_power_of_two pos) then begin
+      word := !word lor (bits.(pos) lsl !d);
+      incr d
+    end
+  done;
+  ignore data_bits;
+  !word
+
+let secded_decode ~data_bits code =
+  let r = hamming_check_bits ~data_bits in
+  let m = data_bits + r in
+  let bits = Array.make (m + 1) 0 in
+  for pos = 1 to m do
+    bits.(pos) <- (code lsr (pos - 1)) land 1
+  done;
+  let stored_overall = (code lsr m) land 1 in
+  let syndrome = ref 0 and overall = ref stored_overall in
+  for pos = 1 to m do
+    if bits.(pos) = 1 then syndrome := !syndrome lxor pos;
+    overall := !overall lxor bits.(pos)
+  done;
+  if !syndrome = 0 && !overall = 0 then (Clean, extract_data ~data_bits bits m)
+  else if !overall = 1 then begin
+    (* Single-bit error: at Hamming position [syndrome], or in the overall
+       parity bit itself when the syndrome is clean. *)
+    if !syndrome >= 1 && !syndrome <= m then
+      bits.(!syndrome) <- 1 - bits.(!syndrome);
+    (Corrected, extract_data ~data_bits bits m)
+  end
+  else (Double_error, extract_data ~data_bits bits m)
+
+let crc8 ~data_bits words =
+  check_range data_bits;
+  Array.fold_left
+    (fun crc w ->
+      let crc = ref crc in
+      for b = data_bits - 1 downto 0 do
+        let inbit = (w lsr b) land 1 in
+        let top = (!crc lsr 7) land 1 in
+        crc := ((!crc lsl 1) land 0xff) lxor (if top lxor inbit = 1 then 0x07 else 0)
+      done;
+      !crc)
+    0 words

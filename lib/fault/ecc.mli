@@ -1,0 +1,45 @@
+(** Bit-level protection codecs: parity, Hamming SECDED, CRC-8.
+
+    Words are handled as unsigned bit patterns held in plain [int]s
+    ([data_bits] at most 32, so an extended-Hamming codeword still fits a
+    native int).  These are the functional models behind
+    {!Db_fault.Protect}: the campaign flips bits in *stored codewords*
+    (check bits are fault targets too) and runs them through the real
+    decoder, so "corrects all single-bit errors" is a property of this
+    code, not an assumption. *)
+
+val parity : data_bits:int -> int -> int
+(** Even-parity bit (XOR reduction) over the low [data_bits] bits. *)
+
+val parity_encode : data_bits:int -> int -> int
+(** Data with its even-parity bit appended at bit position [data_bits]
+    ([data_bits + 1] stored bits). *)
+
+val parity_check : data_bits:int -> int -> bool
+(** True when the stored word's overall parity is even (no error, or an
+    even number of flipped bits). *)
+
+val hamming_check_bits : data_bits:int -> int
+(** Smallest [r] with [2^r >= data_bits + r + 1]. *)
+
+val secded_total_bits : data_bits:int -> int
+(** Stored bits of the extended Hamming codeword:
+    [data_bits + hamming_check_bits + 1] (the +1 is the overall parity). *)
+
+val secded_encode : data_bits:int -> int -> int
+(** Codeword for the low [data_bits] bits of the word. *)
+
+type secded_verdict =
+  | Clean  (** no error detected *)
+  | Corrected  (** single-bit error located and repaired *)
+  | Double_error  (** two-bit error detected, not correctable *)
+
+val secded_decode : data_bits:int -> int -> secded_verdict * int
+(** Decode a (possibly corrupted) codeword; returns the verdict and the
+    data word after any correction.  On [Double_error] the returned data
+    is unreliable and must be discarded by the caller. *)
+
+val crc8 : data_bits:int -> int array -> int
+(** CRC-8 (polynomial 0x07) over a word stream, each word contributing its
+    low [data_bits] bits MSB-first.  Detects every 1- and 2-bit error in
+    blocks the campaign uses. *)

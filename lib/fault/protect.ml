@@ -1,0 +1,79 @@
+let fail fmt = Db_util.Error.failf_at ~component:"fault" fmt
+
+type scheme = Unprotected | Parity | Secded | Crc_reload
+
+let all = [ Unprotected; Parity; Secded; Crc_reload ]
+
+let name = function
+  | Unprotected -> "none"
+  | Parity -> "parity"
+  | Secded -> "secded"
+  | Crc_reload -> "crc-reload"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "none" | "off" | "unprotected" -> Unprotected
+  | "parity" -> Parity
+  | "secded" | "ecc" -> Secded
+  | "crc" | "crc-reload" | "crc8" -> Crc_reload
+  | other -> fail "unknown protection scheme %S (none|parity|secded|crc)" other
+
+let stored_bits scheme ~word_bits =
+  match scheme with
+  | Unprotected | Crc_reload -> word_bits
+  | Parity -> word_bits + 1
+  | Secded -> Ecc.secded_total_bits ~data_bits:word_bits
+
+let flip_mask flips =
+  List.fold_left (fun acc b -> acc lor (1 lsl b)) 0 flips
+
+type verdict = Silent of int | Corrected | Reloaded
+
+let transmit scheme ~word_bits ~word ~flips =
+  let data = word land ((1 lsl word_bits) - 1) in
+  let limit = stored_bits scheme ~word_bits in
+  List.iter
+    (fun b ->
+      if b < 0 || b >= limit then fail "flip bit %d outside stored word" b)
+    flips;
+  match scheme with
+  | Unprotected -> Silent (data lxor flip_mask flips)
+  | Parity ->
+      let stored = Ecc.parity_encode ~data_bits:word_bits data lxor flip_mask flips in
+      if Ecc.parity_check ~data_bits:word_bits stored then
+        (* Even number of flips: undetected; drop the parity bit. *)
+        Silent (stored land ((1 lsl word_bits) - 1))
+      else Reloaded
+  | Secded -> begin
+      let code = Ecc.secded_encode ~data_bits:word_bits data lxor flip_mask flips in
+      match Ecc.secded_decode ~data_bits:word_bits code with
+      | Ecc.Clean, d -> Silent d
+      | Ecc.Corrected, d ->
+          if d = data then Corrected
+          else Silent d (* >2 flips defeated the code: mis-correction *)
+      | Ecc.Double_error, _ -> Reloaded
+    end
+  | Crc_reload ->
+      (* The block CRC catches every 1- and 2-bit error on load. *)
+      if flips = [] then Silent data else Reloaded
+
+let resource_overhead scheme ~word_bits ~words =
+  match scheme with
+  | Unprotected -> Db_fpga.Resource.zero
+  | Parity ->
+      (* One parity bit per stored word, an XOR tree to generate it on the
+         write path and another to check it on the read path. *)
+      Db_fpga.Resource.make ~luts:(2 * word_bits) ~ffs:4 ~bram_bits:words ()
+  | Secded ->
+      let r = Ecc.hamming_check_bits ~data_bits:word_bits + 1 in
+      (* r+1 check bits per word; encoder and decoder XOR trees plus the
+         single-bit corrector mux on the read path. *)
+      Db_fpga.Resource.make
+        ~luts:((4 * word_bits) + (6 * r))
+        ~ffs:(word_bits + r)
+        ~bram_bits:(words * r)
+        ()
+  | Crc_reload ->
+      (* A CRC-8 LFSR on the load stream, the golden-copy retry FSM and a
+         bounded retry counter; no per-word storage. *)
+      Db_fpga.Resource.make ~luts:28 ~ffs:22 ~bram_bits:8 ()

@@ -1,0 +1,51 @@
+(** Memory-protection schemes and their hardware cost.
+
+    Each scheme wraps one class of stored words (weight/bias BRAMs, Approx
+    LUT tables, feature-buffer words, AGU configuration registers) and
+    decides what the datapath observes after a fault: the corrupted word
+    (silent), the original word (corrected in place), or a re-fetch of the
+    golden copy from DRAM (detected, bounded retry).  The cost side prices
+    the extra storage bits and the encode/check logic through
+    {!Db_fpga.Resource} so campaigns can quote a protect-vs-spend
+    trade-off. *)
+
+type scheme =
+  | Unprotected
+  | Parity  (** one even-parity bit per word: detect any odd-weight flip *)
+  | Secded  (** extended Hamming: correct 1-bit, detect 2-bit flips *)
+  | Crc_reload
+      (** CRC-8 per stored block, checked on load; a mismatch re-streams
+          the block from the golden DRAM copy (bounded retry) *)
+
+val all : scheme list
+
+val name : scheme -> string
+
+val of_string : string -> scheme
+(** Accepts ["none"], ["parity"], ["secded"] (or ["ecc"]), ["crc"].
+    Raises {!Db_util.Error.Deepburning_error} otherwise. *)
+
+val stored_bits : scheme -> word_bits:int -> int
+(** Bits a stored word occupies under the scheme — every one of them is a
+    fault target, check bits included.  [Crc_reload] amortises its 8 check
+    bits per block, so per-word it stays [word_bits] (a flip in the CRC
+    byte itself also forces a reload, which the campaign models at block
+    granularity). *)
+
+type verdict =
+  | Silent of int
+      (** the datapath consumes this word (corrupted, or intact when the
+          flips cancelled in check bits only) *)
+  | Corrected  (** the decoder repaired the word in place *)
+  | Reloaded  (** detected; the block is re-fetched from the golden copy *)
+
+val transmit : scheme -> word_bits:int -> word:int -> flips:int list -> verdict
+(** Push one stored word through the scheme: encode [word] (an unsigned
+    [word_bits]-bit pattern), flip the given stored-bit positions (each in
+    [0, stored_bits)), decode.  The verdict is computed by the real codec
+    ({!Ecc}), not assumed — e.g. a 3-bit flip can defeat SECDED and come
+    back [Silent] with a mis-corrected word. *)
+
+val resource_overhead : scheme -> word_bits:int -> words:int -> Db_fpga.Resource.t
+(** Extra storage bits plus encoder/checker logic for a memory of [words]
+    words.  Zero only for [Unprotected]. *)

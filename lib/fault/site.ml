@@ -1,0 +1,181 @@
+module Network = Db_nn.Network
+module Layer = Db_nn.Layer
+module Compiler = Db_core.Compiler
+module Design = Db_core.Design
+
+let fail fmt = Db_util.Error.failf_at ~component:"fault" fmt
+
+type target_class =
+  | Weights
+  | Biases
+  | Lut_tables
+  | Agu_config
+  | Data_buffer
+  | Control_fsm
+
+let all_classes =
+  [ Weights; Biases; Lut_tables; Agu_config; Data_buffer; Control_fsm ]
+
+let class_name = function
+  | Weights -> "weights"
+  | Biases -> "biases"
+  | Lut_tables -> "lut-tables"
+  | Agu_config -> "agu-config"
+  | Data_buffer -> "data-buffer"
+  | Control_fsm -> "control-fsm"
+
+type agu_field = Start | X_length | Y_length | Stride | Offset | Repeat
+
+let agu_fields = [| Start; X_length; Y_length; Stride; Offset; Repeat |]
+
+let agu_register_bits = 24
+
+let fsm_state_bits = 3
+
+type payload =
+  | P_param of { node : string; tensor : int }
+  | P_lut of { lut : string }
+  | P_agu of { program : int; transfer : int }
+  | P_buffer of { blob : string }
+  | P_fsm of { program : int }
+
+type group = {
+  g_class : target_class;
+  g_layer : string option;
+  g_label : string;
+  g_words : int;
+  g_word_bits : int;
+  g_payload : payload;
+}
+
+type space = { groups : group array; total_bits : int }
+
+(* A node's last parameter tensor is its bias when the layer declares one;
+   everything before it is weights. *)
+let has_bias = function
+  | Layer.Convolution { bias; _ }
+  | Layer.Inner_product { bias; _ }
+  | Layer.Recurrent { bias; _ } ->
+      bias
+  | _ -> false
+
+let enumerate ~design ~params ~input_blob ~input_words ~stored_bits ~targets =
+  let net = design.Design.network in
+  let word_bits =
+    design.Design.datapath.Db_sched.Datapath.fmt.Db_fixed.Fixed.total_bits
+  in
+  let enabled c = List.mem c targets in
+  let groups = ref [] in
+  let push g = if g.g_words > 0 then groups := g :: !groups in
+  (* Quantized weight and bias words, one group per parameter tensor. *)
+  Network.iter net (fun node ->
+      let tensors = Db_nn.Params.get params node.Network.node_name in
+      let n = List.length tensors in
+      List.iteri
+        (fun i t ->
+          let cls =
+            if has_bias node.Network.layer && i = n - 1 then Biases else Weights
+          in
+          if enabled cls then
+            push
+              {
+                g_class = cls;
+                g_layer = Some node.Network.node_name;
+                g_label =
+                  Printf.sprintf "%s/%s[%d]" node.Network.node_name
+                    (class_name cls) i;
+                g_words = Db_tensor.Tensor.numel t;
+                g_word_bits = stored_bits cls ~word_bits;
+                g_payload = P_param { node = node.Network.node_name; tensor = i };
+              })
+        tensors);
+  (* Approx LUT tables. *)
+  if enabled Lut_tables then
+    List.iter
+      (fun lut ->
+        push
+          {
+            g_class = Lut_tables;
+            g_layer = None;
+            g_label = "lut/" ^ lut.Db_blocks.Approx_lut.lut_name;
+            g_words = Db_blocks.Approx_lut.entries lut;
+            g_word_bits = stored_bits Lut_tables ~word_bits;
+            g_payload = P_lut { lut = lut.Db_blocks.Approx_lut.lut_name };
+          })
+      design.Design.program.Compiler.luts;
+  (* AGU configuration registers and pattern FSM state registers. *)
+  List.iteri
+    (fun pi (p : Compiler.fold_program) ->
+      let layer = p.Compiler.fold.Db_sched.Folding.fold_layer in
+      List.iteri
+        (fun ti (_ : Compiler.transfer) ->
+          if enabled Agu_config then
+            push
+              {
+                g_class = Agu_config;
+                g_layer = Some layer;
+                g_label = Printf.sprintf "%s/agu[%d.%d]" layer pi ti;
+                g_words = Array.length agu_fields;
+                g_word_bits = stored_bits Agu_config ~word_bits:agu_register_bits;
+                g_payload = P_agu { program = pi; transfer = ti };
+              })
+        p.Compiler.transfers;
+      if enabled Control_fsm && p.Compiler.transfers <> [] then
+        push
+          {
+            g_class = Control_fsm;
+            g_layer = Some layer;
+            g_label = Printf.sprintf "%s/fsm[%d]" layer pi;
+            g_words = 1;
+            g_word_bits = fsm_state_bits;
+            g_payload = P_fsm { program = pi };
+          })
+    design.Design.program.Compiler.programs;
+  if enabled Control_fsm then
+    push
+      {
+        g_class = Control_fsm;
+        g_layer = None;
+        g_label = "coordinator/fsm";
+        g_words = 1;
+        g_word_bits = fsm_state_bits;
+        g_payload = P_fsm { program = -1 };
+      };
+  (* Input words sitting in the feature buffer / DRAM input region. *)
+  if enabled Data_buffer then
+    push
+      {
+        g_class = Data_buffer;
+        g_layer = None;
+        g_label = "buffer/" ^ input_blob;
+        g_words = input_words;
+        g_word_bits = stored_bits Data_buffer ~word_bits;
+        g_payload = P_buffer { blob = input_blob };
+      };
+  let groups = Array.of_list (List.rev !groups) in
+  let total_bits =
+    Array.fold_left (fun acc g -> acc + (g.g_words * g.g_word_bits)) 0 groups
+  in
+  if total_bits = 0 then fail "empty fault space (no enabled targets)";
+  { groups; total_bits }
+
+let class_words space cls =
+  Array.fold_left
+    (fun acc g -> if g.g_class = cls then acc + g.g_words else acc)
+    0 space.groups
+
+let pick space rng =
+  let r = ref (Db_util.Rng.int rng space.total_bits) in
+  let chosen = ref None in
+  Array.iter
+    (fun g ->
+      match !chosen with
+      | Some _ -> ()
+      | None ->
+          let bits = g.g_words * g.g_word_bits in
+          if !r < bits then chosen := Some (g, !r / g.g_word_bits, !r mod g.g_word_bits)
+          else r := !r - bits)
+    space.groups;
+  match !chosen with
+  | Some site -> site
+  | None -> fail "fault-space walk fell off the end" (* unreachable *)

@@ -6,15 +6,16 @@ type t = {
   mutable cursor_x : int;
   mutable cursor_y : int;
   mutable cursor_block : int;
+  mutable stuck : bool;
 }
 
 type cycle_output = { addr : int option; busy : bool; done_pulse : bool }
 
-let fail fmt = Db_util.Error.failf_at ~component:"agu-sim" fmt
-
 let create pattern =
   Access_pattern.validate pattern;
-  { pattern; st = Idle; cursor_x = 0; cursor_y = 0; cursor_block = 0 }
+  { pattern; st = Idle; cursor_x = 0; cursor_y = 0; cursor_block = 0; stuck = false }
+
+let inject_stuck_state t = t.stuck <- true
 
 let trigger t =
   match t.st with
@@ -33,6 +34,14 @@ let current_addr t =
   + t.cursor_x
 
 let step t =
+  if t.stuck then
+    (* Corrupted next-state logic: the machine re-enters its current state
+       forever; in the burst state it keeps re-issuing the same address. *)
+    match t.st with
+    | Idle | Done -> { addr = None; busy = false; done_pulse = false }
+    | Burst -> { addr = Some (current_addr t); busy = true; done_pulse = false }
+    | Row_turn | Block_turn -> { addr = None; busy = true; done_pulse = false }
+  else
   let p = t.pattern in
   match t.st with
   | Idle -> { addr = None; busy = false; done_pulse = false }
@@ -86,8 +95,7 @@ let run_to_completion ?max_cycles t =
   let addrs = ref [] in
   let rec clock n =
     if n > budget then
-      fail "pattern %S did not complete within %d cycles"
-        t.pattern.Access_pattern.pattern_name budget;
+      Db_util.Error.timeout ~component:"agu-sim" ~cycles:n ~budget;
     let out = step t in
     (match out.addr with Some a -> addrs := a :: !addrs | None -> ());
     if out.done_pulse then n else clock (n + 1)

@@ -15,10 +15,12 @@ let zynq_ddr3 =
     base_latency_cycles = 24;
   }
 
+let fail fmt = Db_util.Error.failf_at ~component:"dram" fmt
+
 let transfer_cycles t ~bytes ~sequential_fraction =
-  if bytes < 0 then invalid_arg "Dram.transfer_cycles: negative bytes";
+  if bytes < 0 then fail "transfer_cycles: negative byte count %d" bytes;
   if sequential_fraction < 0.0 || sequential_fraction > 1.0 then
-    invalid_arg "Dram.transfer_cycles: fraction out of range";
+    fail "transfer_cycles: sequential fraction %g out of [0, 1]" sequential_fraction;
   if bytes = 0 then 0
   else begin
     let eff =

@@ -9,12 +9,14 @@ type plan = {
   plan_spec : spec;
 }
 
+let fail fmt = Db_util.Error.failf_at ~component:"tiling" fmt
+
 let rec gcd a b = if b = 0 then a else gcd b (a mod b)
 
 let check spec =
   if spec.kernel <= 0 || spec.stride <= 0 || spec.port_width <= 0
      || spec.map_count <= 0
-  then invalid_arg "Tiling: spec fields must be positive"
+  then fail "spec fields must be positive (kernel %d, stride %d, port %d, maps %d)" spec.kernel spec.stride spec.port_width spec.map_count
 
 let decide spec =
   check spec;

@@ -32,7 +32,7 @@ type plan = {
 }
 
 val decide : spec -> plan
-(** Method-1.  Raises [Invalid_argument] on non-positive spec fields. *)
+(** Method-1.  Raises {!Db_util.Error.Deepburning_error} on non-positive spec fields. *)
 
 val row_major : spec -> plan
 (** The untiled baseline used by the tiling ablation. *)

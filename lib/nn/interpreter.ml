@@ -41,7 +41,7 @@ let classify_top_k ~top_k input =
         && (!best < 0 || Tensor.get input i > Tensor.get input !best)
       then best := i
     done;
-    if !best < 0 then invalid_arg "index out of bounds";
+    if !best < 0 then fail "classify_top_k: top_k %d exceeds input size %d" top_k n;
     used.(!best) <- true;
     selected.(rank) <- !best
   done;

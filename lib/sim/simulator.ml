@@ -191,14 +191,43 @@ let batch_timing ?(dram = Db_mem.Dram.zynq_ddr3) ~batch (design : Design.t) =
       float_of_int (batch * serial_image) /. float_of_int batch_cycles;
   }
 
-let functional_output (design : Design.t) params ~inputs =
+(* Replay the whole control path (every compiled AGU transfer) under one
+   shared cycle budget.  A healthy design finishes well inside any sane
+   budget; a corrupted configuration register or stuck FSM state does not,
+   and the watchdog converts that would-be hang into a structured error. *)
+let replay_control ~cycle_budget (design : Design.t) =
+  let spent = ref 0 in
+  List.iter
+    (fun (p : Compiler.fold_program) ->
+      List.iter
+        (fun (tr : Compiler.transfer) ->
+          if cycle_budget - !spent <= 0 then
+            Db_util.Error.timeout ~component:"simulator" ~cycles:!spent
+              ~budget:cycle_budget;
+          let agu = Db_mem.Agu_sim.create tr.Compiler.pattern in
+          match
+            Db_mem.Agu_sim.run_to_completion ~max_cycles:(cycle_budget - !spent)
+              agu
+          with
+          | _, c -> spent := !spent + c
+          | exception Db_util.Error.Timeout { cycles; _ } ->
+              Db_util.Error.timeout ~component:"simulator"
+                ~cycles:(!spent + cycles) ~budget:cycle_budget)
+        p.Compiler.transfers)
+    design.Design.program.Compiler.programs;
+  !spent
+
+let functional_output ?cycle_budget (design : Design.t) params ~inputs =
+  (match cycle_budget with
+  | Some budget -> ignore (replay_control ~cycle_budget:budget design)
+  | None -> ());
   let eval = Lut_eval.of_luts design.Design.program.Compiler.luts in
   Db_nn.Quantized.output ~eval
     ~fmt:design.Design.datapath.Db_sched.Datapath.fmt design.Design.network
     params ~inputs
 
-let run ?dram design params ~inputs =
-  (functional_output design params ~inputs, timing ?dram design)
+let run ?dram ?cycle_budget design params ~inputs =
+  (functional_output ?cycle_budget design params ~inputs, timing ?dram design)
 
 let testbench (design : Design.t) params ~inputs =
   let fmt = design.Design.datapath.Db_sched.Datapath.fmt in

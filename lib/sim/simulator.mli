@@ -51,20 +51,34 @@ val batch_timing : ?dram:Db_mem.Dram.t -> batch:int -> Db_core.Design.t -> batch
     This is the training/inference *throughput* mode the paper's intro
     motivates (repeated forward passes over an input set). *)
 
+val replay_control : cycle_budget:int -> Db_core.Design.t -> int
+(** Replay every compiled AGU transfer on the cycle-accurate
+    {!Db_mem.Agu_sim} machine under one shared cycle budget; returns the
+    control cycles spent.  Raises {!Db_util.Error.Timeout} when the budget
+    elapses first — the watchdog that turns a corrupted FSM or AGU
+    configuration register (which would hang real fabric) into a
+    structured, catchable failure. *)
+
 val functional_output :
+  ?cycle_budget:int ->
   Db_core.Design.t ->
   Db_nn.Params.t ->
   inputs:(string * Db_tensor.Tensor.t) list ->
   Db_tensor.Tensor.t
 (** The accelerator's output tensor (fixed point + Approx LUTs,
-    dequantised). *)
+    dequantised).  When [cycle_budget] is given, the control path is
+    replayed first under {!replay_control}'s watchdog, so a design whose
+    control state was corrupted raises {!Db_util.Error.Timeout} instead of
+    looping forever. *)
 
 val run :
   ?dram:Db_mem.Dram.t ->
+  ?cycle_budget:int ->
   Db_core.Design.t ->
   Db_nn.Params.t ->
   inputs:(string * Db_tensor.Tensor.t) list ->
   Db_tensor.Tensor.t * report
+(** [functional_output] (with the same optional watchdog) plus [timing]. *)
 
 val pp_report : Format.formatter -> report -> unit
 

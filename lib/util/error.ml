@@ -1,8 +1,107 @@
 exception Deepburning_error of string
 
+exception Timeout of { component : string; cycles : int; budget : int }
+
 let fail fmt = Format.kasprintf (fun msg -> raise (Deepburning_error msg)) fmt
 
 let failf_at ~component fmt =
   Format.kasprintf
     (fun msg -> raise (Deepburning_error (component ^ ": " ^ msg)))
     fmt
+
+let timeout ~component ~cycles ~budget =
+  raise (Timeout { component; cycles; budget })
+
+type failure_class =
+  | Parse
+  | Validation
+  | Resource
+  | Simulation
+  | Watchdog
+  | Io
+  | Internal
+
+let registry : (string, failure_class) Hashtbl.t = Hashtbl.create 64
+
+let register_component name cls = Hashtbl.replace registry name cls
+
+(* Default classification of every component prefix used across the
+   repository; libraries introducing new components may register theirs. *)
+let () =
+  List.iter
+    (fun (c, cls) -> register_component c cls)
+    [
+      ("prototxt", Parse);
+      ("caffe", Parse);
+      ("constraints", Parse);
+      ("network", Validation);
+      ("params", Validation);
+      ("shape-infer", Validation);
+      ("quantized", Validation);
+      ("interpreter", Validation);
+      ("access-pattern", Validation);
+      ("block", Validation);
+      ("fsm", Validation);
+      ("rtl", Validation);
+      ("verilog-lint", Validation);
+      ("rtl-analysis", Validation);
+      ("folding", Validation);
+      ("datapath", Validation);
+      ("buffer-model", Validation);
+      ("tiling", Validation);
+      ("dram", Validation);
+      ("calibration", Validation);
+      ("config-search", Resource);
+      ("generator", Resource);
+      ("compiler", Resource);
+      ("agu-sim", Simulation);
+      ("control-playback", Simulation);
+      ("simulator", Simulation);
+      ("datapath-sim", Simulation);
+      ("trainer", Simulation);
+      ("backprop", Simulation);
+      ("fault", Simulation);
+    ]
+
+let classify_message msg =
+  match String.index_opt msg ':' with
+  | None -> Internal
+  | Some i -> (
+      match Hashtbl.find_opt registry (String.sub msg 0 i) with
+      | Some cls -> cls
+      | None -> Internal)
+
+let classify_exn = function
+  | Deepburning_error msg -> Some (classify_message msg)
+  | Timeout _ -> Some Watchdog
+  | Sys_error _ -> Some Io
+  | _ -> None
+
+let exit_code = function
+  | Internal -> 1
+  | Parse -> 3
+  | Validation -> 4
+  | Resource -> 5
+  | Simulation -> 6
+  | Watchdog -> 7
+  | Io -> 8
+
+let class_name = function
+  | Parse -> "parse"
+  | Validation -> "validation"
+  | Resource -> "resource"
+  | Simulation -> "simulation"
+  | Watchdog -> "watchdog"
+  | Io -> "io"
+  | Internal -> "internal"
+
+let message_of_exn = function
+  | Deepburning_error msg -> Some msg
+  | Timeout { component; cycles; budget } ->
+      Some
+        (Printf.sprintf
+           "%s: watchdog timeout after %d cycles (budget %d): the machine \
+            never reached its done state"
+           component cycles budget)
+  | Sys_error msg -> Some msg
+  | _ -> None
