@@ -1,0 +1,150 @@
+(* The bench-regression gate: compare a freshly produced BENCH.json against
+   the committed baseline and fail on a real slowdown.
+
+     dune exec bench/check_regress.exe -- \
+       --baseline BENCH.json --fresh bench-fresh.json [--threshold 25]
+
+   Policy:
+   - every "bechamel_ns_per_run" entry of the baseline must exist in the
+     fresh run (a vanished benchmark means the baseline is stale — fix by
+     regenerating BENCH.json in the same change) and must not be more than
+     the threshold percentage slower;
+   - new entries in the fresh run are reported but never fail the gate, so
+     adding a benchmark does not force a baseline bump on its own;
+   - a baseline produced with a different DEEPBURNING_JOBS, a different
+     schema version, or in quick mode vs a full run only *warns*: those
+     runs are not comparable enough to fail on, but the operator should
+     know the baseline wants refreshing. *)
+
+module Json = Db_util.Minijson
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let usage () =
+  prerr_endline
+    "usage: check_regress --baseline FILE --fresh FILE [--threshold PCT]";
+  exit 2
+
+let () =
+  let baseline_path = ref None
+  and fresh_path = ref None
+  and threshold = ref 25.0 in
+  let rec parse_args = function
+    | [] -> ()
+    | "--baseline" :: v :: rest ->
+        baseline_path := Some v;
+        parse_args rest
+    | "--fresh" :: v :: rest ->
+        fresh_path := Some v;
+        parse_args rest
+    | "--threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f > 0.0 -> threshold := f
+        | _ -> usage ());
+        parse_args rest
+    | _ -> usage ()
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let baseline_path, fresh_path =
+    match (!baseline_path, !fresh_path) with
+    | Some b, Some f -> (b, f)
+    | _ -> usage ()
+  in
+  let baseline = Json.parse (read_file baseline_path) in
+  let fresh = Json.parse (read_file fresh_path) in
+  let warnings = ref [] and failures = ref [] in
+  let warn fmt = Printf.ksprintf (fun s -> warnings := s :: !warnings) fmt in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  (* Comparability checks: warn, never fail. *)
+  let scalar name j =
+    Option.map Json.to_number (Json.member name j)
+  in
+  (match (scalar "schema_version" baseline, scalar "schema_version" fresh) with
+  | None, _ ->
+      warn
+        "baseline %s has no schema_version (pre-observability baseline); \
+         regenerate it with `bench/main.exe -- json`"
+        baseline_path
+  | Some b, Some f when b <> f ->
+      warn "schema_version differs: baseline %g vs fresh %g" b f
+  | _ -> ());
+  (match (scalar "jobs" baseline, scalar "jobs" fresh) with
+  | Some b, Some f when b <> f ->
+      warn
+        "baseline was produced with jobs=%g but this run used jobs=%g; \
+         timings are not directly comparable"
+        b f
+  | _ -> ());
+  (match (Json.member "quick" baseline, Json.member "quick" fresh) with
+  | Some (Json.Bool b), Some (Json.Bool f) when b <> f ->
+      warn "baseline quick=%b vs fresh quick=%b" b f
+  | _ -> ());
+  (match (Json.member "git_rev" baseline, Json.member "git_rev" fresh) with
+  | Some (Json.String b), Some (Json.String f) when b <> f ->
+      warn "baseline produced at rev %s, fresh at rev %s" b f
+  | _ -> ());
+  let entries name j =
+    match Json.member name j with
+    | Some (Json.Obj fields) ->
+        List.map (fun (k, v) -> (k, Json.to_number v)) fields
+    | _ -> []
+  in
+  let base_ns = entries "bechamel_ns_per_run" baseline in
+  let fresh_ns = entries "bechamel_ns_per_run" fresh in
+  if base_ns = [] then
+    warn "baseline %s carries no bechamel_ns_per_run entries" baseline_path;
+  let rows =
+    List.map
+      (fun (name, base) ->
+        match List.assoc_opt name fresh_ns with
+        | None ->
+            fail
+              "benchmark %S is in the baseline but missing from the fresh \
+               run; regenerate BENCH.json alongside the change that removed \
+               it"
+              name;
+            [ name; Printf.sprintf "%.0f" base; "missing"; "-"; "FAIL" ]
+        | Some now ->
+            let ratio = if base > 0.0 then now /. base else 1.0 in
+            let verdict =
+              if ratio > 1.0 +. (!threshold /. 100.0) then begin
+                fail "%s regressed %.0f%%: %.0f -> %.0f ns/run" name
+                  ((ratio -. 1.0) *. 100.0)
+                  base now;
+                "FAIL"
+              end
+              else if ratio < 1.0 then "ok (faster)"
+              else "ok"
+            in
+            [
+              name;
+              Printf.sprintf "%.0f" base;
+              Printf.sprintf "%.0f" now;
+              Printf.sprintf "%.2fx" ratio;
+              verdict;
+            ])
+      base_ns
+  in
+  let new_rows =
+    List.filter_map
+      (fun (name, now) ->
+        if List.mem_assoc name base_ns then None
+        else Some [ name; "-"; Printf.sprintf "%.0f" now; "-"; "new" ])
+      fresh_ns
+  in
+  print_string
+    (Db_report.Table.render
+       ~headers:[ "benchmark"; "baseline ns"; "fresh ns"; "ratio"; "verdict" ]
+       ~rows:(rows @ new_rows));
+  List.iter (fun w -> Printf.printf "WARN: %s\n" w) (List.rev !warnings);
+  match List.rev !failures with
+  | [] ->
+      Printf.printf "bench regression gate: ok (threshold %.0f%%)\n" !threshold
+  | fs ->
+      List.iter (fun f -> Printf.printf "FAIL: %s\n" f) fs;
+      exit 1

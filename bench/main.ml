@@ -19,6 +19,10 @@ let section_header title = Printf.printf "\n=== %s ===\n\n%!" title
 
 let quick = ref false
 
+(* Where the [json] section writes its output; CI redirects this with
+   `--out` so the committed BENCH.json baseline stays untouched. *)
+let json_out = ref "BENCH.json"
+
 let config () =
   if !quick then Experiments.quick_config else Experiments.default_config
 
@@ -143,6 +147,21 @@ let bechamel_rows () =
             ignore
               (Db_sim.Simulator.timing
                  (Experiments.design_for (Db_workloads.Benchmarks.find "MNIST"))));
+        (* Observability A/B: the same cold generation with the obs layer
+           disabled (its permanent cost: one flag branch per call site) and
+           enabled (spans + counters recorded).  The disabled run is what
+           the regression gate holds to the committed baseline. *)
+        bench_of "generate-ann0-cold" (fun () ->
+            Db_core.Design_cache.clear ();
+            ignore
+              (Experiments.design_for (Db_workloads.Benchmarks.find "ANN-0")));
+        bench_of "generate-ann0-cold-traced" (fun () ->
+            Db_core.Design_cache.clear ();
+            Db_obs.Obs.set_enabled true;
+            ignore
+              (Experiments.design_for (Db_workloads.Benchmarks.find "ANN-0"));
+            Db_obs.Obs.set_enabled false;
+            Db_obs.Obs.reset ());
       ]
   in
   let benchmark_cfg =
@@ -232,6 +251,21 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Identify the producing tree so the regression checker can tell a stale
+   baseline from a slow build. *)
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, rev when rev <> "" -> rev
+    | _ -> "unknown"
+  with Unix.Unix_error _ | Sys_error _ -> "unknown"
+
+(* Bumped whenever BENCH.json's shape changes; the checker warns on
+   baselines from another schema rather than mis-reading them. *)
+let bench_schema_version = 2
+
 let run_json () =
   section_header "Writing BENCH.json (per-section wall-clock + ns/run)";
   let cfg = config () in
@@ -287,6 +321,8 @@ let run_json () =
   let buf = Buffer.create 4096 in
   let fsec = Printf.sprintf "%.6f" in
   Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"schema_version\": %d,\n" bench_schema_version;
+  Printf.bprintf buf "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
   Printf.bprintf buf "  \"jobs\": %d,\n" (Db_parallel.Pool.job_count ());
   Printf.bprintf buf "  \"quick\": %b,\n" !quick;
   Buffer.add_string buf "  \"sections_seconds\": {\n";
@@ -335,11 +371,11 @@ let run_json () =
               ns)
           bech));
   Buffer.add_string buf "\n  }\n}\n";
-  let oc = open_out "BENCH.json" in
+  let oc = open_out !json_out in
   output_string oc (Buffer.contents buf);
   close_out oc;
-  Printf.printf "wrote %s/BENCH.json (fig8 cold %ss -> warm %ss)\n"
-    (Sys.getcwd ()) (fsec fig8_cold) (fsec fig8_warm)
+  Printf.printf "wrote %s (fig8 cold %ss -> warm %ss)\n" !json_out
+    (fsec fig8_cold) (fsec fig8_warm)
 
 let sections =
   [
@@ -363,11 +399,17 @@ let sections =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a -> if a = "quick" then begin quick := true; false end else true)
-      args
+  let rec strip_flags acc = function
+    | [] -> List.rev acc
+    | ("quick" | "--quick") :: rest ->
+        quick := true;
+        strip_flags acc rest
+    | "--out" :: path :: rest ->
+        json_out := path;
+        strip_flags acc rest
+    | a :: rest -> strip_flags (a :: acc) rest
   in
+  let args = strip_flags [] args in
   let selected =
     match args with
     | [] ->

@@ -65,7 +65,35 @@ let report_error e =
             (Db_util.Error.class_name cls));
       Db_util.Error.exit_code cls
 
-let wrap f = try f (); 0 with e -> report_error e
+(* Every subcommand accepts [--trace FILE]: enable the observability layer
+   for the whole run and write a Chrome trace_event file on the way out —
+   including on a failing run, where the partial trace is exactly what you
+   want to look at. *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans and counters for the whole run and write a Chrome \
+           trace_event JSON file (open in chrome://tracing or Perfetto).")
+
+let write_trace path snap =
+  let oc = open_out path in
+  output_string oc (Db_obs.Render.chrome_trace snap);
+  close_out oc;
+  Printf.eprintf "deepburning: wrote trace %s\n" path
+
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      Db_obs.Obs.set_enabled true;
+      Fun.protect
+        ~finally:(fun () -> write_trace path (Db_obs.Obs.snapshot ()))
+        f
+
+let wrap ?trace f = try with_trace trace f; 0 with e -> report_error e
 
 let generate_cmd =
   let output_arg =
@@ -75,8 +103,8 @@ let generate_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Write the generated Verilog here (default: stdout).")
   in
-  let run model_path constraint_path tiling output =
-    wrap (fun () ->
+  let run model_path constraint_path tiling output trace =
+    wrap ?trace (fun () ->
         let design = load ~model_path ~constraint_path ~tiling in
         Format.eprintf "%a@." Db_core.Design.pp_summary design;
         let verilog = Db_core.Design.verilog design in
@@ -90,11 +118,13 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate an accelerator (RTL to stdout or a file).")
-    Term.(const run $ model_arg $ constraint_arg $ tiling_arg $ output_arg)
+    Term.(
+      const run $ model_arg $ constraint_arg $ tiling_arg $ output_arg
+      $ trace_arg)
 
 let simulate_cmd =
-  let run model_path constraint_path tiling =
-    wrap (fun () ->
+  let run model_path constraint_path tiling trace =
+    wrap ?trace (fun () ->
         let design = load ~model_path ~constraint_path ~tiling in
         Format.printf "%a@." Db_core.Design.pp_summary design;
         let report = Db_sim.Simulator.timing design in
@@ -110,18 +140,18 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Generate and report one forward pass's latency, traffic and power.")
-    Term.(const run $ model_arg $ constraint_arg $ tiling_arg)
+    Term.(const run $ model_arg $ constraint_arg $ tiling_arg $ trace_arg)
 
 let stats_cmd =
-  let run model_path =
-    wrap (fun () ->
+  let run model_path trace =
+    wrap ?trace (fun () ->
         let net = Db_nn.Caffe.import_string (read_file model_path) in
         Format.printf "%a@." Db_nn.Network.pp net;
         Format.printf "%a@." Db_nn.Model_stats.pp (Db_nn.Model_stats.compute net))
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Show a model's layers, MACs and parameter counts.")
-    Term.(const run $ model_arg)
+    Term.(const run $ model_arg $ trace_arg)
 
 let zoo_models =
   [
@@ -151,8 +181,8 @@ let zoo_cmd =
   let name_arg =
     Arg.(value & pos 1 (some string) None & info [] ~docv:"NAME")
   in
-  let run action name =
-    wrap (fun () ->
+  let run action name trace =
+    wrap ?trace (fun () ->
         match action with
         | `List ->
             List.iter (fun (n, _) -> print_endline n) zoo_models
@@ -168,7 +198,7 @@ let zoo_cmd =
   in
   Cmd.v
     (Cmd.info "zoo" ~doc:"List or print the bundled model scripts.")
-    Term.(const run $ action_arg $ name_arg)
+    Term.(const run $ action_arg $ name_arg $ trace_arg)
 
 let lint_cmd =
   let model_opt_arg =
@@ -194,10 +224,10 @@ let lint_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit diagnostics as a JSON array on stdout.")
   in
-  let run model_path constraint_path tiling zoo strict json =
+  let run model_path constraint_path tiling zoo strict json trace =
     let code = ref 0 in
     let rc =
-      wrap (fun () ->
+      wrap ?trace (fun () ->
           let targets =
             if zoo then
               List.map (fun (name, src) -> (name, src)) zoo_models
@@ -247,11 +277,11 @@ let lint_cmd =
           (drivers, widths, combinational loops, FSM reachability).")
     Term.(
       const run $ model_opt_arg $ constraint_arg $ tiling_arg $ zoo_arg
-      $ strict_arg $ json_arg)
+      $ strict_arg $ json_arg $ trace_arg)
 
 let verify_cmd =
-  let run model_path constraint_path tiling =
-    wrap (fun () ->
+  let run model_path constraint_path tiling trace =
+    wrap ?trace (fun () ->
         let design = load ~model_path ~constraint_path ~tiling in
         let r = Db_sim.Control_playback.playback design in
         Printf.printf
@@ -270,7 +300,7 @@ let verify_cmd =
        ~doc:
          "Replay the generated control path cycle by cycle and bound-check \
           every AGU address against the data layout.")
-    Term.(const run $ model_arg $ constraint_arg $ tiling_arg)
+    Term.(const run $ model_arg $ constraint_arg $ tiling_arg $ trace_arg)
 
 let faults_cmd =
   let module Campaign = Db_fault.Campaign in
@@ -361,8 +391,8 @@ let faults_cmd =
     | other -> Db_util.Error.failf_at ~component:"fault" "unknown target class %S" other
   in
   let run model_path constraint_path tiling seed trials budget ninputs protect
-      p_weights p_biases p_luts p_buffers p_agu rates targets json =
-    wrap (fun () ->
+      p_weights p_biases p_luts p_buffers p_agu rates targets json trace =
+    wrap ?trace (fun () ->
         if ninputs <= 0 then
           Db_util.Error.failf_at ~component:"fault"
             "--inputs must be positive (got %d)" ninputs;
@@ -462,15 +492,77 @@ let faults_cmd =
       $ trials_arg $ budget_arg $ inputs_arg $ protect_arg
       $ per_class_protect "weights" $ per_class_protect "biases"
       $ per_class_protect "luts" $ per_class_protect "buffers"
-      $ per_class_protect "agu" $ rates_arg $ targets_arg $ json_arg)
+      $ per_class_protect "agu" $ rates_arg $ targets_arg $ json_arg
+      $ trace_arg)
+
+let profile_cmd =
+  let model_pos_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"MODEL"
+          ~doc:"Caffe-compatible model description (.prototxt).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the deterministic JSON snapshot (structure and counters, \
+             no timing fields) instead of the human tree.")
+  in
+  let run model_path constraint_path tiling json trace =
+    wrap (fun () ->
+        Db_obs.Obs.set_enabled true;
+        Db_obs.Obs.reset ();
+        let design = load ~model_path ~constraint_path ~tiling in
+        let report = Db_sim.Simulator.timing design in
+        ignore
+          (Db_sim.Simulator.replay_control ~cycle_budget:10_000_000 design);
+        let snap = Db_obs.Obs.snapshot () in
+        Option.iter (fun path -> write_trace path snap) trace;
+        if json then print_string (Db_obs.Render.stable_json snap)
+        else begin
+          print_string (Db_obs.Render.text snap);
+          (* Per-layer table read back from the sim.layer.* counters, in
+             the execution order the timing report preserves. *)
+          let counter name = Db_obs.Obs.counter snap name in
+          print_newline ();
+          print_string
+            (Db_report.Table.render
+               ~headers:
+                 [ "layer"; "cycles"; "stall"; "dram bytes"; "macs"; "folds" ]
+               ~rows:
+                 (List.map
+                    (fun (l : Db_sim.Simulator.layer_report) ->
+                      let p = "sim.layer." ^ l.Db_sim.Simulator.lr_layer in
+                      l.Db_sim.Simulator.lr_layer
+                      :: List.map
+                           (fun suffix -> string_of_int (counter (p ^ suffix)))
+                           [
+                             ".cycles"; ".stall_cycles"; ".dram_bytes";
+                             ".macs"; ".folds";
+                           ])
+                    report.Db_sim.Simulator.per_layer))
+        end)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Generate and simulate a model with the observability layer on: \
+          print the span tree of every pipeline phase and the per-layer \
+          cycle/stall/traffic counters (optionally as a Chrome trace).")
+    Term.(
+      const run $ model_pos_arg $ constraint_arg $ tiling_arg $ json_arg
+      $ trace_arg)
 
 let main_cmd =
   let doc = "automatic generation of FPGA-based NN accelerators (DAC'16 reproduction)" in
   Cmd.group
     (Cmd.info "deepburning" ~version:"1.0.0" ~doc)
     [
-      generate_cmd; simulate_cmd; verify_cmd; lint_cmd; faults_cmd; stats_cmd;
-      zoo_cmd;
+      generate_cmd; simulate_cmd; verify_cmd; profile_cmd; lint_cmd;
+      faults_cmd; stats_cmd; zoo_cmd;
     ]
 
 let () = try exit (Cmd.eval' main_cmd) with e -> exit (report_error e)

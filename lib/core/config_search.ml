@@ -50,21 +50,32 @@ let buffer_words_for (cons : Constraints.t) =
   Stdlib.min buffer_words_cap (Stdlib.max 1024 (pow2_at_most (budget_words / 4)))
 
 let evaluate cons net ~lanes =
-  let buffer_words = buffer_words_for cons in
-  let datapath =
-    Db_sched.Datapath.make ~lanes ~simd:1 ~port_words:(port_words_for lanes)
-      ~fmt:cons.Constraints.fmt ~feature_buffer_words:buffer_words
-      ~weight_buffer_words:buffer_words
-      ~lut_entries:cons.Constraints.lut_entries ()
-  in
-  let schedule = Db_sched.Schedule.build datapath net in
-  let layout =
-    Db_mem.Layout.build
-      ~bytes_per_word:((cons.Constraints.fmt.Db_fixed.Fixed.total_bits + 7) / 8)
-      ~port_width:datapath.Db_sched.Datapath.port_words net
-  in
-  let block_set = Block_set.build net datapath ~schedule ~layout in
-  { datapath; schedule; layout; block_set }
+  Db_obs.Obs.with_span "evaluate"
+    ~attrs:[ ("lanes", string_of_int lanes) ]
+    (fun () ->
+      let buffer_words = buffer_words_for cons in
+      let datapath =
+        Db_sched.Datapath.make ~lanes ~simd:1 ~port_words:(port_words_for lanes)
+          ~fmt:cons.Constraints.fmt ~feature_buffer_words:buffer_words
+          ~weight_buffer_words:buffer_words
+          ~lut_entries:cons.Constraints.lut_entries ()
+      in
+      let schedule =
+        Db_obs.Obs.with_span "schedule" (fun () ->
+            Db_sched.Schedule.build datapath net)
+      in
+      let layout =
+        Db_obs.Obs.with_span "layout" (fun () ->
+            Db_mem.Layout.build
+              ~bytes_per_word:
+                ((cons.Constraints.fmt.Db_fixed.Fixed.total_bits + 7) / 8)
+              ~port_width:datapath.Db_sched.Datapath.port_words net)
+      in
+      let block_set =
+        Db_obs.Obs.with_span "block_set" (fun () ->
+            Block_set.build net datapath ~schedule ~layout)
+      in
+      { datapath; schedule; layout; block_set })
 
 let search cons net =
   let cap = Stdlib.max 1 cons.Constraints.budget.Resource.dsps in

@@ -43,9 +43,11 @@ let memo key generate =
   match cached with
   | Some design ->
       Atomic.incr hit_count;
+      Db_obs.Obs.incr "design_cache.hits";
       design
   | None ->
       Atomic.incr miss_count;
+      Db_obs.Obs.incr "design_cache.misses";
       let design = generate () in
       Mutex.lock lock;
       let design =

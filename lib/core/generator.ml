@@ -358,12 +358,26 @@ let build_rtl network datapath ~block_set ~program =
 
 let assemble ?tiling_enabled cons network (picked : Config_search.result) =
   let program =
-    Compiler.compile ?tiling_enabled network ~datapath:picked.Config_search.datapath
-      ~schedule:picked.Config_search.schedule ~layout:picked.Config_search.layout
+    Db_obs.Obs.with_span "compile"
+      ~attrs:
+        [
+          ( "lanes",
+            string_of_int picked.Config_search.datapath.Datapath.lanes );
+          ( "tiling",
+            match tiling_enabled with
+            | Some b -> string_of_bool b
+            | None -> "default" );
+        ]
+      (fun () ->
+        Compiler.compile ?tiling_enabled network
+          ~datapath:picked.Config_search.datapath
+          ~schedule:picked.Config_search.schedule
+          ~layout:picked.Config_search.layout)
   in
   let rtl =
-    build_rtl network picked.Config_search.datapath
-      ~block_set:picked.Config_search.block_set ~program
+    Db_obs.Obs.with_span "rtl" (fun () ->
+        build_rtl network picked.Config_search.datapath
+          ~block_set:picked.Config_search.block_set ~program)
   in
   let design =
     {
@@ -377,9 +391,13 @@ let assemble ?tiling_enabled cons network (picked : Config_search.result) =
       rtl;
     }
   in
+  Db_obs.Obs.incr "generator.designs";
   (* Every generated design must pass semantic analysis before it can be
      emitted; a failure here is a generator bug, not a user error. *)
-  (match Db_analysis.Diagnostic.errors (Design.analyze design) with
+  (match
+     Db_obs.Obs.with_span "analysis" (fun () ->
+         Db_analysis.Diagnostic.errors (Design.analyze design))
+   with
   | [] -> ()
   | first :: _ as errs ->
       Db_util.Error.failf_at ~component:"generator"
@@ -389,12 +407,35 @@ let assemble ?tiling_enabled cons network (picked : Config_search.result) =
   design
 
 let generate ?tiling_enabled cons network =
-  assemble ?tiling_enabled cons network (Config_search.search cons network)
+  Db_obs.Obs.with_span "generate"
+    ~attrs:[ ("network", network.Db_nn.Network.net_name) ]
+    (fun () ->
+      let picked =
+        Db_obs.Obs.with_span "search" (fun () ->
+            Config_search.search cons network)
+      in
+      Db_obs.Obs.set_attr "lanes"
+        (string_of_int picked.Config_search.datapath.Datapath.lanes);
+      assemble ?tiling_enabled cons network picked)
 
 let generate_with_lanes ?tiling_enabled cons network ~lanes =
-  assemble ?tiling_enabled cons network (Config_search.evaluate cons network ~lanes)
+  Db_obs.Obs.with_span "generate"
+    ~attrs:
+      [
+        ("network", network.Db_nn.Network.net_name);
+        ("lanes", string_of_int lanes);
+      ]
+    (fun () ->
+      assemble ?tiling_enabled cons network
+        (Db_obs.Obs.with_span "search" (fun () ->
+             Config_search.evaluate cons network ~lanes)))
 
 let generate_from_script ?tiling_enabled ~model ~constraint_script () =
-  let network = Db_nn.Caffe.import_string model in
-  let cons = Constraints.parse constraint_script in
+  let network =
+    Db_obs.Obs.with_span "parse" (fun () -> Db_nn.Caffe.import_string model)
+  in
+  let cons =
+    Db_obs.Obs.with_span "constraints" (fun () ->
+        Constraints.parse constraint_script)
+  in
   generate ?tiling_enabled cons network

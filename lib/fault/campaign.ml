@@ -222,6 +222,13 @@ type trial = {
 }
 
 let run ~design ~params ~input_blob ~inputs (config : config) =
+  Db_obs.Obs.with_span "faults.campaign"
+    ~attrs:
+      [
+        ("trials", string_of_int config.trials);
+        ("seed", string_of_int config.seed);
+      ]
+  @@ fun () ->
   if Array.length inputs = 0 then fail "campaign needs at least one input";
   if config.trials <= 0 then
     fail "campaign needs a positive trial count (got %d)" config.trials;
@@ -370,6 +377,8 @@ let run ~design ~params ~input_blob ~inputs (config : config) =
                 | exception Db_util.Error.Timeout _ -> Hang)
           end
     in
+    Db_obs.Obs.incr "faults.trials";
+    Db_obs.Obs.incr ("faults.outcome." ^ outcome_name outcome);
     { t_class = g.Site.g_class; t_layer = g.Site.g_layer; t_outcome = outcome }
   in
   let slots =

@@ -101,4 +101,15 @@ let run_to_completion ?max_cycles t =
     if out.done_pulse then n else clock (n + 1)
   in
   let cycles = clock 1 in
-  (List.rev !addrs, cycles)
+  let addrs = List.rev !addrs in
+  (* One counter update per completed pattern, accumulated from the local
+     address list, never per cycle: stalls are the reload bubbles plus the
+     trailing done cycle (cycles with no address issued). *)
+  if Db_obs.Obs.enabled () then begin
+    let issued = List.length addrs in
+    Db_obs.Obs.incr "agu.runs";
+    Db_obs.Obs.incr ~by:cycles "agu.cycles";
+    Db_obs.Obs.incr ~by:issued "agu.addresses";
+    Db_obs.Obs.incr ~by:(Stdlib.max 0 (cycles - issued)) "agu.stall_cycles"
+  end;
+  (addrs, cycles)

@@ -1,0 +1,192 @@
+(* Per-domain sinks + a mutex-guarded registry of sinks, merged at
+   snapshot time.  Recording never takes the registry lock: each domain
+   writes only its own sink, registered once on that domain's first
+   record.  The disabled path of every entry point is a single atomic
+   load and branch. *)
+
+type attr = string * string
+
+type span = {
+  span_name : string;
+  attrs : attr list;
+  start_s : float;
+  dur_s : float;
+  domain : int;
+  children : span list;
+}
+
+type hist = { h_count : int; h_sum : float; h_min : float; h_max : float }
+
+type snapshot = {
+  roots : span list;
+  counters : (string * int) list;
+  histograms : (string * hist) list;
+}
+
+let flag = Atomic.make false
+
+let enabled () = Atomic.get flag
+
+let set_enabled b = Atomic.set flag b
+
+let now () = Unix.gettimeofday ()
+
+(* A span being built; children accumulate reversed until close. *)
+type building = {
+  b_name : string;
+  b_start : float;
+  mutable b_attrs : attr list;  (* reversed *)
+  mutable b_children : span list;  (* reversed *)
+}
+
+type sink = {
+  sink_domain : int;
+  mutable stack : building list;
+  mutable roots_rev : span list;
+  sink_counters : (string, int ref) Hashtbl.t;
+  sink_hists : (string, hist ref) Hashtbl.t;
+}
+
+let registry : sink list ref = ref []
+
+let registry_lock = Mutex.create ()
+
+let sink_key : sink Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        {
+          sink_domain = (Domain.self () :> int);
+          stack = [];
+          roots_rev = [];
+          sink_counters = Hashtbl.create 32;
+          sink_hists = Hashtbl.create 16;
+        }
+      in
+      Mutex.lock registry_lock;
+      registry := s :: !registry;
+      Mutex.unlock registry_lock;
+      s)
+
+let sink () = Domain.DLS.get sink_key
+
+let reset () =
+  Mutex.lock registry_lock;
+  List.iter
+    (fun s ->
+      s.stack <- [];
+      s.roots_rev <- [];
+      Hashtbl.reset s.sink_counters;
+      Hashtbl.reset s.sink_hists)
+    !registry;
+  Mutex.unlock registry_lock
+
+let close_span s b =
+  let dur = now () -. b.b_start in
+  (* Robust to the flag flipping mid-span: [b] may no longer be the top
+     (or present at all) if the stack was reset; drop it from wherever it
+     is and attach the finished span to what remains. *)
+  (match s.stack with
+  | top :: rest when top == b -> s.stack <- rest
+  | _ -> s.stack <- List.filter (fun x -> x != b) s.stack);
+  let sp =
+    {
+      span_name = b.b_name;
+      attrs = List.rev b.b_attrs;
+      start_s = b.b_start;
+      dur_s = Stdlib.max 0.0 dur;
+      domain = s.sink_domain;
+      children = List.rev b.b_children;
+    }
+  in
+  match s.stack with
+  | parent :: _ -> parent.b_children <- sp :: parent.b_children
+  | [] -> s.roots_rev <- sp :: s.roots_rev
+
+let with_span ?(attrs = []) name f =
+  if not (Atomic.get flag) then f ()
+  else begin
+    let s = sink () in
+    let b =
+      { b_name = name; b_start = now (); b_attrs = List.rev attrs; b_children = [] }
+    in
+    s.stack <- b :: s.stack;
+    match f () with
+    | v ->
+        close_span s b;
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        close_span s b;
+        Printexc.raise_with_backtrace e bt
+  end
+
+let set_attr key value =
+  if Atomic.get flag then
+    match (sink ()).stack with
+    | [] -> ()
+    | b :: _ -> b.b_attrs <- (key, value) :: b.b_attrs
+
+let incr ?(by = 1) name =
+  if Atomic.get flag then begin
+    let s = sink () in
+    match Hashtbl.find_opt s.sink_counters name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.add s.sink_counters name (ref by)
+  end
+
+let empty_hist = { h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity }
+
+let hist_add h v =
+  {
+    h_count = h.h_count + 1;
+    h_sum = h.h_sum +. v;
+    h_min = Stdlib.min h.h_min v;
+    h_max = Stdlib.max h.h_max v;
+  }
+
+let observe name v =
+  if Atomic.get flag then begin
+    let s = sink () in
+    match Hashtbl.find_opt s.sink_hists name with
+    | Some r -> r := hist_add !r v
+    | None -> Hashtbl.add s.sink_hists name (ref (hist_add empty_hist v))
+  end
+
+let merge_hist a b =
+  {
+    h_count = a.h_count + b.h_count;
+    h_sum = a.h_sum +. b.h_sum;
+    h_min = Stdlib.min a.h_min b.h_min;
+    h_max = Stdlib.max a.h_max b.h_max;
+  }
+
+let snapshot () =
+  Mutex.lock registry_lock;
+  let sinks =
+    List.sort (fun a b -> compare a.sink_domain b.sink_domain) !registry
+  in
+  let counters : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let hists : (string, hist) Hashtbl.t = Hashtbl.create 32 in
+  let roots =
+    List.concat_map
+      (fun s ->
+        Hashtbl.iter
+          (fun name r ->
+            Hashtbl.replace counters name
+              (!r + Option.value ~default:0 (Hashtbl.find_opt counters name)))
+          s.sink_counters;
+        Hashtbl.iter
+          (fun name r ->
+            Hashtbl.replace hists name
+              (merge_hist !r
+                 (Option.value ~default:empty_hist (Hashtbl.find_opt hists name))))
+          s.sink_hists;
+        List.rev s.roots_rev)
+      sinks
+  in
+  Mutex.unlock registry_lock;
+  let sorted tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
+  { roots; counters = sorted counters; histograms = sorted hists }
+
+let counter snap name =
+  Option.value ~default:0 (List.assoc_opt name snap.counters)

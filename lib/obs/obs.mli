@@ -1,0 +1,80 @@
+(** Observability: nestable timed spans, counters and histograms for the
+    generation + simulation pipeline.
+
+    The subsystem is disabled by default and its entire cost in that state
+    is one atomic-flag branch per call site, so the hot paths stay
+    instrumented permanently.  When enabled, every domain records into its
+    own private sink ({!Domain.DLS}); worker domains of [Db_parallel.Pool]
+    therefore record without taking any lock.  Sinks are merged — counters
+    and histograms by commutative sums, span trees in ascending domain
+    order — when {!snapshot} is taken.
+
+    Determinism contract (same discipline as the fault-campaign renderer):
+    counter values must never depend on the pool width, because callers
+    only ever count work items, not scheduling events; the one exception
+    is the [pool.*] namespace, which counts batches/tasks/busy segments
+    and is explicitly scheduling-dependent.  {!Render.stable_json} strips
+    every timing field so its output is byte-identical across runs modulo
+    that namespace. *)
+
+type attr = string * string
+
+type span = {
+  span_name : string;
+  attrs : attr list;  (** in recording order *)
+  start_s : float;  (** wall clock, seconds; only meaningful relatively *)
+  dur_s : float;  (** clamped to be non-negative *)
+  domain : int;  (** id of the recording domain *)
+  children : span list;  (** in start order *)
+}
+
+type hist = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;  (** +inf when the histogram is empty *)
+  h_max : float;  (** -inf when the histogram is empty *)
+}
+
+type snapshot = {
+  roots : span list;
+      (** completed top-level spans, main domain first then workers *)
+  counters : (string * int) list;  (** merged across domains, sorted *)
+  histograms : (string * hist) list;  (** merged across domains, sorted *)
+}
+
+val enabled : unit -> bool
+
+val now : unit -> float
+(** The clock spans are timed with (wall seconds); exposed so callers can
+    time regions they report through {!observe}. *)
+
+val set_enabled : bool -> unit
+(** Toggling mid-span is safe: a span started while enabled is still
+    closed and recorded. *)
+
+val reset : unit -> unit
+(** Drop everything recorded so far in every domain's sink.  Only call
+    while no parallel section is in flight. *)
+
+val with_span : ?attrs:attr list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] times [f] as a span nested under the current
+    domain's innermost open span.  Exceptions propagate; the span is
+    closed either way.  Disabled: tail-calls [f]. *)
+
+val set_attr : string -> string -> unit
+(** Attach a key/value attribute to the innermost open span of the
+    calling domain (no-op when disabled or outside any span). *)
+
+val incr : ?by:int -> string -> unit
+(** Bump a monotonic counter (default [by:1]). *)
+
+val observe : string -> float -> unit
+(** Record one histogram observation. *)
+
+val counter : snapshot -> string -> int
+(** Merged value of one counter, 0 when absent. *)
+
+val snapshot : unit -> snapshot
+(** Merge every domain's sink.  Open spans are not included — take the
+    snapshot outside the spans you want to see.  Only call while no
+    parallel section is in flight. *)

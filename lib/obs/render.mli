@@ -1,0 +1,16 @@
+(** Renderers over {!Obs.snapshot}.
+
+    Three formats:
+    - {!text}: human span tree with durations, then counter and histogram
+      tables — what [deepburning profile] prints;
+    - {!stable_json}: deterministic content for tests and diffing — span
+      structure, attributes, counters and histogram counts, with every
+      timing field excluded;
+    - {!chrome_trace}: the Chrome [trace_event] JSON array format, loadable
+      in [chrome://tracing] and Perfetto (one lane per recording domain). *)
+
+val text : Obs.snapshot -> string
+
+val stable_json : Obs.snapshot -> string
+
+val chrome_trace : Obs.snapshot -> string

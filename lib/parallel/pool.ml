@@ -60,7 +60,7 @@ let batch_done = Condition.create ()
 (* Pull tasks from [b] until its index counter runs out.  The first
    exception is kept (with its backtrace) and re-raised by the submitter;
    the completion counter advances regardless so waiters never hang. *)
-let exec_batch b =
+let exec_batch_raw b =
   let continue = ref true in
   while !continue do
     let i = Atomic.fetch_and_add b.next 1 in
@@ -77,6 +77,18 @@ let exec_batch b =
       end
     end
   done
+
+(* Observability: per-domain busy time, recorded into the calling domain's
+   own sink (no contention).  The [pool.*] namespace is the one place where
+   counter values legitimately depend on the pool width — it counts
+   scheduling events, not work items (see DESIGN.md §11). *)
+let exec_batch b =
+  if not (Db_obs.Obs.enabled ()) then exec_batch_raw b
+  else begin
+    let t0 = Db_obs.Obs.now () in
+    exec_batch_raw b;
+    Db_obs.Obs.observe "pool.busy_s" (Db_obs.Obs.now () -. t0)
+  end
 
 let rec worker_loop () =
   Mutex.lock lock;
@@ -113,6 +125,8 @@ let run_batch ~len run =
     done
   else begin
     ensure_workers ();
+    Db_obs.Obs.incr "pool.batches";
+    Db_obs.Obs.incr ~by:len "pool.tasks";
     let b =
       {
         run;

@@ -25,7 +25,29 @@ type report = {
   effective_gmacs : float;
 }
 
+(* Per-layer activity counters under "sim.layer.<layer>.*": cycles, stall
+   cycles (fold cycles the MAC lanes sat waiting — exposed memory time plus
+   the coordinator's reconfiguration beats), DRAM traffic, MACs and fold
+   count.  Values count work items only, so they are identical at any
+   DEEPBURNING_JOBS (the determinism contract of DESIGN.md §11). *)
+let record_layer_counters per_layer =
+  if Db_obs.Obs.enabled () then
+    List.iter
+      (fun r ->
+        let p = "sim.layer." ^ r.lr_layer in
+        Db_obs.Obs.incr ~by:r.lr_cycles (p ^ ".cycles");
+        Db_obs.Obs.incr
+          ~by:(Stdlib.max 0 (r.lr_cycles - r.lr_compute_cycles))
+          (p ^ ".stall_cycles");
+        Db_obs.Obs.incr ~by:r.lr_dram_bytes (p ^ ".dram_bytes");
+        Db_obs.Obs.incr ~by:r.lr_macs (p ^ ".macs");
+        Db_obs.Obs.incr ~by:r.lr_folds (p ^ ".folds"))
+      per_layer
+
 let timing ?(dram = Db_mem.Dram.zynq_ddr3) (design : Design.t) =
+  Db_obs.Obs.with_span "simulate.timing"
+    ~attrs:[ ("network", design.Design.network.Db_nn.Network.net_name) ]
+  @@ fun () ->
   let dp = design.Design.datapath in
   let bytes_per_word = (dp.Db_sched.Datapath.fmt.Db_fixed.Fixed.total_bits + 7) / 8 in
   let costs =
@@ -86,6 +108,7 @@ let timing ?(dram = Db_mem.Dram.zynq_ddr3) (design : Design.t) =
       per_layer
   in
   let macs = Folding.total_macs design.Design.schedule.Db_sched.Schedule.folds in
+  record_layer_counters per_layer;
   {
     design_name = design.Design.network.Db_nn.Network.net_name;
     total_cycles;
@@ -196,6 +219,7 @@ let batch_timing ?(dram = Db_mem.Dram.zynq_ddr3) ~batch (design : Design.t) =
    budget; a corrupted configuration register or stuck FSM state does not,
    and the watchdog converts that would-be hang into a structured error. *)
 let replay_control ~cycle_budget (design : Design.t) =
+  Db_obs.Obs.with_span "simulate.replay" @@ fun () ->
   let spent = ref 0 in
   List.iter
     (fun (p : Compiler.fold_program) ->
@@ -218,6 +242,7 @@ let replay_control ~cycle_budget (design : Design.t) =
   !spent
 
 let functional_output ?cycle_budget (design : Design.t) params ~inputs =
+  Db_obs.Obs.with_span "simulate.functional" @@ fun () ->
   (match cycle_budget with
   | Some budget -> ignore (replay_control ~cycle_budget:budget design)
   | None -> ());
@@ -227,6 +252,7 @@ let functional_output ?cycle_budget (design : Design.t) params ~inputs =
     params ~inputs
 
 let run ?dram ?cycle_budget design params ~inputs =
+  Db_obs.Obs.with_span "simulate.run" @@ fun () ->
   (functional_output ?cycle_budget design params ~inputs, timing ?dram design)
 
 let testbench (design : Design.t) params ~inputs =

@@ -32,6 +32,7 @@ let () =
     (fun (c, cls) -> register_component c cls)
     [
       ("prototxt", Parse);
+      ("json", Parse);
       ("caffe", Parse);
       ("constraints", Parse);
       ("network", Validation);

@@ -7,4 +7,5 @@ let () =
    @ Test_blocks.suite @ Test_fpga.suite @ Test_mem.suite @ Test_sched.suite
    @ Test_analysis.suite @ Test_core.suite @ Test_sim.suite
    @ Test_baseline.suite @ Test_workloads.suite @ Test_integration.suite
-   @ Test_extensions.suite @ Test_fault.suite @ Test_fuzz.suite)
+   @ Test_extensions.suite @ Test_fault.suite @ Test_obs.suite
+   @ Test_fuzz.suite)

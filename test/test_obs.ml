@@ -1,0 +1,227 @@
+(* Tests for the observability subsystem: span nesting and attribute
+   round-trips, the determinism contract for counters across pool widths,
+   Chrome trace_event output shape, and the disabled-mode guarantee that
+   nothing is recorded.  The dune env pins DEEPBURNING_JOBS=4, so the
+   multi-domain half of the determinism test runs with real workers. *)
+
+module Obs = Db_obs.Obs
+module Render = Db_obs.Render
+module Pool = Db_parallel.Pool
+module Json = Db_util.Minijson
+
+(* Every test runs with a clean, enabled recorder and puts the global
+   flag back afterwards so the rest of the suite stays uninstrumented. *)
+let with_obs f () =
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset ();
+      Obs.set_enabled was)
+    f
+
+let find_root snap name =
+  match
+    List.find_opt (fun s -> s.Obs.span_name = name) snap.Obs.roots
+  with
+  | Some s -> s
+  | None -> Alcotest.failf "no root span %S" name
+
+(* --- spans -------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  let r =
+    Obs.with_span "outer" ~attrs:[ ("network", "ann0") ] (fun () ->
+        Obs.with_span "first" (fun () -> ignore (Sys.opaque_identity 1));
+        Obs.with_span "second" (fun () ->
+            Obs.with_span "inner" (fun () -> ()));
+        Obs.set_attr "lanes" "8";
+        17)
+  in
+  Alcotest.(check int) "with_span returns f's value" 17 r;
+  let snap = Obs.snapshot () in
+  let outer = find_root snap "outer" in
+  Alcotest.(check (list (pair string string)))
+    "attrs round-trip in recording order"
+    [ ("network", "ann0"); ("lanes", "8") ]
+    outer.Obs.attrs;
+  Alcotest.(check (list string))
+    "children in start order" [ "first"; "second" ]
+    (List.map (fun s -> s.Obs.span_name) outer.Obs.children);
+  let second = List.nth outer.Obs.children 1 in
+  Alcotest.(check (list string))
+    "grandchild nested" [ "inner" ]
+    (List.map (fun s -> s.Obs.span_name) second.Obs.children);
+  List.iter
+    (fun s ->
+      if s.Obs.dur_s < 0.0 then
+        Alcotest.failf "span %s has negative duration" s.Obs.span_name)
+    (outer :: outer.Obs.children)
+
+let test_span_exception_closes () =
+  (try
+     Obs.with_span "doomed" (fun () ->
+         Obs.with_span "child" (fun () -> ());
+         failwith "boom")
+   with Failure _ -> ());
+  let snap = Obs.snapshot () in
+  let doomed = find_root snap "doomed" in
+  Alcotest.(check (list string))
+    "span recorded despite exception" [ "child" ]
+    (List.map (fun s -> s.Obs.span_name) doomed.Obs.children)
+
+(* --- counter determinism across pool widths ----------------------------- *)
+
+(* The same parallel workload recorded with the 4-wide pool and with the
+   sequential fallback must merge to identical counters and histogram
+   counts: callers count work items, never scheduling events.  The pool's
+   own [pool.*] namespace is the documented exception, so it is stripped
+   before comparing. *)
+let strip_pool kvs =
+  List.filter
+    (fun (k, _) -> not (String.length k >= 5 && String.sub k 0 5 = "pool."))
+    kvs
+
+let workload () =
+  Obs.with_span "work" (fun () ->
+      Pool.parallel_for ~chunk:1 ~lo:0 ~hi:64 (fun i ->
+          Obs.incr "work.items";
+          Obs.incr ~by:i "work.weighted";
+          Obs.observe "work.size" (float_of_int (i mod 7))))
+
+let test_counters_domain_merge () =
+  workload ();
+  let par = Obs.snapshot () in
+  Obs.reset ();
+  Pool.with_sequential workload;
+  let seq = Obs.snapshot () in
+  Alcotest.(check (list (pair string int)))
+    "counters identical at any pool width"
+    (strip_pool seq.Obs.counters)
+    (strip_pool par.Obs.counters);
+  Alcotest.(check int)
+    "all 64 items counted once" 64
+    (Obs.counter par "work.items");
+  Alcotest.(check int)
+    "weighted sum merged across domains" (64 * 63 / 2)
+    (Obs.counter par "work.weighted");
+  let hist_counts s =
+    List.map (fun (k, h) -> (k, h.Obs.h_count)) s.Obs.histograms
+  in
+  Alcotest.(check (list (pair string int)))
+    "histogram counts identical at any pool width"
+    (strip_pool (hist_counts seq))
+    (strip_pool (hist_counts par))
+
+let test_stable_json_deterministic () =
+  workload ();
+  let a = Render.stable_json (Obs.snapshot ()) in
+  Obs.reset ();
+  Pool.with_sequential workload;
+  let b = Render.stable_json (Obs.snapshot ()) in
+  (* The only jobs-dependent content is the pool.* counter namespace and
+     the per-domain span forest; spans all live under one "work" root
+     here in the sequential run, so compare the counters object only. *)
+  let counters j =
+    match Json.member "counters" (Json.parse j) with
+    | Some (Json.Obj kvs) ->
+        strip_pool (List.map (fun (k, v) -> (k, Json.to_number v)) kvs)
+    | _ -> Alcotest.fail "stable_json lacks counters object"
+  in
+  Alcotest.(check (list (pair string (float 0.0))))
+    "stable_json counters identical across widths" (counters b) (counters a)
+
+(* --- chrome trace ------------------------------------------------------- *)
+
+let test_chrome_trace_shape () =
+  Obs.with_span "gen" ~attrs:[ ("network", "ann0") ] (fun () ->
+      Obs.with_span "search" (fun () -> ignore (Sys.opaque_identity 2));
+      Obs.with_span "rtl" (fun () -> ()));
+  Obs.incr "designs";
+  let trace = Render.chrome_trace (Obs.snapshot ()) in
+  let events =
+    match Json.parse trace with
+    | Json.List evs -> evs
+    | _ -> Alcotest.fail "chrome trace is not a JSON array"
+  in
+  let complete =
+    List.filter
+      (fun e ->
+        match Json.member "ph" e with
+        | Some (Json.String "X") -> true
+        | _ -> false)
+      events
+  in
+  Alcotest.(check int) "one X event per span" 3 (List.length complete);
+  let prev_ts = ref neg_infinity in
+  List.iter
+    (fun e ->
+      let num k =
+        match Json.member k e with
+        | Some v -> Json.to_number v
+        | None -> Alcotest.failf "event lacks %S" k
+      in
+      let ts = num "ts" and dur = num "dur" in
+      if ts < 0.0 then Alcotest.fail "negative ts";
+      if dur < 0.0 then Alcotest.fail "negative dur";
+      if ts < !prev_ts then Alcotest.fail "events not sorted by ts";
+      prev_ts := ts;
+      (match Json.member "pid" e with
+      | Some (Json.Number _) -> ()
+      | _ -> Alcotest.fail "event lacks numeric pid");
+      match Json.member "name" e with
+      | Some (Json.String _) -> ()
+      | _ -> Alcotest.fail "event lacks name")
+    complete;
+  (* The root span's attributes travel in args. *)
+  let gen =
+    List.find
+      (fun e -> Json.member "name" e = Some (Json.String "gen"))
+      complete
+  in
+  match Json.member "args" gen with
+  | Some (Json.Obj kvs) ->
+      Alcotest.(check (option string))
+        "span attr in args" (Some "ann0")
+        (Option.map Json.to_string (List.assoc_opt "network" kvs))
+  | _ -> Alcotest.fail "gen event lacks args object"
+
+(* --- disabled mode ------------------------------------------------------ *)
+
+let test_disabled_records_nothing () =
+  Obs.set_enabled false;
+  let r =
+    Obs.with_span "ghost" (fun () ->
+        Obs.incr "ghost.counter";
+        Obs.observe "ghost.hist" 1.0;
+        Obs.set_attr "k" "v";
+        41)
+  in
+  Alcotest.(check int) "with_span still transparent" 41 r;
+  Obs.set_enabled true;
+  let snap = Obs.snapshot () in
+  Alcotest.(check int) "no roots" 0 (List.length snap.Obs.roots);
+  Alcotest.(check (list (pair string int))) "no counters" [] snap.Obs.counters;
+  Alcotest.(check int)
+    "no histograms" 0
+    (List.length snap.Obs.histograms)
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "span nesting and attrs" `Quick
+          (with_obs test_span_nesting);
+        Alcotest.test_case "span closed on exception" `Quick
+          (with_obs test_span_exception_closes);
+        Alcotest.test_case "counters merge across domains" `Quick
+          (with_obs test_counters_domain_merge);
+        Alcotest.test_case "stable_json deterministic" `Quick
+          (with_obs test_stable_json_deterministic);
+        Alcotest.test_case "chrome trace shape" `Quick
+          (with_obs test_chrome_trace_shape);
+        Alcotest.test_case "disabled records nothing" `Quick
+          (with_obs test_disabled_records_nothing);
+      ] );
+  ]
