@@ -4,6 +4,7 @@
      deepburning simulate -m model.prototxt -c constraint.prototxt
      deepburning zoo list
      deepburning zoo show alexnet > alexnet.prototxt
+     deepburning ir alexnet
      deepburning stats -m model.prototxt *)
 
 open Cmdliner
@@ -401,20 +402,14 @@ let faults_cmd =
         let rng = Db_util.Rng.create seed in
         let params = Db_nn.Params.init_xavier rng net in
         let input_node =
-          match Db_nn.Network.input_nodes net with
+          match Db_ir.Graph.input_nodes design.Db_core.Design.ir with
           | n :: _ -> n
           | [] ->
               Db_util.Error.failf_at ~component:"fault"
                 "network has no input node"
         in
-        let input_blob = List.hd input_node.Db_nn.Network.tops in
-        let shape =
-          match input_node.Db_nn.Network.layer with
-          | Db_nn.Layer.Input { shape } -> shape
-          | _ ->
-              Db_util.Error.failf_at ~component:"fault"
-                "input node carries no shape"
-        in
+        let input_blob = List.hd input_node.Db_ir.Graph.outputs in
+        let shape = input_node.Db_ir.Graph.out_shape in
         let inputs =
           Array.init ninputs (fun _ ->
               Db_tensor.Tensor.random_uniform rng shape ~min:(-1.0) ~max:1.0)
@@ -495,6 +490,63 @@ let faults_cmd =
       $ per_class_protect "agu" $ rates_arg $ targets_arg $ json_arg
       $ trace_arg)
 
+let ir_cmd =
+  let model_pos_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MODEL"
+          ~doc:"A bundled zoo model name or a .prototxt file path.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the stable JSON form instead of text.")
+  in
+  let no_passes_arg =
+    Arg.(
+      value & flag
+      & info [ "no-passes" ]
+          ~doc:"Print only the raw lowered graph; skip the pass pipeline.")
+  in
+  let run model json no_passes trace =
+    wrap ?trace (fun () ->
+        let source =
+          match List.assoc_opt model zoo_models with
+          | Some src -> src
+          | None ->
+              if Sys.file_exists model then read_file model
+              else
+                Db_util.Error.fail "%S is neither a zoo model nor a file" model
+        in
+        let net = Db_nn.Caffe.import_string source in
+        let raw = Db_ir.Lower.lower net in
+        Db_ir.Verify.check_exn raw;
+        if no_passes then
+          if json then print_endline (Db_ir.Print.to_json raw)
+          else print_string (Db_ir.Print.to_string raw)
+        else begin
+          let optimized = Db_ir.Pass.optimize raw in
+          if json then
+            print_endline
+              ("{\"before\":" ^ Db_ir.Print.to_json raw ^ ",\"after\":"
+             ^ Db_ir.Print.to_json optimized ^ "}")
+          else begin
+            print_endline "== raw ==";
+            print_string (Db_ir.Print.to_string raw);
+            print_endline "== optimized ==";
+            print_string (Db_ir.Print.to_string optimized)
+          end
+        end)
+  in
+  Cmd.v
+    (Cmd.info "ir"
+       ~doc:
+         "Lower a model to the typed accelerator IR and print the verified \
+          graph before and after the optimization passes (dropout elision, \
+          activation folding, concat canonicalization).")
+    Term.(const run $ model_pos_arg $ json_arg $ no_passes_arg $ trace_arg)
+
 let profile_cmd =
   let model_pos_arg =
     Arg.(
@@ -562,7 +614,7 @@ let main_cmd =
     (Cmd.info "deepburning" ~version:"1.0.0" ~doc)
     [
       generate_cmd; simulate_cmd; verify_cmd; profile_cmd; lint_cmd;
-      faults_cmd; stats_cmd; zoo_cmd;
+      faults_cmd; ir_cmd; stats_cmd; zoo_cmd;
     ]
 
 let () = try exit (Cmd.eval' main_cmd) with e -> exit (report_error e)

@@ -1,6 +1,6 @@
 module Block = Db_blocks.Block
-module Layer = Db_nn.Layer
-module Network = Db_nn.Network
+module Op = Db_ir.Op
+module Graph = Db_ir.Graph
 module Resource = Db_fpga.Resource
 
 type t = { blocks : Block.t list; total : Resource.t }
@@ -13,54 +13,55 @@ let addr_bits_for words =
 let activation_lut dp act =
   let entries = dp.Db_sched.Datapath.lut_entries in
   match act with
-  | Layer.Relu ->
+  | Op.Relu ->
       (* ReLU itself is a comparator, but the unit still carries the LUT
          infrastructure so new functions can be loaded (Section 3.2). *)
       Db_blocks.Approx_lut.build ~name:"relu" ~f:(fun x -> Float.max 0.0 x)
         ~lo:(-8.0) ~hi:8.0 ~entries
-  | Layer.Sigmoid -> Db_blocks.Approx_lut.sigmoid ~entries
-  | Layer.Tanh -> Db_blocks.Approx_lut.tanh_lut ~entries
-  | Layer.Sign ->
+  | Op.Sigmoid -> Db_blocks.Approx_lut.sigmoid ~entries
+  | Op.Tanh -> Db_blocks.Approx_lut.tanh_lut ~entries
+  | Op.Sign ->
       Db_blocks.Approx_lut.build ~name:"sign"
         ~f:(fun x -> if x >= 0.0 then 1.0 else -1.0)
         ~lo:(-1.0) ~hi:1.0 ~entries
 
-let distinct_activations net =
-  Network.fold net ~init:[] ~f:(fun acc node ->
-      match node.Network.layer with
-      | Layer.Activation act when not (List.mem act acc) -> act :: acc
-      | Layer.Recurrent _ when not (List.mem Layer.Tanh acc) ->
-          Layer.Tanh :: acc
-      | _ -> acc)
+(* Standalone activation nodes, fused activations and the recurrent unit's
+   tanh, first-seen order. *)
+let distinct_activations (g : Graph.t) =
+  Graph.fold g ~init:[] ~f:(fun acc node ->
+      let add act acc = if List.mem act acc then acc else act :: acc in
+      match node.Graph.op with
+      | Op.Act act -> add act acc
+      | Op.Recurrent _ -> add Op.Tanh acc
+      | op -> begin
+          match Op.fused_activation op with
+          | Some act -> add act acc
+          | None -> acc
+        end)
   |> List.rev
 
-let max_pool_window net =
-  Network.fold net ~init:0 ~f:(fun acc node ->
-      match node.Network.layer with
-      | Layer.Pooling { kernel_size; _ } -> Stdlib.max acc kernel_size
+let max_pool_window (g : Graph.t) =
+  Graph.fold g ~init:0 ~f:(fun acc node ->
+      match node.Graph.op with
+      | Op.Pool { kernel_size; _ } -> Stdlib.max acc kernel_size
       | _ -> acc)
 
-let has net pred = Network.has_layer net pred
+let has g pred = Graph.has_op g pred
 
-let classifier_config net shapes =
-  Network.fold net ~init:None ~f:(fun acc node ->
-      match node.Network.layer, acc with
-      | Layer.Classifier { top_k }, None -> begin
-          match node.Network.bottoms with
-          | [ bottom ] ->
-              let n =
-                Db_tensor.Shape.numel (Db_nn.Shape_infer.blob_shape shapes bottom)
-              in
-              Some (top_k, n)
+let classifier_config (g : Graph.t) =
+  Graph.fold g ~init:None ~f:(fun acc node ->
+      match node.Graph.op, acc with
+      | Op.Classifier { top_k }, None -> begin
+          match node.Graph.in_shapes with
+          | [ bottom ] -> Some (top_k, Db_tensor.Shape.numel bottom)
           | [] | _ :: _ :: _ -> acc
         end
       | _ -> acc)
 
-let build net dp ~schedule ~layout =
+let build (g : Graph.t) dp ~schedule ~layout =
   let fmt = dp.Db_sched.Datapath.fmt in
   let mk name kind = Block.make ~name ~fmt kind in
   let lanes = dp.Db_sched.Datapath.lanes in
-  let shapes = Db_nn.Shape_infer.infer net in
   let blocks = ref [] in
   let push b = blocks := b :: !blocks in
   (* MAC lanes and their per-lane accumulators. *)
@@ -73,12 +74,11 @@ let build net dp ~schedule ~layout =
       (mk (Printf.sprintf "accum_%d" i) (Block.Accumulator { depth = 16 }))
   done;
   (* Pooling units, one per lane, sized to the widest window in the model. *)
-  let window = max_pool_window net in
+  let window = max_pool_window g in
   if window > 0 then begin
     let avg =
-      has net (function
-        | Layer.Pooling { method_ = Layer.Average; _ }
-        | Layer.Global_pooling Layer.Average ->
+      has g (function
+        | Op.Pool { method_ = Op.Avg_pool; _ } | Op.Global_pool Op.Avg_pool ->
             true
         | _ -> false)
     in
@@ -93,15 +93,15 @@ let build net dp ~schedule ~layout =
       let lut = activation_lut dp act in
       push
         (mk
-           ("act_" ^ String.lowercase_ascii (Layer.activation_name act))
+           ("act_" ^ String.lowercase_ascii (Op.activation_name act))
            (Block.Activation_unit { lut })))
-    (distinct_activations net);
+    (distinct_activations g);
   (* The paper maps both LRN and LCN onto the LRN unit. *)
-  if has net (function Layer.Lrn _ | Layer.Lcn _ -> true | _ -> false) then begin
+  if has g (function Op.Lrn _ | Op.Lcn _ -> true | _ -> false) then begin
     let local_size =
-      Network.fold net ~init:5 ~f:(fun acc node ->
-          match node.Network.layer with
-          | Layer.Lrn { local_size; _ } -> Stdlib.max acc local_size
+      Graph.fold g ~init:5 ~f:(fun acc node ->
+          match node.Graph.op with
+          | Op.Lrn { local_size; _ } -> Stdlib.max acc local_size
           | _ -> acc)
     in
     let lut =
@@ -111,12 +111,12 @@ let build net dp ~schedule ~layout =
     in
     push (mk "lrn" (Block.Lrn_unit { local_size; lut }))
   end;
-  if has net (function Layer.Dropout _ -> true | _ -> false) then
+  if has g (function Op.Dropout _ -> true | _ -> false) then
     push (mk "dropout" Block.Dropout_unit);
   if
-    has net (function
-      | Layer.Softmax | Layer.Pooling { method_ = Layer.Average; _ }
-      | Layer.Global_pooling Layer.Average | Layer.Lcn _ ->
+    has g (function
+      | Op.Softmax | Op.Pool { method_ = Op.Avg_pool; _ }
+      | Op.Global_pool Op.Avg_pool | Op.Lcn _ ->
           true
       | _ -> false)
   then begin
@@ -129,22 +129,22 @@ let build net dp ~schedule ~layout =
   (* The crossbar between producers and consumers; the shifting latch is
      needed whenever approximate division appears (average pooling, LRN). *)
   let shift_latch =
-    has net (function
-      | Layer.Pooling { method_ = Layer.Average; _ }
-      | Layer.Global_pooling Layer.Average | Layer.Lrn _ | Layer.Lcn _ ->
+    has g (function
+      | Op.Pool { method_ = Op.Avg_pool; _ }
+      | Op.Global_pool Op.Avg_pool | Op.Lrn _ | Op.Lcn _ ->
           true
       | _ -> false)
   in
   push
     (mk "connection_box"
        (Block.Connection_box { in_ports = lanes; out_ports = lanes; shift_latch }));
-  (match classifier_config net shapes with
+  (match classifier_config g with
   | Some (k, fan_in) ->
       push (mk "ksorter" (Block.Classifier_ksorter { k; fan_in }))
   | None -> ());
   (* AGUs: the pattern memory scales with the number of layers; addresses
      cover the whole DRAM layout (main) or the on-chip buffers. *)
-  let n_layers = Network.layer_count net in
+  let n_layers = Graph.layer_count g in
   let dram_addr_bits = addr_bits_for layout.Db_mem.Layout.total_words in
   let fbuf_addr_bits = addr_bits_for dp.Db_sched.Datapath.feature_buffer_words in
   let wbuf_addr_bits = addr_bits_for dp.Db_sched.Datapath.weight_buffer_words in

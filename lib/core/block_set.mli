@@ -10,13 +10,13 @@ type t = {
 }
 
 val build :
-  Db_nn.Network.t ->
+  Db_ir.Graph.t ->
   Db_sched.Datapath.t ->
   schedule:Db_sched.Schedule.t ->
   layout:Db_mem.Layout.t ->
   t
-(** Chooses the block inventory from the layer classes present in the
-    network (Section 3.2's layer -> building-block mapping) scaled by the
+(** Chooses the block inventory from the op classes present in the IR
+    graph (Section 3.2's layer -> building-block mapping) scaled by the
     datapath, sizes the AGUs from the layout's address space and the
     schedule's pattern count, and sums the cost. *)
 

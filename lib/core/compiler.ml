@@ -1,6 +1,6 @@
 module Shape = Db_tensor.Shape
-module Layer = Db_nn.Layer
-module Network = Db_nn.Network
+module Op = Db_ir.Op
+module Graph = Db_ir.Graph
 module Folding = Db_sched.Folding
 module Access_pattern = Db_mem.Access_pattern
 module Layout = Db_mem.Layout
@@ -30,45 +30,52 @@ type t = {
 
 let fail fmt = Db_util.Error.failf_at ~component:"compiler" fmt
 
-let build_luts net ~entries =
+let build_luts (g : Graph.t) ~entries =
   let acc = ref [] in
   let add lut =
     if not (List.exists (fun l -> l.Db_blocks.Approx_lut.lut_name = lut.Db_blocks.Approx_lut.lut_name) !acc)
     then acc := lut :: !acc
   in
-  Network.iter net (fun node ->
-      match node.Network.layer with
-      | Layer.Activation Layer.Sigmoid -> add (Db_blocks.Approx_lut.sigmoid ~entries)
-      | Layer.Activation Layer.Tanh | Layer.Recurrent _ ->
-          add (Db_blocks.Approx_lut.tanh_lut ~entries)
-      | Layer.Softmax ->
+  let add_activation = function
+    | Op.Sigmoid -> add (Db_blocks.Approx_lut.sigmoid ~entries)
+    | Op.Tanh -> add (Db_blocks.Approx_lut.tanh_lut ~entries)
+    | Op.Relu | Op.Sign -> ()
+  in
+  Graph.iter g (fun node ->
+      (match node.Graph.op with
+      | Op.Act act -> add_activation act
+      | Op.Recurrent _ -> add (Db_blocks.Approx_lut.tanh_lut ~entries)
+      | Op.Softmax ->
           add (Db_blocks.Approx_lut.exp_lut ~entries);
           add (Db_blocks.Approx_lut.reciprocal ~entries)
-      | Layer.Pooling { method_ = Layer.Average; _ }
-      | Layer.Global_pooling Layer.Average | Layer.Lcn _ ->
+      | Op.Pool { method_ = Op.Avg_pool; _ }
+      | Op.Global_pool Op.Avg_pool | Op.Lcn _ ->
           add (Db_blocks.Approx_lut.reciprocal ~entries)
-      | Layer.Lrn _ ->
+      | Op.Lrn _ ->
           add
             (Db_blocks.Approx_lut.build ~name:"lrn_power"
                ~f:(fun x -> (1.0 +. x) ** -0.75)
                ~lo:0.0 ~hi:64.0 ~entries)
-      | Layer.Input _ | Layer.Convolution _
-      | Layer.Pooling { method_ = Layer.Max; _ }
-      | Layer.Global_pooling Layer.Max
-      | Layer.Inner_product _ | Layer.Activation Layer.Relu
-      | Layer.Activation Layer.Sign | Layer.Dropout _ | Layer.Associative _
-      | Layer.Concat | Layer.Classifier _ ->
+      | Op.Input _ | Op.Conv _
+      | Op.Pool { method_ = Op.Max_pool; _ }
+      | Op.Global_pool Op.Max_pool
+      | Op.Fc _ | Op.Dropout _ | Op.Associative _
+      | Op.Concat | Op.Classifier _ ->
           ());
+      match Op.fused_activation node.Graph.op with
+      | Some act -> add_activation act
+      | None -> ());
   List.rev !acc
 
-let node_of net name =
-  try Network.find_node net name
-  with Not_found -> fail "schedule references unknown layer %S" name
+let node_of g name =
+  match Graph.find_node_opt g name with
+  | Some node -> node
+  | None -> fail "schedule references unknown layer %S" name
 
-let input_blob node =
-  match node.Network.bottoms with
+let input_blob (node : Graph.node) =
+  match node.Graph.inputs with
   | bottom :: _ -> bottom
-  | [] -> fail "layer %S has no bottom" node.Network.node_name
+  | [] -> fail "layer %S has no bottom" node.Graph.node_name
 
 (* Sequential fraction of a bulk (whole-region) fetch: the region is stored
    contiguously in layout order, so it streams at full efficiency. *)
@@ -132,18 +139,21 @@ let window_seq_fraction ~tiling_enabled entry ~bottoms_shape =
       Mutex.unlock seq_fraction_lock;
       f
 
-let compile ?(tiling_enabled = true) net ~datapath ~schedule ~layout =
-  let shapes = Db_nn.Shape_infer.infer net in
+let compile ?(tiling_enabled = true) (g : Graph.t) ~datapath ~schedule ~layout =
   let fbuf = datapath.Db_sched.Datapath.feature_buffer_words in
   let previous_layer = ref "" in
   let weight_cursor : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let programs =
     List.map
       (fun (fold : Folding.fold) ->
-        let node = node_of net fold.Folding.fold_layer in
+        let node = node_of g fold.Folding.fold_layer in
         let blob = input_blob node in
         let entry = Layout.feature_entry layout ~blob in
-        let bshape = Db_nn.Shape_infer.blob_shape shapes blob in
+        let bshape =
+          match node.Graph.in_shapes with
+          | bottom :: _ -> bottom
+          | [] -> fail "layer %S has no bottom shape" node.Graph.node_name
+        in
         let first_fold_of_layer = !previous_layer <> fold.Folding.fold_layer in
         previous_layer := fold.Folding.fold_layer;
         let fits = entry.Layout.words <= fbuf in
@@ -173,13 +183,10 @@ let compile ?(tiling_enabled = true) net ~datapath ~schedule ~layout =
            in
            let burst = 16 in
            let window_words, waste =
-             match node.Network.layer with
-             | Layer.Convolution { kernel_size = k; group; _ } ->
+             match node.Graph.op with
+             | Op.Conv { kernel_size = k; group; _ } ->
                  let cin_g = Shape.channels bshape / group in
-                 let osh =
-                   Db_nn.Shape_infer.layer_output_shape node.Network.layer
-                     [ bshape ]
-                 in
+                 let osh = node.Graph.out_shape in
                  let sweeps = Shape.height osh * Shape.width osh in
                  let useful = sweeps * k * k * cin_g in
                  let waste =
@@ -254,7 +261,7 @@ let compile ?(tiling_enabled = true) net ~datapath ~schedule ~layout =
                   :: !transfers
         end;
         (* Output write-back. *)
-        (match node.Network.tops with
+        (match node.Graph.outputs with
         | top :: _ ->
             let oentry = Layout.feature_entry layout ~blob:top in
             let offset = fold.Folding.fold_index * fold.Folding.output_words in
@@ -288,7 +295,7 @@ let compile ?(tiling_enabled = true) net ~datapath ~schedule ~layout =
   in
   {
     programs;
-    luts = build_luts net ~entries:datapath.Db_sched.Datapath.lut_entries;
+    luts = build_luts g ~entries:datapath.Db_sched.Datapath.lut_entries;
     layout;
   }
 

@@ -34,7 +34,7 @@ type t = {
 
 val compile :
   ?tiling_enabled:bool ->
-  Db_nn.Network.t ->
+  Db_ir.Graph.t ->
   datapath:Db_sched.Datapath.t ->
   schedule:Db_sched.Schedule.t ->
   layout:Db_mem.Layout.t ->

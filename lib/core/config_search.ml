@@ -1,7 +1,7 @@
 module Resource = Db_fpga.Resource
 module Shape = Db_tensor.Shape
-module Layer = Db_nn.Layer
-module Network = Db_nn.Network
+module Op = Db_ir.Op
+module Graph = Db_ir.Graph
 
 type result = {
   datapath : Db_sched.Datapath.t;
@@ -12,25 +12,16 @@ type result = {
 
 let fail fmt = Db_util.Error.failf_at ~component:"config-search" fmt
 
-let useful_lanes net =
-  let shapes = Db_nn.Shape_infer.infer net in
-  Network.fold net ~init:1 ~f:(fun acc node ->
-      match node.Network.layer with
-      | Layer.Convolution { num_output; _ } -> Stdlib.max acc num_output
-      | Layer.Inner_product { num_output; _ }
-      | Layer.Recurrent { num_output; _ } ->
-          Stdlib.max acc num_output
-      | Layer.Pooling _ | Layer.Global_pooling _ -> begin
-          match node.Network.bottoms with
-          | [ bottom ] ->
-              Stdlib.max acc
-                (Shape.channels (Db_nn.Shape_infer.blob_shape shapes bottom))
-          | [] | _ :: _ :: _ -> acc
-        end
-      | Layer.Input _ | Layer.Activation _ | Layer.Lrn _ | Layer.Lcn _
-      | Layer.Dropout _ | Layer.Softmax | Layer.Associative _ | Layer.Concat
-      | Layer.Classifier _ ->
-          acc)
+let useful_lanes (g : Graph.t) =
+  Graph.fold g ~init:1 ~f:(fun acc node ->
+      match Op.num_output node.Graph.op with
+      | Some num_output -> Stdlib.max acc num_output
+      | None -> begin
+          match node.Graph.op, node.Graph.in_shapes with
+          | (Op.Pool _ | Op.Global_pool _), [ bottom ] ->
+              Stdlib.max acc (Shape.channels bottom)
+          | _ -> acc
+        end)
 
 let rec pow2_at_most n = if n < 2 then 1 else 2 * pow2_at_most (n / 2)
 
@@ -49,7 +40,7 @@ let buffer_words_for (cons : Constraints.t) =
   let budget_words = cons.Constraints.budget.Resource.bram_bits / word_bits in
   Stdlib.min buffer_words_cap (Stdlib.max 1024 (pow2_at_most (budget_words / 4)))
 
-let evaluate cons net ~lanes =
+let evaluate cons (g : Graph.t) ~lanes =
   Db_obs.Obs.with_span "evaluate"
     ~attrs:[ ("lanes", string_of_int lanes) ]
     (fun () ->
@@ -62,30 +53,30 @@ let evaluate cons net ~lanes =
       in
       let schedule =
         Db_obs.Obs.with_span "schedule" (fun () ->
-            Db_sched.Schedule.build datapath net)
+            Db_sched.Schedule.build datapath g)
       in
       let layout =
         Db_obs.Obs.with_span "layout" (fun () ->
             Db_mem.Layout.build
               ~bytes_per_word:
                 ((cons.Constraints.fmt.Db_fixed.Fixed.total_bits + 7) / 8)
-              ~port_width:datapath.Db_sched.Datapath.port_words net)
+              ~port_width:datapath.Db_sched.Datapath.port_words g)
       in
       let block_set =
         Db_obs.Obs.with_span "block_set" (fun () ->
-            Block_set.build net datapath ~schedule ~layout)
+            Block_set.build g datapath ~schedule ~layout)
       in
       { datapath; schedule; layout; block_set })
 
-let search cons net =
+let search cons (g : Graph.t) =
   let cap = Stdlib.max 1 cons.Constraints.budget.Resource.dsps in
-  let upper = Stdlib.min cap (useful_lanes net) in
+  let upper = Stdlib.min cap (useful_lanes g) in
   let rec try_lanes lanes =
     if lanes < 1 then
       fail "no datapath fits budget %a for network %S" Resource.pp
-        cons.Constraints.budget net.Network.net_name
+        cons.Constraints.budget g.Graph.graph_name
     else begin
-      let candidate = evaluate cons net ~lanes in
+      let candidate = evaluate cons g ~lanes in
       if
         Resource.fits candidate.block_set.Block_set.total
           ~within:cons.Constraints.budget

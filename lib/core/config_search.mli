@@ -13,14 +13,14 @@ type result = {
   block_set : Block_set.t;
 }
 
-val search : Constraints.t -> Db_nn.Network.t -> result
+val search : Constraints.t -> Db_ir.Graph.t -> result
 (** Raises {!Db_util.Error.Deepburning_error} if even a one-lane datapath
     exceeds the budget. *)
 
-val evaluate : Constraints.t -> Db_nn.Network.t -> lanes:int -> result
+val evaluate : Constraints.t -> Db_ir.Graph.t -> lanes:int -> result
 (** Build the full configuration for an explicit lane count (used by the
     lane-sweep ablation).  Does not check the budget. *)
 
-val useful_lanes : Db_nn.Network.t -> int
+val useful_lanes : Db_ir.Graph.t -> int
 (** Lane count beyond which no layer has any more output-channel / neuron
     parallelism to exploit. *)

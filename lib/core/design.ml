@@ -1,5 +1,6 @@
 type t = {
   network : Db_nn.Network.t;
+  ir : Db_ir.Graph.t;
   constraints : Constraints.t;
   datapath : Db_sched.Datapath.t;
   schedule : Db_sched.Schedule.t;

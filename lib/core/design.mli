@@ -4,6 +4,7 @@
 
 type t = {
   network : Db_nn.Network.t;
+  ir : Db_ir.Graph.t;  (** the annotated IR the hardware was generated from *)
   constraints : Constraints.t;
   datapath : Db_sched.Datapath.t;
   schedule : Db_sched.Schedule.t;

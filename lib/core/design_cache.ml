@@ -1,14 +1,17 @@
 (* Memoised front door to {!Generator}.  The experiment harness evaluates
    the same (network, constraint) pairs over and over — fig8/fig9, table3
-   and the report all regenerate identical designs.  Keys are canonical
-   text dumps of the network structure plus every constraint field, so two
-   calls hit the same entry iff the generator would produce the same
-   design. *)
+   and the report all regenerate identical designs.  Keys are the
+   canonical post-pass IR dump plus every constraint field, so two models
+   that optimize to the same graph (e.g. differing only in elided
+   dropout) share one cache entry. *)
 
 let fmt_key ?lanes ~tiling_enabled cons network =
   let buf = Buffer.create 1024 in
   let fmt = Format.formatter_of_buffer buf in
-  Db_nn.Network.pp fmt network;
+  let canonical =
+    Db_ir.Pass.optimize ~verify:false (Db_ir.Lower.lower network)
+  in
+  Format.pp_print_string fmt (Db_ir.Print.to_string canonical);
   let b = cons.Constraints.budget in
   let f = cons.Constraints.fmt in
   Format.fprintf fmt

@@ -1,9 +1,11 @@
 (** Content-keyed memoisation of {!Generator.generate}.
 
-    The cache key is a canonical dump of the network structure (every node
-    name, layer config and blob edge, via {!Db_nn.Network.pp}) plus every
-    field of the constraint config and the tiling/lanes options, so a hit
-    is returned exactly when the generator would rebuild the same design.
+    The cache key is the canonical post-pass IR dump (lowering followed by
+    the default {!Db_ir.Pass} pipeline, via {!Db_ir.Print.to_string}) plus
+    every field of the constraint config and the tiling/lanes options.
+    Keying off the optimized IR means two models that canonicalize to the
+    same graph — e.g. differing only in inference-time dropout — share one
+    cache entry.
     Safe to call from pool workers; generation itself runs outside the
     cache lock. *)
 

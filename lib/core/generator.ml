@@ -356,7 +356,17 @@ let build_rtl network datapath ~block_set ~program =
   Rtl.validate design;
   design
 
-let assemble ?tiling_enabled cons network (picked : Config_search.result) =
+(* Lower the frontend network once, stamped with the datapath format; the
+   whole generation pipeline consumes this graph.  Generation uses the raw
+   (unoptimized) lowering so the schedule matches the network one-to-one;
+   the optimization passes feed the CLI, the cache key and the tests. *)
+let lower_for_generation cons network =
+  Db_obs.Obs.with_span "lower" (fun () ->
+      let ir = Db_ir.Lower.lower ~fmt:cons.Constraints.fmt network in
+      Db_ir.Verify.check_exn ir;
+      ir)
+
+let assemble ?tiling_enabled cons network ir (picked : Config_search.result) =
   let program =
     Db_obs.Obs.with_span "compile"
       ~attrs:
@@ -369,7 +379,7 @@ let assemble ?tiling_enabled cons network (picked : Config_search.result) =
             | None -> "default" );
         ]
       (fun () ->
-        Compiler.compile ?tiling_enabled network
+        Compiler.compile ?tiling_enabled ir
           ~datapath:picked.Config_search.datapath
           ~schedule:picked.Config_search.schedule
           ~layout:picked.Config_search.layout)
@@ -382,6 +392,7 @@ let assemble ?tiling_enabled cons network (picked : Config_search.result) =
   let design =
     {
       Design.network;
+      ir;
       constraints = cons;
       datapath = picked.Config_search.datapath;
       schedule = picked.Config_search.schedule;
@@ -410,13 +421,13 @@ let generate ?tiling_enabled cons network =
   Db_obs.Obs.with_span "generate"
     ~attrs:[ ("network", network.Db_nn.Network.net_name) ]
     (fun () ->
+      let ir = lower_for_generation cons network in
       let picked =
-        Db_obs.Obs.with_span "search" (fun () ->
-            Config_search.search cons network)
+        Db_obs.Obs.with_span "search" (fun () -> Config_search.search cons ir)
       in
       Db_obs.Obs.set_attr "lanes"
         (string_of_int picked.Config_search.datapath.Datapath.lanes);
-      assemble ?tiling_enabled cons network picked)
+      assemble ?tiling_enabled cons network ir picked)
 
 let generate_with_lanes ?tiling_enabled cons network ~lanes =
   Db_obs.Obs.with_span "generate"
@@ -426,9 +437,10 @@ let generate_with_lanes ?tiling_enabled cons network ~lanes =
         ("lanes", string_of_int lanes);
       ]
     (fun () ->
-      assemble ?tiling_enabled cons network
+      let ir = lower_for_generation cons network in
+      assemble ?tiling_enabled cons network ir
         (Db_obs.Obs.with_span "search" (fun () ->
-             Config_search.evaluate cons network ~lanes)))
+             Config_search.evaluate cons ir ~lanes)))
 
 let generate_from_script ?tiling_enabled ~model ~constraint_script () =
   let network =

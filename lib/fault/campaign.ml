@@ -2,8 +2,7 @@ module Tensor = Db_tensor.Tensor
 module Fixed = Db_fixed.Fixed
 module Rng = Db_util.Rng
 module Pool = Db_parallel.Pool
-module Network = Db_nn.Network
-module Layer = Db_nn.Layer
+module Graph = Db_ir.Graph
 module Params = Db_nn.Params
 module Quantized = Db_nn.Quantized
 module Approx_lut = Db_blocks.Approx_lut
@@ -244,10 +243,9 @@ let run ~design ~params ~input_blob ~inputs (config : config) =
     Quantized.output ~eval ~fmt net params ~inputs:[ (input_blob, input) ]
   in
   let classifier =
-    match List.rev net.Network.nodes with
-    | last :: _ -> (
-        match last.Network.layer with Layer.Classifier _ -> true | _ -> false)
-    | [] -> false
+    match Graph.last_node design.Design.ir with
+    | Some last -> Db_ir.Op.is_classifier last.Graph.op
+    | None -> false
   in
   let top1_of t =
     if classifier then int_of_float (Tensor.get t 0) else Tensor.max_index t
@@ -412,11 +410,11 @@ let run ~design ~params ~input_blob ~inputs (config : config) =
   in
   let per_layer =
     rows_of
-      (List.map
-         (fun (n : Network.node) ->
-           ( n.Network.node_name,
-             fun tr -> tr.t_layer = Some n.Network.node_name ))
-         net.Network.nodes
+      (List.rev
+         (Graph.fold design.Design.ir ~init:[] ~f:(fun acc n ->
+              ( n.Graph.node_name,
+                fun tr -> tr.t_layer = Some n.Graph.node_name )
+              :: acc))
       @ [ ("(global)", fun tr -> tr.t_layer = None) ])
   in
   (* Degradation sweeps raw fabric sensitivity, so it always injects into

@@ -1,5 +1,5 @@
-module Network = Db_nn.Network
-module Layer = Db_nn.Layer
+module Graph = Db_ir.Graph
+module Op = Db_ir.Op
 module Compiler = Db_core.Compiler
 module Design = Db_core.Design
 
@@ -50,43 +50,36 @@ type group = {
 
 type space = { groups : group array; total_bits : int }
 
-(* A node's last parameter tensor is its bias when the layer declares one;
-   everything before it is weights. *)
-let has_bias = function
-  | Layer.Convolution { bias; _ }
-  | Layer.Inner_product { bias; _ }
-  | Layer.Recurrent { bias; _ } ->
-      bias
-  | _ -> false
-
 let enumerate ~design ~params ~input_blob ~input_words ~stored_bits ~targets =
-  let net = design.Design.network in
+  let ir = design.Design.ir in
   let word_bits =
     design.Design.datapath.Db_sched.Datapath.fmt.Db_fixed.Fixed.total_bits
   in
   let enabled c = List.mem c targets in
   let groups = ref [] in
   let push g = if g.g_words > 0 then groups := g :: !groups in
-  (* Quantized weight and bias words, one group per parameter tensor. *)
-  Network.iter net (fun node ->
-      let tensors = Db_nn.Params.get params node.Network.node_name in
+  (* Quantized weight and bias words, one group per parameter tensor.  A
+     node's last parameter tensor is its bias when the op declares one;
+     everything before it is weights. *)
+  Graph.iter ir (fun node ->
+      let tensors = Db_nn.Params.get params node.Graph.node_name in
       let n = List.length tensors in
       List.iteri
         (fun i t ->
           let cls =
-            if has_bias node.Network.layer && i = n - 1 then Biases else Weights
+            if Op.has_bias node.Graph.op && i = n - 1 then Biases else Weights
           in
           if enabled cls then
             push
               {
                 g_class = cls;
-                g_layer = Some node.Network.node_name;
+                g_layer = Some node.Graph.node_name;
                 g_label =
-                  Printf.sprintf "%s/%s[%d]" node.Network.node_name
+                  Printf.sprintf "%s/%s[%d]" node.Graph.node_name
                     (class_name cls) i;
                 g_words = Db_tensor.Tensor.numel t;
                 g_word_bits = stored_bits cls ~word_bits;
-                g_payload = P_param { node = node.Network.node_name; tensor = i };
+                g_payload = P_param { node = node.Graph.node_name; tensor = i };
               })
         tensors);
   (* Approx LUT tables. *)

@@ -1,0 +1,64 @@
+(* Shape, parameter-shape and cost attribute computation — the single
+   place these are derived.  All formulas delegate to the frontend
+   ([Shape_infer], [Params], [Model_stats]) through [Op.to_layer], so the
+   IR's attributes agree bit-for-bit with the legacy derivations. *)
+
+module Shape = Db_tensor.Shape
+
+let fail fmt = Db_util.Error.failf_at ~component:"ir-annot" fmt
+
+let out_shape op ~in_shapes =
+  Db_nn.Shape_infer.layer_output_shape (Op.to_layer op) in_shapes
+
+let param_shapes op ~in_shapes =
+  match in_shapes with
+  | [ bottom ] -> Db_nn.Params.expected_shapes (Op.to_layer op) ~bottom
+  | [] | _ :: _ :: _ -> []
+
+let sum_numel shapes =
+  List.fold_left (fun acc s -> acc + Shape.numel s) 0 shapes
+
+let cost op ~in_shapes ~out_shape ~param_shapes =
+  let macs, other_ops =
+    Db_nn.Model_stats.layer_costs (Op.to_layer op) ~bottoms:in_shapes
+      ~output:out_shape
+  in
+  (* A fused activation adds one non-MAC op per output element, exactly
+     what the standalone activation node cost. *)
+  let other_ops =
+    other_ops
+    + (match Op.fused_activation op with
+      | Some _ -> Shape.numel out_shape
+      | None -> 0)
+  in
+  {
+    Graph.macs;
+    other_ops;
+    param_words = sum_numel param_shapes;
+    input_words = sum_numel in_shapes;
+    output_words = Shape.numel out_shape;
+  }
+
+(* Recompute every derived attribute in topological order and renumber
+   ids.  Structural passes end with this so the graph they hand to the
+   verifier is always self-consistent. *)
+let reannotate ?fmt (g : Graph.t) =
+  let shapes : (string, Shape.t) Hashtbl.t = Hashtbl.create 32 in
+  let blob_shape b =
+    match Hashtbl.find_opt shapes b with
+    | Some s -> s
+    | None -> fail "graph %S: blob %S used before being produced" g.Graph.graph_name b
+  in
+  let nodes =
+    List.mapi
+      (fun id (n : Graph.node) ->
+        let in_shapes = List.map blob_shape n.Graph.inputs in
+        let out_shape = out_shape n.Graph.op ~in_shapes in
+        let param_shapes = param_shapes n.Graph.op ~in_shapes in
+        let cost = cost n.Graph.op ~in_shapes ~out_shape ~param_shapes in
+        List.iter (fun top -> Hashtbl.replace shapes top out_shape) n.Graph.outputs;
+        let fmt = match fmt with Some _ -> fmt | None -> n.Graph.fmt in
+        { n with Graph.id; in_shapes; out_shape; param_shapes; fmt; cost })
+      g.Graph.nodes
+  in
+  { g with Graph.nodes }

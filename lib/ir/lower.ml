@@ -1,0 +1,25 @@
+(* Lowering [Db_nn.Network.t] into the IR.  The network is already
+   topologically sorted and validated by [Network.create]; lowering maps
+   each node to an [Op.t] and computes its attributes exactly once.  Pass
+   [~fmt] to stamp the datapath quantization format on every node. *)
+
+let lower ?fmt (net : Db_nn.Network.t) : Graph.t =
+  let nodes =
+    List.map
+      (fun (n : Db_nn.Network.node) ->
+        {
+          Graph.id = 0;
+          node_name = n.Db_nn.Network.node_name;
+          op = Op.of_layer n.Db_nn.Network.layer;
+          inputs = n.Db_nn.Network.bottoms;
+          outputs = n.Db_nn.Network.tops;
+          in_shapes = [];
+          (* placeholder; [Annot.reannotate] computes the real shape *)
+          out_shape = Db_tensor.Shape.vector 1;
+          param_shapes = [];
+          fmt = None;
+          cost = Graph.zero_cost;
+        })
+      net.Db_nn.Network.nodes
+  in
+  Annot.reannotate ?fmt { Graph.graph_name = net.Db_nn.Network.net_name; nodes }

@@ -1,6 +1,6 @@
 module Shape = Db_tensor.Shape
-module Network = Db_nn.Network
-module Layer = Db_nn.Layer
+module Op = Db_ir.Op
+module Graph = Db_ir.Graph
 
 type entry = {
   entry_name : string;
@@ -16,40 +16,37 @@ type t = {
   port_width : int;
 }
 
-(* The tile plan of a blob follows its consumer: the first convolution (or
-   pooling window) that reads it decides the kernel/stride of Method-1. *)
-let consumer_plan net ~port_width blob shape =
+(* The tile plan of a blob follows its consumer: the first node that reads
+   it decides — if it is a sliding-window op (convolution or pooling), the
+   blob gets the Method-1 plan for that op's kernel/stride. *)
+let consumer_plan (g : Graph.t) ~port_width blob shape =
   if Shape.rank shape <> 3 then None
   else begin
     let consumer =
-      List.find_opt
-        (fun node -> List.mem blob node.Network.bottoms)
-        net.Network.nodes
+      List.find_opt (fun node -> List.mem blob node.Graph.inputs) g.Graph.nodes
     in
     match consumer with
-    | Some { Network.layer = Layer.Convolution { kernel_size; stride; _ }; _ } ->
-        Some
-          (Tiling.decide
-             {
-               Tiling.kernel = kernel_size;
-               stride;
-               port_width;
-               map_count = Shape.channels shape;
-             })
-    | Some { Network.layer = Layer.Pooling { kernel_size; stride; _ }; _ } ->
-        Some
-          (Tiling.decide
-             {
-               Tiling.kernel = kernel_size;
-               stride;
-               port_width;
-               map_count = Shape.channels shape;
-             })
-    | Some _ | None -> None
+    | Some node -> begin
+        match node.Graph.op with
+        | Op.Conv _ | Op.Pool _ -> begin
+            match Op.window node.Graph.op with
+            | Some (kernel, stride) ->
+                Some
+                  (Tiling.decide
+                     {
+                       Tiling.kernel;
+                       stride;
+                       port_width;
+                       map_count = Shape.channels shape;
+                     })
+            | None -> None
+          end
+        | _ -> None
+      end
+    | None -> None
   end
 
-let build ?(bytes_per_word = 2) ~port_width net =
-  let shapes = Db_nn.Shape_infer.infer net in
+let build ?(bytes_per_word = 2) ~port_width (g : Graph.t) =
   let next = ref 0 in
   let entries = ref [] in
   let alloc name words tile_plan =
@@ -58,23 +55,21 @@ let build ?(bytes_per_word = 2) ~port_width net =
     entries := e :: !entries
   in
   (* Feature blobs in production order. *)
-  List.iter
-    (fun (blob, shape) ->
-      alloc ("feature:" ^ blob) (Shape.numel shape)
-        (consumer_plan net ~port_width blob shape))
-    (Db_nn.Shape_infer.all_blobs shapes);
-  (* Weight tensors, per node. *)
-  Network.iter net (fun node ->
-      match node.Network.bottoms with
-      | [ bottom ] ->
-          let bshape = Db_nn.Shape_infer.blob_shape shapes bottom in
-          List.iteri
-            (fun i shape ->
-              alloc
-                (Printf.sprintf "weights:%s:%d" node.Network.node_name i)
-                (Shape.numel shape) None)
-            (Db_nn.Params.expected_shapes node.Network.layer ~bottom:bshape)
-      | [] | _ :: _ :: _ -> ());
+  Graph.iter g (fun node ->
+      List.iter
+        (fun top ->
+          alloc ("feature:" ^ top)
+            (Shape.numel node.Graph.out_shape)
+            (consumer_plan g ~port_width top node.Graph.out_shape))
+        node.Graph.outputs);
+  (* Weight tensors, per node, following the annotated parameter shapes. *)
+  Graph.iter g (fun node ->
+      List.iteri
+        (fun i shape ->
+          alloc
+            (Printf.sprintf "weights:%s:%d" node.Graph.node_name i)
+            (Shape.numel shape) None)
+        node.Graph.param_shapes);
   {
     entries = List.rev !entries;
     total_words = !next;

@@ -21,10 +21,10 @@ type t = {
   port_width : int;
 }
 
-val build : ?bytes_per_word:int -> port_width:int -> Db_nn.Network.t -> t
-(** Walks the network in topological order; every blob gets a region sized
-    by shape inference, weight tensors follow their layer's expected
-    shapes.  A blob consumed by a convolution gets the Method-1 plan for
+val build : ?bytes_per_word:int -> port_width:int -> Db_ir.Graph.t -> t
+(** Walks the IR graph in topological order; every blob gets a region
+    sized by its annotated shape, weight tensors follow the node's
+    annotated parameter shapes.  A blob consumed by a convolution gets the Method-1 plan for
     that convolution's kernel/stride.  Default [bytes_per_word] is 2. *)
 
 val find : t -> string -> entry

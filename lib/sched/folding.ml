@@ -1,6 +1,6 @@
 module Shape = Db_tensor.Shape
-module Layer = Db_nn.Layer
-module Network = Db_nn.Network
+module Op = Db_ir.Op
+module Graph = Db_ir.Graph
 
 type fold = {
   fold_layer : string;
@@ -20,11 +20,10 @@ let fail fmt = Db_util.Error.failf_at ~component:"folding" fmt
 
 let div_ceil a b = (a + b - 1) / b
 
-let one_bottom layer = function
+let one_bottom op = function
   | [ s ] -> s
   | shapes ->
-      fail "layer %s expects one bottom, got %d" (Layer.name layer)
-        (List.length shapes)
+      fail "op %s expects one bottom, got %d" (Op.name op) (List.length shapes)
 
 (* Spatial folding of [units] output units onto [lanes] lanes: fold i gets
    min(lanes, units - i*lanes) of them.  [per_unit] quantifies one unit's
@@ -66,45 +65,50 @@ let single_fold ~node_name ~layer_index ~macs ~other_ops ~feature_words
     };
   ]
 
-let fold_layer_plan dp layer ~bottoms ~output ~node_name ~layer_index =
+let fold_op_plan dp op ~bottoms ~output ~node_name ~layer_index =
   let lanes = dp.Datapath.lanes in
   let out_n = Shape.numel output in
-  match layer with
-  | Layer.Input _ -> []
-  | Layer.Convolution { kernel_size = k; group; bias; _ } ->
-      let bottom = one_bottom layer bottoms in
+  (* A fused activation rides the synergy neuron: one extra non-MAC op per
+     output element of the unit, no extra folds. *)
+  let fused_ops per_unit_out =
+    match Op.fused_activation op with Some _ -> per_unit_out | None -> 0
+  in
+  match op with
+  | Op.Input _ -> []
+  | Op.Conv { kernel_size = k; group; bias; _ } ->
+      let bottom = one_bottom op bottoms in
       let cin_g = Shape.channels bottom / group in
       let cout = Shape.channels output in
       let oh = Shape.height output and ow = Shape.width output in
-      let feature_words =
-        cin_g * Shape.height bottom * Shape.width bottom
-      in
+      let feature_words = cin_g * Shape.height bottom * Shape.width bottom in
       let weights_u = (cin_g * k * k) + if bias then 1 else 0 in
       spatial_folds ~lanes ~units:cout ~node_name ~layer_index
-        ~per_unit:(oh * ow * cin_g * k * k, 0, weights_u, oh * ow)
+        ~per_unit:
+          (oh * ow * cin_g * k * k, fused_ops (oh * ow), weights_u, oh * ow)
         ~shared_feature_words:feature_words
-  | Layer.Pooling { kernel_size = k; _ } ->
-      let bottom = one_bottom layer bottoms in
+  | Op.Pool { kernel_size = k; _ } ->
+      let bottom = one_bottom op bottoms in
       let c = Shape.channels bottom in
       let oh = Shape.height output and ow = Shape.width output in
       let hw = Shape.height bottom * Shape.width bottom in
       spatial_folds ~lanes ~units:c ~node_name ~layer_index
         ~per_unit:(0, oh * ow * k * k, 0, oh * ow)
         ~shared_feature_words:hw
-  | Layer.Global_pooling _ ->
-      let bottom = one_bottom layer bottoms in
+  | Op.Global_pool _ ->
+      let bottom = one_bottom op bottoms in
       let c = Shape.channels bottom in
       let hw = Shape.height bottom * Shape.width bottom in
       spatial_folds ~lanes ~units:c ~node_name ~layer_index
         ~per_unit:(0, hw, 0, 1) ~shared_feature_words:hw
-  | Layer.Inner_product { bias; _ } ->
-      let bottom = one_bottom layer bottoms in
+  | Op.Fc { bias; _ } ->
+      let bottom = one_bottom op bottoms in
       let nin = Shape.numel bottom in
       let weights_u = nin + if bias then 1 else 0 in
       spatial_folds ~lanes ~units:out_n ~node_name ~layer_index
-        ~per_unit:(nin, 0, weights_u, 1) ~shared_feature_words:nin
-  | Layer.Recurrent { num_output; steps; bias } ->
-      let bottom = one_bottom layer bottoms in
+        ~per_unit:(nin, fused_ops 1, weights_u, 1)
+        ~shared_feature_words:nin
+  | Op.Recurrent { num_output; steps; bias } ->
+      let bottom = one_bottom op bottoms in
       let nin = Shape.numel bottom in
       let weights_u = nin + num_output + if bias then 1 else 0 in
       let per_step =
@@ -125,33 +129,33 @@ let fold_layer_plan dp layer ~bottoms ~output ~node_name ~layer_index =
                    event = Printf.sprintf "layer%d-fold%d" layer_index fold_index;
                  })
                per_step))
-  | Layer.Activation _ | Layer.Dropout _ ->
+  | Op.Act _ | Op.Dropout _ ->
       single_fold ~node_name ~layer_index ~macs:0 ~other_ops:out_n
         ~feature_words:out_n ~weight_words:0 ~output_words:out_n
-  | Layer.Softmax ->
+  | Op.Softmax ->
       single_fold ~node_name ~layer_index ~macs:0 ~other_ops:(3 * out_n)
         ~feature_words:out_n ~weight_words:0 ~output_words:out_n
-  | Layer.Lrn { local_size; _ } ->
+  | Op.Lrn { local_size; _ } ->
       single_fold ~node_name ~layer_index ~macs:(out_n * local_size)
         ~other_ops:(2 * out_n) ~feature_words:out_n ~weight_words:0
         ~output_words:out_n
-  | Layer.Lcn { window; _ } ->
+  | Op.Lcn { window; _ } ->
       single_fold ~node_name ~layer_index ~macs:(2 * out_n * window * window)
         ~other_ops:(2 * out_n) ~feature_words:out_n ~weight_words:0
         ~output_words:out_n
-  | Layer.Associative _ ->
-      let bottom = one_bottom layer bottoms in
+  | Op.Associative _ ->
+      let bottom = one_bottom op bottoms in
       single_fold ~node_name ~layer_index ~macs:0
         ~other_ops:(Shape.numel bottom) ~feature_words:(Shape.numel bottom)
         ~weight_words:0 ~output_words:out_n
-  | Layer.Concat ->
+  | Op.Concat ->
       let feature_words =
         List.fold_left (fun acc s -> acc + Shape.numel s) 0 bottoms
       in
       single_fold ~node_name ~layer_index ~macs:0 ~other_ops:0 ~feature_words
         ~weight_words:0 ~output_words:out_n
-  | Layer.Classifier { top_k } ->
-      let bottom = one_bottom layer bottoms in
+  | Op.Classifier { top_k } ->
+      let bottom = one_bottom op bottoms in
       let n = Shape.numel bottom in
       let log_k =
         Stdlib.max 1
@@ -160,23 +164,19 @@ let fold_layer_plan dp layer ~bottoms ~output ~node_name ~layer_index =
       single_fold ~node_name ~layer_index ~macs:0 ~other_ops:(n * log_k)
         ~feature_words:n ~weight_words:0 ~output_words:top_k
 
-let fold_network dp net =
-  let shapes = Db_nn.Shape_infer.infer net in
+let fold_graph dp (g : Graph.t) =
   let layer_index = ref 0 in
-  Network.fold net ~init:[] ~f:(fun acc node ->
-      match node.Network.layer with
-      | Layer.Input _ -> acc
-      | layer ->
-          let bottoms =
-            List.map (Db_nn.Shape_infer.blob_shape shapes) node.Network.bottoms
-          in
-          let output = Db_nn.Shape_infer.layer_output_shape layer bottoms in
-          let folds =
-            fold_layer_plan dp layer ~bottoms ~output
-              ~node_name:node.Network.node_name ~layer_index:!layer_index
-          in
-          incr layer_index;
-          acc @ folds)
+  Graph.fold g ~init:[] ~f:(fun acc node ->
+      if Op.is_input node.Graph.op then acc
+      else begin
+        let folds =
+          fold_op_plan dp node.Graph.op ~bottoms:node.Graph.in_shapes
+            ~output:node.Graph.out_shape ~node_name:node.Graph.node_name
+            ~layer_index:!layer_index
+        in
+        incr layer_index;
+        acc @ folds
+      end)
 
 let total_macs folds = List.fold_left (fun acc f -> acc + f.macs) 0 folds
 

@@ -6,7 +6,11 @@
     count is cut into segments ("folds") that occupy the lanes one after
     another.  Each fold carries the work and traffic quantities the
     simulator and the AGU generator need, plus the paper-style trigger
-    event name ([layer0-fold0]). *)
+    event name ([layer0-fold0]).
+
+    Folding consumes the typed IR ([Db_ir]): shapes come from the node
+    attributes computed at lowering time, not from a fresh shape-inference
+    run. *)
 
 type fold = {
   fold_layer : string;  (** node name *)
@@ -22,20 +26,21 @@ type fold = {
   event : string;
 }
 
-val fold_layer_plan :
+val fold_op_plan :
   Datapath.t ->
-  Db_nn.Layer.t ->
+  Db_ir.Op.t ->
   bottoms:Db_tensor.Shape.t list ->
   output:Db_tensor.Shape.t ->
   node_name:string ->
   layer_index:int ->
   fold list
-(** Folds of one layer.  Input/weight traffic is counted per fold: a fold
+(** Folds of one IR op.  Input/weight traffic is counted per fold: a fold
     re-reads the features it needs, weights are visited exactly once
-    across the folds of a layer. *)
+    across the folds of a layer.  A fused activation adds one non-MAC op
+    per output element without changing the fold structure. *)
 
-val fold_network : Datapath.t -> Db_nn.Network.t -> fold list
-(** Folds of every compute layer, in topological execution order. *)
+val fold_graph : Datapath.t -> Db_ir.Graph.t -> fold list
+(** Folds of every compute node, in topological execution order. *)
 
 val total_macs : fold list -> int
 

@@ -4,11 +4,11 @@ type t = {
   folds : Folding.fold list;
 }
 
-let build dp net =
+let build dp graph =
   {
-    net_name = net.Db_nn.Network.net_name;
+    net_name = graph.Db_ir.Graph.graph_name;
     datapath = dp;
-    folds = Folding.fold_network dp net;
+    folds = Folding.fold_graph dp graph;
   }
 
 let fold_count t = List.length t.folds

@@ -11,7 +11,7 @@ type t = {
   folds : Folding.fold list;
 }
 
-val build : Datapath.t -> Db_nn.Network.t -> t
+val build : Datapath.t -> Db_ir.Graph.t -> t
 
 val coordinator_fsm : t -> Db_hdl.Fsm.t
 (** One state per fold (plus [idle]); input [fold_done]; each transition

@@ -1,7 +1,7 @@
 module Design = Db_core.Design
 module Compiler = Db_core.Compiler
 module Layout = Db_mem.Layout
-module Network = Db_nn.Network
+module Graph = Db_ir.Graph
 module Folding = Db_sched.Folding
 
 type result = {
@@ -14,18 +14,17 @@ type result = {
 let region_of_transfer design (p : Compiler.fold_program)
     (tr : Compiler.transfer) =
   let layout = design.Design.layout in
-  let net = design.Design.network in
-  let node = Network.find_node net p.Compiler.fold.Folding.fold_layer in
+  let node = Graph.find_node design.Design.ir p.Compiler.fold.Folding.fold_layer in
   match tr.Compiler.stream with
   | `Feature_in -> begin
-      match node.Network.bottoms with
+      match node.Graph.inputs with
       | bottom :: _ ->
           let e = Layout.feature_entry layout ~blob:bottom in
           Some (e.Layout.base, e.Layout.base + e.Layout.words)
       | [] -> None
     end
   | `Weight_in -> begin
-      match Layout.weight_entries layout ~node:node.Network.node_name with
+      match Layout.weight_entries layout ~node:node.Graph.node_name with
       | [] -> None
       | entries ->
           let lo =
@@ -39,7 +38,7 @@ let region_of_transfer design (p : Compiler.fold_program)
           Some (lo, hi)
     end
   | `Output_back -> begin
-      match node.Network.tops with
+      match node.Graph.outputs with
       | top :: _ ->
           let e = Layout.feature_entry layout ~blob:top in
           Some (e.Layout.base, e.Layout.base + e.Layout.words)

@@ -14,13 +14,14 @@ let of_luts luts =
   {
     Quantized.eval_activation =
       (fun act x ->
-        match act with
-        | Db_nn.Layer.Relu | Db_nn.Layer.Sign ->
+        (* Dispatch on the IR activation vocabulary; [act] is passed through
+           unchanged to the exact fallback. *)
+        match Db_ir.Op.activation_of_layer act with
+        | Db_ir.Op.Relu | Db_ir.Op.Sign ->
             exact.Quantized.eval_activation act x
-        | Db_nn.Layer.Sigmoid ->
-            via "sigmoid" (exact.Quantized.eval_activation Db_nn.Layer.Sigmoid) x
-        | Db_nn.Layer.Tanh ->
-            via "tanh" (exact.Quantized.eval_activation Db_nn.Layer.Tanh) x);
+        | Db_ir.Op.Sigmoid ->
+            via "sigmoid" (exact.Quantized.eval_activation act) x
+        | Db_ir.Op.Tanh -> via "tanh" (exact.Quantized.eval_activation act) x);
     eval_reciprocal =
       (fun x ->
         match find luts "reciprocal" with

@@ -1,29 +1,39 @@
 module Tensor = Db_tensor.Tensor
 module Shape = Db_tensor.Shape
 module Ops = Db_tensor.Ops
-module Layer = Db_nn.Layer
+module Op = Db_ir.Op
 
 let fail fmt = Db_util.Error.failf_at ~component:"backprop" fmt
 
 type cache = {
-  c_layer : Layer.t;
+  c_op : Op.t;
   c_params : Tensor.t list;
   c_input : Tensor.t;
   c_output : Tensor.t;
 }
 
-let supported = function
-  | Layer.Convolution _ | Layer.Pooling _ | Layer.Global_pooling _
-  | Layer.Inner_product _ | Layer.Activation _ | Layer.Dropout _
-  | Layer.Softmax | Layer.Associative _ | Layer.Lrn _ ->
+(* Fused ops are excluded: training runs on the raw-lowered graph, where
+   every activation is still a standalone node. *)
+let supported op =
+  Op.fused_activation op = None
+  &&
+  match op with
+  | Op.Conv _ | Op.Pool _ | Op.Global_pool _ | Op.Fc _ | Op.Act _
+  | Op.Dropout _ | Op.Softmax | Op.Associative _ | Op.Lrn _ ->
       true
-  | Layer.Input _ | Layer.Lcn _ | Layer.Recurrent _ | Layer.Concat
-  | Layer.Classifier _ ->
+  | Op.Input _ | Op.Lcn _ | Op.Recurrent _ | Op.Concat | Op.Classifier _ ->
       false
 
-let forward_layer ~layer ~params ~input =
-  let output = Db_nn.Interpreter.eval_layer layer ~params ~bottoms:[ input ] in
-  (output, { c_layer = layer; c_params = params; c_input = input; c_output = output })
+let forward_op ~op ~params ~input =
+  (match Op.fused_activation op with
+  | Some act ->
+      fail "cannot train through %s+%s: backprop runs on the raw graph"
+        (Op.name op) (Op.activation_name act)
+  | None -> ());
+  let output =
+    Db_nn.Interpreter.eval_layer (Op.to_layer op) ~params ~bottoms:[ input ]
+  in
+  (output, { c_op = op; c_params = params; c_input = input; c_output = output })
 
 (* dL/dx and dL/dW for a convolution, direct nested loops mirroring the
    forward pass: for each output position, route grad into the receptive
@@ -151,8 +161,8 @@ let avg_pool_backward ~input ~kernel ~stride ~grad_output =
   gx
 
 let backward_layer cache ~grad_output =
-  match cache.c_layer with
-  | Layer.Convolution { stride; pad; group; bias; _ } -> begin
+  match cache.c_op with
+  | Op.Conv { stride; pad; group; bias; _ } -> begin
       match cache.c_params with
       | weights :: _ ->
           let gx, gps =
@@ -162,11 +172,11 @@ let backward_layer cache ~grad_output =
           (Some gx, gps)
       | [] -> fail "convolution cache without weights"
     end
-  | Layer.Pooling { method_ = Layer.Max; kernel_size; stride } ->
+  | Op.Pool { method_ = Op.Max_pool; kernel_size; stride } ->
       (Some (max_pool_backward ~input:cache.c_input ~kernel:kernel_size ~stride ~grad_output), [])
-  | Layer.Pooling { method_ = Layer.Average; kernel_size; stride } ->
+  | Op.Pool { method_ = Op.Avg_pool; kernel_size; stride } ->
       (Some (avg_pool_backward ~input:cache.c_input ~kernel:kernel_size ~stride ~grad_output), [])
-  | Layer.Global_pooling Layer.Average ->
+  | Op.Global_pool Op.Avg_pool ->
       let ish = Tensor.shape cache.c_input in
       let c = Shape.channels ish in
       let hw = Tensor.numel cache.c_input / c in
@@ -178,7 +188,7 @@ let backward_layer cache ~grad_output =
         done
       done;
       (Some gx, [])
-  | Layer.Global_pooling Layer.Max ->
+  | Op.Global_pool Op.Max_pool ->
       let ish = Tensor.shape cache.c_input in
       let c = Shape.channels ish in
       let hw = Tensor.numel cache.c_input / c in
@@ -192,7 +202,7 @@ let backward_layer cache ~grad_output =
         Tensor.set gx !best_i (Tensor.get grad_output ch)
       done;
       (Some gx, [])
-  | Layer.Inner_product { bias; _ } -> begin
+  | Op.Fc { bias; _ } -> begin
       match cache.c_params with
       | weights :: _ ->
           let nout = Shape.dim (Tensor.shape weights) 0
@@ -230,28 +240,28 @@ let backward_layer cache ~grad_output =
           (Some gx, if bias then [ gw; Tensor.copy grad_output ] else [ gw ])
       | [] -> fail "inner product cache without weights"
     end
-  | Layer.Activation Layer.Relu ->
+  | Op.Act Op.Relu ->
       ( Some
           (Tensor.map2
              (fun x g -> if x > 0.0 then g else 0.0)
              cache.c_input grad_output),
         [] )
-  | Layer.Activation Layer.Sigmoid ->
+  | Op.Act Op.Sigmoid ->
       ( Some
           (Tensor.map2 (fun y g -> g *. y *. (1.0 -. y)) cache.c_output grad_output),
         [] )
-  | Layer.Activation Layer.Tanh ->
+  | Op.Act Op.Tanh ->
       (Some (Tensor.map2 (fun y g -> g *. (1.0 -. (y *. y))) cache.c_output grad_output), [])
-  | Layer.Activation Layer.Sign ->
+  | Op.Act Op.Sign ->
       (* Straight-through estimator. *)
       (Some (Tensor.copy grad_output), [])
-  | Layer.Dropout _ -> (Some (Tensor.copy grad_output), [])
-  | Layer.Softmax ->
+  | Op.Dropout _ -> (Some (Tensor.copy grad_output), [])
+  | Op.Softmax ->
       (* dL/dx_i = y_i * (g_i - sum_j g_j y_j) *)
       let y = cache.c_output in
       let s = Tensor.dot grad_output y in
       (Some (Tensor.map2 (fun yi gi -> yi *. (gi -. s)) y grad_output), [])
-  | Layer.Lrn { local_size; alpha; beta; k } ->
+  | Op.Lrn { local_size; alpha; beta; k } ->
       (* Frozen-denominator approximation: treat each position's scale as a
          constant, so dx = g / scale^beta (exact when alpha is small, as in
          the AlexNet/MNIST settings used here). *)
@@ -279,7 +289,6 @@ let backward_layer cache ~grad_output =
             done
           done);
       (Some gx, [])
-  | Layer.Associative _ -> (None, [])
-  | Layer.Input _ | Layer.Lcn _ | Layer.Recurrent _ | Layer.Concat
-  | Layer.Classifier _ ->
-      fail "layer %s is not differentiable here" (Layer.name cache.c_layer)
+  | Op.Associative _ -> (None, [])
+  | Op.Input _ | Op.Lcn _ | Op.Recurrent _ | Op.Concat | Op.Classifier _ ->
+      fail "op %s is not differentiable here" (Op.name cache.c_op)

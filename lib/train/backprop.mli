@@ -1,16 +1,18 @@
 (** Reverse-mode gradients for the sequential (single-chain) subset of the
-    layer vocabulary: convolution, pooling, global pooling, inner product,
+    IR op vocabulary: convolution, pooling, global pooling, fully-connected,
     activations, dropout (identity at inference) and softmax.
 
     This covers every model the paper trains by gradient descent (the three
     AxBench ANNs, MNIST, Cifar-scale CNNs); Hopfield and CMAC weights are
-    set by Hebbian / delta rules in [db_workloads]. *)
+    set by Hebbian / delta rules in [db_workloads].  Ops with a fused
+    activation are rejected: training always runs on the raw-lowered graph,
+    where activations are still standalone nodes. *)
 
 type cache
 (** Values memoised by the forward pass for use in backward. *)
 
-val forward_layer :
-  layer:Db_nn.Layer.t ->
+val forward_op :
+  op:Db_ir.Op.t ->
   params:Db_tensor.Tensor.t list ->
   input:Db_tensor.Tensor.t ->
   Db_tensor.Tensor.t * cache
@@ -20,9 +22,9 @@ val backward_layer :
   grad_output:Db_tensor.Tensor.t ->
   Db_tensor.Tensor.t option * Db_tensor.Tensor.t list
 (** [backward_layer cache ~grad_output] is [(grad_input, grad_params)].
-    [grad_input] is [None] for layers that cannot propagate (e.g.
+    [grad_input] is [None] for ops that cannot propagate (e.g.
     [Associative], whose inputs are data, never weights upstream).
-    [grad_params] aligns with the layer's parameter list. *)
+    [grad_params] aligns with the op's parameter list. *)
 
-val supported : Db_nn.Layer.t -> bool
-(** Whether this module can differentiate through the layer. *)
+val supported : Db_ir.Op.t -> bool
+(** Whether this module can differentiate through the op. *)

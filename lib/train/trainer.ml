@@ -1,7 +1,8 @@
 module Tensor = Db_tensor.Tensor
 module Network = Db_nn.Network
 module Params = Db_nn.Params
-module Layer = Db_nn.Layer
+module Graph = Db_ir.Graph
+module Op = Db_ir.Op
 
 type sample = { input : Tensor.t; target : Tensor.t }
 
@@ -28,38 +29,38 @@ type history = { losses : float array; final_loss : float }
 
 let fail fmt = Db_util.Error.failf_at ~component:"trainer" fmt
 
-(* The trainable chain: non-input nodes in order, validated sequential. *)
+(* The trainable chain: non-input IR nodes in order, validated sequential.
+   Lowering is raw (no optimization passes), so the chain mirrors the
+   frontend network node-for-node. *)
 let chain_of_network net =
+  let g = Db_ir.Lower.lower net in
   let nodes =
-    List.filter
-      (fun n -> match n.Network.layer with Layer.Input _ -> false | _ -> true)
-      net.Network.nodes
+    List.filter (fun n -> not (Op.is_input n.Graph.op)) g.Graph.nodes
   in
   let rec check previous_top = function
     | [] -> ()
     | node :: rest -> begin
-        match node.Network.bottoms, node.Network.tops with
+        match node.Graph.inputs, node.Graph.outputs with
         | [ bottom ], [ top ] ->
             if bottom <> previous_top then
               fail "network is not a chain: %S consumes %S, expected %S"
-                node.Network.node_name bottom previous_top;
+                node.Graph.node_name bottom previous_top;
             check top rest
-        | _ -> fail "node %S is not single-bottom/single-top" node.Network.node_name
+        | _ -> fail "node %S is not single-bottom/single-top" node.Graph.node_name
       end
   in
-  (match net.Network.nodes with
+  (match g.Graph.nodes with
   | first :: _ -> begin
-      match first.Network.layer, first.Network.tops with
-      | Layer.Input _, [ top ] -> check top nodes
+      match first.Graph.op, first.Graph.outputs with
+      | Op.Input _, [ top ] -> check top nodes
       | _ -> fail "first node must be the input"
     end
   | [] -> fail "empty network");
   List.iter
     (fun node ->
-      if not (Backprop.supported node.Network.layer) then
+      if not (Backprop.supported node.Graph.op) then
         fail "layer %S (%s) is not trainable by backprop"
-          node.Network.node_name
-          (Layer.name node.Network.layer))
+          node.Graph.node_name (Op.name node.Graph.op))
     nodes;
   nodes
 
@@ -67,9 +68,9 @@ let forward_chain chain params input =
   let rec go input acc = function
     | [] -> (input, List.rev acc)
     | node :: rest ->
-        let p = Params.get params node.Network.node_name in
+        let p = Params.get params node.Graph.node_name in
         let output, cache =
-          Backprop.forward_layer ~layer:node.Network.layer ~params:p ~input
+          Backprop.forward_op ~op:node.Graph.op ~params:p ~input
         in
         go output ((node, cache) :: acc) rest
   in
@@ -81,7 +82,7 @@ let backward_chain caches grad_out grads =
     | (node, cache) :: rest -> begin
         let grad_input, grad_params = Backprop.backward_layer cache ~grad_output:grad in
         if grad_params <> [] then begin
-          let name = node.Network.node_name in
+          let name = node.Graph.node_name in
           let existing = Hashtbl.find_opt grads name in
           let merged =
             match existing with

@@ -239,8 +239,7 @@ let prepare_classifier ~seed ~network ~make_data ~train_count ~eval_count
 let strip_softmax net =
   let nodes =
     List.filter
-      (fun n ->
-        match n.Network.layer with Db_nn.Layer.Softmax -> false | _ -> true)
+      (fun n -> Db_nn.Layer.name n.Network.layer <> "SOFTMAX")
       net.Network.nodes
   in
   Network.create ~name:(net.Network.net_name ^ "-logits") nodes

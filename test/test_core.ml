@@ -62,12 +62,12 @@ let test_presets () =
     > Constraints.db_medium.Constraints.budget.Resource.dsps)
 
 let test_useful_lanes () =
-  Alcotest.(check int) "widest layer" 16 (Config_search.useful_lanes (ann_net ()));
-  Alcotest.(check int) "mnist conv2" 16 (Config_search.useful_lanes (mnist_net ()))
+  Alcotest.(check int) "widest layer" 16 (Config_search.useful_lanes (Db_ir.Lower.lower (ann_net ())));
+  Alcotest.(check int) "mnist conv2" 16 (Config_search.useful_lanes (Db_ir.Lower.lower (mnist_net ())))
 
 let test_search_respects_budget () =
   let cons = Constraints.with_dsp_cap Constraints.db_medium 5 in
-  let result = Config_search.search cons (mnist_net ()) in
+  let result = Config_search.search cons (Db_ir.Lower.lower (mnist_net ())) in
   Alcotest.(check bool) "fits" true
     (Resource.fits result.Config_search.block_set.Block_set.total
        ~within:cons.Constraints.budget);
@@ -76,7 +76,7 @@ let test_search_respects_budget () =
 
 let test_search_uses_available_lanes () =
   (* With a roomy budget the datapath saturates the layer parallelism. *)
-  let result = Config_search.search Constraints.db_large (ann_net ()) in
+  let result = Config_search.search Constraints.db_large (Db_ir.Lower.lower (ann_net ())) in
   Alcotest.(check int) "takes all useful lanes" 16
     result.Config_search.datapath.Db_sched.Datapath.lanes
 

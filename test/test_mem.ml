@@ -192,7 +192,9 @@ let test_tiling_improves_window_locality () =
     (Printf.sprintf "tiled %.3f > flat %.3f" f_tiled f_flat)
     true (f_tiled > f_flat)
 
-let mnist_net () = Db_workloads.Model_zoo.build Db_workloads.Model_zoo.mnist_prototxt
+let mnist_net () =
+  Db_ir.Lower.lower
+    (Db_workloads.Model_zoo.build Db_workloads.Model_zoo.mnist_prototxt)
 
 let test_layout_covers_everything () =
   let net = mnist_net () in

@@ -147,7 +147,7 @@ let test_backprop_deterministic () =
   let bias = rng_tensor 23 (Shape.vector 8) in
   let run () =
     let out, cache =
-      Db_train.Backprop.forward_layer ~layer ~params:[ weights; bias ] ~input
+      Db_train.Backprop.forward_op ~op:(Db_ir.Op.of_layer layer) ~params:[ weights; bias ] ~input
     in
     let gx, gps = Db_train.Backprop.backward_layer cache ~grad_output:out in
     (Option.get gx, gps)
@@ -160,7 +160,7 @@ let test_backprop_deterministic () =
   let fb = rng_tensor 25 (Shape.vector 24) in
   let run_fc () =
     let out, cache =
-      Db_train.Backprop.forward_layer ~layer:fc ~params:[ fw; fb ] ~input
+      Db_train.Backprop.forward_op ~op:(Db_ir.Op.of_layer fc) ~params:[ fw; fb ] ~input
     in
     let gx, gps = Db_train.Backprop.backward_layer cache ~grad_output:out in
     (Option.get gx, gps)

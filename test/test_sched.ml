@@ -9,6 +9,9 @@ module Layer = Db_nn.Layer
 
 let dp lanes = Datapath.make ~lanes ()
 
+(* The planner speaks IR ops; tests build frontend layers for brevity. *)
+let fold_layer_plan dp layer = Folding.fold_op_plan dp (Db_ir.Op.of_layer layer)
+
 let test_datapath_validation () =
   Alcotest.check_raises "zero lanes"
     (Invalid_argument "Datapath.make: lanes must be positive") (fun () ->
@@ -18,7 +21,7 @@ let test_datapath_validation () =
 
 let test_fc_folding () =
   let folds =
-    Folding.fold_layer_plan (dp 4)
+    fold_layer_plan (dp 4)
       (Layer.Inner_product { num_output = 10; bias = true })
       ~bottoms:[ Shape.vector 6 ] ~output:(Shape.vector 10) ~node_name:"fc"
       ~layer_index:0
@@ -38,7 +41,7 @@ let test_fc_folding () =
 let test_conv_folding () =
   (* 8 output channels on 3 lanes: 3 folds over channels. *)
   let folds =
-    Folding.fold_layer_plan (dp 3)
+    fold_layer_plan (dp 3)
       (Layer.Convolution
          { num_output = 8; kernel_size = 3; stride = 1; pad = 1; group = 1; bias = true })
       ~bottoms:[ Shape.chw ~channels:2 ~height:8 ~width:8 ]
@@ -51,7 +54,7 @@ let test_conv_folding () =
 
 let test_no_fold_when_fits () =
   let folds =
-    Folding.fold_layer_plan (dp 16)
+    fold_layer_plan (dp 16)
       (Layer.Inner_product { num_output = 10; bias = false })
       ~bottoms:[ Shape.vector 4 ] ~output:(Shape.vector 10) ~node_name:"fc"
       ~layer_index:0
@@ -63,7 +66,7 @@ let test_no_fold_when_fits () =
 
 let test_recurrent_folding () =
   let folds =
-    Folding.fold_layer_plan (dp 4)
+    fold_layer_plan (dp 4)
       (Layer.Recurrent { num_output = 6; steps = 3; bias = false })
       ~bottoms:[ Shape.vector 5 ] ~output:(Shape.vector 6) ~node_name:"rec"
       ~layer_index:0
@@ -78,7 +81,7 @@ let test_recurrent_folding () =
 
 let test_pooling_folds_over_channels () =
   let folds =
-    Folding.fold_layer_plan (dp 2)
+    fold_layer_plan (dp 2)
       (Layer.Pooling { method_ = Layer.Max; kernel_size = 2; stride = 2 })
       ~bottoms:[ Shape.chw ~channels:5 ~height:4 ~width:4 ]
       ~output:(Shape.chw ~channels:5 ~height:2 ~width:2)
@@ -91,7 +94,7 @@ let mnist_net () = Db_workloads.Model_zoo.build Db_workloads.Model_zoo.mnist_pro
 
 let test_network_schedule () =
   let net = mnist_net () in
-  let schedule = Schedule.build (dp 4) net in
+  let schedule = Schedule.build (dp 4) (Db_ir.Lower.lower net) in
   (* Folds of the whole network: MAC total must match the model stats. *)
   let stats = Db_nn.Model_stats.compute net in
   Alcotest.(check int) "macs preserved across folding"
@@ -109,7 +112,7 @@ let test_network_schedule () =
 
 let test_more_lanes_fewer_folds () =
   let net = mnist_net () in
-  let f lanes = Schedule.fold_count (Schedule.build (dp lanes) net) in
+  let f lanes = Schedule.fold_count (Schedule.build (dp lanes) (Db_ir.Lower.lower net)) in
   Alcotest.(check bool) "monotone" true (f 1 > f 4 && f 4 >= f 16)
 
 let test_coordinator_fsm () =
@@ -118,7 +121,7 @@ let test_coordinator_fsm () =
       (Db_workloads.Model_zoo.ann_prototxt ~name:"t" ~inputs:4 ~hidden1:4
          ~hidden2:4 ~outputs:2)
   in
-  let schedule = Schedule.build (dp 2) net in
+  let schedule = Schedule.build (dp 2) (Db_ir.Lower.lower net) in
   let fsm = Schedule.coordinator_fsm schedule in
   Db_hdl.Fsm.validate fsm;
   (* Walking fold_done through the machine visits every fold state and
@@ -136,7 +139,7 @@ let test_coordinator_fsm () =
 
 let test_fold_layer_rejects_bad_bottoms () =
   match
-    Folding.fold_layer_plan (dp 2)
+    fold_layer_plan (dp 2)
       (Layer.Inner_product { num_output = 4; bias = true })
       ~bottoms:[] ~output:(Shape.vector 4) ~node_name:"fc" ~layer_index:0
   with
@@ -150,7 +153,7 @@ let prop_folding_conserves =
     QCheck.(triple (int_range 1 16) (int_range 1 64) (int_range 1 32))
     (fun (lanes, num_output, nin) ->
       let folds =
-        Folding.fold_layer_plan (dp lanes)
+        fold_layer_plan (dp lanes)
           (Layer.Inner_product { num_output; bias = false })
           ~bottoms:[ Shape.vector nin ] ~output:(Shape.vector num_output)
           ~node_name:"fc" ~layer_index:0

@@ -31,7 +31,7 @@ let test_one_hot () =
 
 (* Finite-difference gradient check for a single layer. *)
 let grad_check ~layer ~params ~input ~epsilon ~tol =
-  let output, cache = Db_train.Backprop.forward_layer ~layer ~params ~input in
+  let output, cache = Db_train.Backprop.forward_op ~op:(Db_ir.Op.of_layer layer) ~params ~input in
   (* Loss = sum of outputs; grad_output = ones. *)
   let grad_out = Tensor.full (Tensor.shape output) 1.0 in
   let grad_in, grad_params = Db_train.Backprop.backward_layer cache ~grad_output:grad_out in
