@@ -279,6 +279,40 @@ let run_json () =
   let _, training_s = time (fun () -> Experiments.training cfg) in
   let _, throughput_s = time (fun () -> Experiments.throughput cfg) in
   let hits, misses = Db_core.Design_cache.stats () in
+  (* Static checker over the zoo (range analysis + memory-safety proof);
+     design generation is excluded from the timed section. *)
+  let check_zoo_s =
+    let models =
+      [
+        ("mlp", Db_workloads.Model_zoo.mlp_prototxt);
+        ("cmac", Db_workloads.Model_zoo.cmac_prototxt);
+        ("mnist", Db_workloads.Model_zoo.mnist_prototxt);
+        ("hopfield", Db_workloads.Model_zoo.hopfield_prototxt ~cities:5);
+      ]
+      @
+      if !quick then []
+      else
+        [
+          ("cifar", Db_workloads.Model_zoo.cifar_prototxt);
+          ("lenet5", Db_workloads.Model_zoo.lenet5_prototxt);
+          ("nin", Db_workloads.Model_zoo.nin_prototxt);
+        ]
+    in
+    let script =
+      {|constraint { device: "zynq-7045" dsps: 16 luts: 60000 ffs: 40000 bram_kb: 1024 }|}
+    in
+    let designs =
+      List.map
+        (fun (_, model) ->
+          Db_core.Generator.generate_from_script ~model ~constraint_script:script ())
+        models
+    in
+    let _, s =
+      time (fun () ->
+          List.iter (fun d -> ignore (Db_core.Checker.check d)) designs)
+    in
+    s
+  in
   (* Fault-campaign throughput: seeded single-bit SEU sweep over the ANN-0
      accelerator (fresh Xavier weights; trained ones would only change the
      outcomes, not the cost per injection). *)
@@ -337,6 +371,7 @@ let run_json () =
             ("fig10", fig10_s);
             ("training", training_s);
             ("throughput", throughput_s);
+            ("check_zoo", check_zoo_s);
           ]));
   Buffer.add_string buf "\n  },\n";
   Printf.bprintf buf

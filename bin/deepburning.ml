@@ -280,6 +280,116 @@ let lint_cmd =
       const run $ model_opt_arg $ constraint_arg $ tiling_arg $ zoo_arg
       $ strict_arg $ json_arg $ trace_arg)
 
+let check_cmd =
+  let model_opt_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "m"; "model" ] ~docv:"MODEL"
+          ~doc:"Caffe-compatible model description (.prototxt).")
+  in
+  let zoo_arg =
+    Arg.(
+      value & flag
+      & info [ "zoo" ]
+          ~doc:"Check the generated design of every bundled zoo model.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Treat warnings as errors (exit non-zero).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the check report as JSON on stdout.")
+  in
+  let run model_path constraint_path tiling zoo strict json trace =
+    let code = ref 0 in
+    let rc =
+      wrap ?trace (fun () ->
+          let targets =
+            if zoo then zoo_models
+            else
+              match model_path with
+              | Some path -> [ (Filename.basename path, read_file path) ]
+              | None -> Db_util.Error.fail "check: pass --model FILE or --zoo"
+          in
+          let constraint_script =
+            match constraint_path with
+            | Some path -> read_file path
+            | None -> default_constraint_script
+          in
+          List.iter
+            (fun (name, model) ->
+              let design =
+                Db_core.Generator.generate_from_script ~tiling_enabled:tiling
+                  ~model ~constraint_script ()
+              in
+              let report = Db_core.Checker.check design in
+              let diags =
+                if strict then
+                  Db_analysis.Diagnostic.strictify
+                    report.Db_core.Checker.ck_diags
+                else report.Db_core.Checker.ck_diags
+              in
+              let range = report.Db_core.Checker.ck_range in
+              if json then
+                Printf.printf
+                  "{\"design\": %S, \"format\": %S, \"min_acc_bits\": %d, \
+                   \"layer_acc_bits\": [%s], \"diagnostics\": %s}\n"
+                  name
+                  (Format.asprintf "%a" Db_fixed.Fixed.pp_format
+                     range.Db_check.Range.rp_fmt)
+                  range.Db_check.Range.rp_min_acc_bits
+                  (String.concat ", "
+                     (List.map
+                        (fun (layer, bits) ->
+                          Printf.sprintf "{\"layer\": %S, \"bits\": %d}" layer
+                            bits)
+                        (Db_check.Range.layer_acc_bits range)))
+                  (Db_analysis.Diagnostic.json_of_list diags)
+              else begin
+                Printf.printf "== %s (%s): %s\n" name
+                  (Format.asprintf "%a" Db_fixed.Fixed.pp_format
+                     range.Db_check.Range.rp_fmt)
+                  (Db_analysis.Diagnostic.summary diags);
+                List.iter
+                  (fun d ->
+                    print_endline ("  " ^ Db_analysis.Diagnostic.to_string d))
+                  diags;
+                Printf.printf "  min accumulator width: %d bits\n"
+                  range.Db_check.Range.rp_min_acc_bits;
+                List.iter
+                  (fun (lr : Db_check.Range.layer_range) ->
+                    match lr.Db_check.Range.lr_acc_bits with
+                    | Some bits ->
+                        Printf.printf "  %-24s %-28s acc %2d bits%s\n"
+                          lr.Db_check.Range.lr_node
+                          (Db_check.Interval.to_string
+                             lr.Db_check.Range.lr_exact)
+                          bits
+                          (if lr.Db_check.Range.lr_proven then ""
+                           else "  (range proof lost)")
+                    | None -> ())
+                  range.Db_check.Range.rp_layers
+              end;
+              if Db_analysis.Diagnostic.errors diags <> [] then code := 2)
+            targets)
+    in
+    if rc <> 0 then rc else !code
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Generate a design and statically verify it: interval range \
+          analysis of the fixed-point datapath (saturation, accumulator \
+          widths) and a memory-safety proof of the schedule (buffer \
+          capacities, region containment, AGU address widths).")
+    Term.(
+      const run $ model_opt_arg $ constraint_arg $ tiling_arg $ zoo_arg
+      $ strict_arg $ json_arg $ trace_arg)
+
 let verify_cmd =
   let run model_path constraint_path tiling trace =
     wrap ?trace (fun () ->
@@ -614,7 +724,7 @@ let main_cmd =
     (Cmd.info "deepburning" ~version:"1.0.0" ~doc)
     [
       generate_cmd; simulate_cmd; verify_cmd; profile_cmd; lint_cmd;
-      faults_cmd; ir_cmd; stats_cmd; zoo_cmd;
+      check_cmd; faults_cmd; ir_cmd; stats_cmd; zoo_cmd;
     ]
 
 let () = try exit (Cmd.eval' main_cmd) with e -> exit (report_error e)

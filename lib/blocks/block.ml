@@ -6,7 +6,7 @@ type agu_kind = Main_agu | Data_agu | Weight_agu
 
 type kind =
   | Synergy_neuron of { simd : int }
-  | Accumulator of { depth : int }
+  | Accumulator of { depth : int; acc_bits : int }
   | Pooling_unit of { window : int; pool : pool_kind }
   | Activation_unit of { lut : Approx_lut.t }
   | Lrn_unit of { local_size : int; lut : Approx_lut.t }
@@ -25,7 +25,9 @@ let fail fmt = Db_util.Error.failf_at ~component:"block" fmt
 let validate_kind = function
   | Synergy_neuron { simd } ->
       if simd <= 0 then fail "synergy neuron needs simd >= 1"
-  | Accumulator { depth } -> if depth <= 0 then fail "accumulator needs depth >= 1"
+  | Accumulator { depth; acc_bits } ->
+      if depth <= 0 then fail "accumulator needs depth >= 1";
+      if acc_bits <= 0 then fail "accumulator needs acc_bits >= 1"
   | Pooling_unit { window; _ } ->
       if window <= 0 then fail "pooling unit needs window >= 1"
   | Activation_unit _ -> ()
@@ -47,6 +49,12 @@ let validate_kind = function
 
 let make ~name ~fmt kind =
   validate_kind kind;
+  (match kind with
+  | Accumulator { acc_bits; _ } ->
+      if acc_bits < fmt.Db_fixed.Fixed.total_bits then
+        fail "accumulator register (%d bits) narrower than the datapath word (%d bits)"
+          acc_bits fmt.Db_fixed.Fixed.total_bits
+  | _ -> ());
   { block_name = name; kind; fmt }
 
 let kind_label = function
@@ -77,7 +85,7 @@ let resource t =
         ~luts:(10 + (6 * simd) + ((simd - 1) * 8))
         ~ffs:(8 + (4 * simd))
         ()
-  | Accumulator { depth } ->
+  | Accumulator { depth; _ } ->
       Resource.make ~luts:((w / 2) + 2 + (depth / 8)) ~ffs:w ()
   | Pooling_unit { window; _ } ->
       Resource.make ~luts:((4 * window) + (w / 2)) ~ffs:w ()
@@ -136,7 +144,8 @@ let to_module t =
   let name = t.block_name and fmt = t.fmt in
   match t.kind with
   | Synergy_neuron { simd } -> Templates.synergy_neuron ~name ~fmt ~simd
-  | Accumulator { depth } -> Templates.accumulator ~name ~fmt ~depth
+  | Accumulator { depth; acc_bits } ->
+      Templates.accumulator ~name ~fmt ~depth ~acc_bits
   | Pooling_unit { window; pool } ->
       Templates.pooling_unit ~name ~fmt ~window ~average:(pool = Avg_pool)
   | Activation_unit { lut } -> Templates.activation_unit ~name ~fmt ~lut

@@ -21,8 +21,11 @@ type kind =
   | Synergy_neuron of { simd : int }
       (** one neural processing element with [simd] multipliers feeding an
           adder tree; computes [simd] MACs per cycle *)
-  | Accumulator of { depth : int }
-      (** running partial-sum register bank over [depth] folds *)
+  | Accumulator of { depth : int; acc_bits : int }
+      (** running partial-sum register bank over [depth] folds; [acc_bits]
+          is the width of the internal register, at least the datapath
+          word and normally the minimum proven by [Db_check.Range] so the
+          wide sum cannot overflow before the saturating write-back *)
   | Pooling_unit of { window : int; pool : pool_kind }
   | Activation_unit of { lut : Approx_lut.t }
   | Lrn_unit of { local_size : int; lut : Approx_lut.t }

@@ -46,7 +46,7 @@ let synergy_neuron ~name ~fmt ~simd =
     [ ("SIMD", simd); ("WIDTH", w) ]
     (List.rev !lines)
 
-let accumulator ~name ~fmt ~depth =
+let accumulator ~name ~fmt ~depth ~acc_bits =
   let w = word fmt in
   behavioural name
     (clk_rst
@@ -56,9 +56,9 @@ let accumulator ~name ~fmt ~depth =
         in_port "value" w;
         out_port "total" w;
       ])
-    [ ("DEPTH", depth); ("WIDTH", w) ]
+    [ ("DEPTH", depth); ("WIDTH", w); ("ACC_BITS", acc_bits) ]
     [
-      Printf.sprintf "reg signed [%d:0] acc;" (w + 7);
+      Printf.sprintf "reg signed [%d:0] acc;" (acc_bits - 1);
       "always @(posedge clk) begin";
       "  if (rst || clear) acc <= 0;";
       "  else if (valid_in) acc <= acc + value;";

@@ -7,7 +7,13 @@ val synergy_neuron :
   name:string -> fmt:Db_fixed.Fixed.format -> simd:int -> Db_hdl.Rtl.module_decl
 
 val accumulator :
-  name:string -> fmt:Db_fixed.Fixed.format -> depth:int -> Db_hdl.Rtl.module_decl
+  name:string ->
+  fmt:Db_fixed.Fixed.format ->
+  depth:int ->
+  acc_bits:int ->
+  Db_hdl.Rtl.module_decl
+(** [acc_bits] fixes the internal partial-sum register width (the range
+    analysis proves the minimum that cannot overflow). *)
 
 val pooling_unit :
   name:string ->

@@ -1,0 +1,71 @@
+(* The abstract domain of the range analysis: closed real intervals with
+   infinite endpoints for "unknown".  Every transfer function in
+   [Range] maps intervals to intervals soundly — the concrete float
+   semantics of the interpreter always lands inside. *)
+
+type t = { lo : float; hi : float }
+
+let fail fmt = Db_util.Error.failf_at ~component:"interval" fmt
+
+let make ~lo ~hi =
+  if Float.is_nan lo || Float.is_nan hi then fail "NaN endpoint";
+  if lo > hi then fail "empty interval [%g, %g]" lo hi;
+  { lo; hi }
+
+let point v = make ~lo:v ~hi:v
+
+let zero = point 0.0
+
+let top = { lo = neg_infinity; hi = infinity }
+
+let is_top t = t.lo = neg_infinity || t.hi = infinity
+
+let is_finite t = Float.is_finite t.lo && Float.is_finite t.hi
+
+let contains t v = v >= t.lo && v <= t.hi
+
+let subset a ~of_:b = a.lo >= b.lo && a.hi <= b.hi
+
+let join a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let hull = function
+  | [] -> fail "hull of no intervals"
+  | first :: rest -> List.fold_left join first rest
+
+let abs_max t = Float.max (Float.abs t.lo) (Float.abs t.hi)
+
+let width t = t.hi -. t.lo
+
+let add a b = { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
+
+let neg t = { lo = -.t.hi; hi = -.t.lo }
+
+let scale t k =
+  if k >= 0.0 then { lo = t.lo *. k; hi = t.hi *. k }
+  else { lo = t.hi *. k; hi = t.lo *. k }
+
+(* Image under a weight w of every x in [t]: used term-wise by the
+   signed-magnitude dot products. *)
+let term_hi t w = Float.max (w *. t.lo) (w *. t.hi)
+
+let term_lo t w = Float.min (w *. t.lo) (w *. t.hi)
+
+let clamp t ~lo ~hi =
+  if lo > hi then fail "clamp to empty range [%g, %g]" lo hi;
+  {
+    lo = Float.min hi (Float.max lo t.lo);
+    hi = Float.max lo (Float.min hi t.hi);
+  }
+
+let monotone f t = make ~lo:(f t.lo) ~hi:(f t.hi)
+
+(* Outward relative widening absorbing summation-order float noise: the
+   dynamic engines accumulate in a different order than the analysis, so
+   a mathematically tight bound can be violated by a few ulps. *)
+let widen ?(rel = 1e-9) t =
+  let slack v = (rel *. (Float.abs v +. 1.0)) +. 1e-12 in
+  { lo = t.lo -. slack t.lo; hi = t.hi +. slack t.hi }
+
+let to_string t = Printf.sprintf "[%g, %g]" t.lo t.hi
+
+let pp fmt t = Format.fprintf fmt "[%g, %g]" t.lo t.hi

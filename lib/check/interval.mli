@@ -1,0 +1,65 @@
+(** Closed real intervals, the abstract domain of the range analysis.
+
+    Endpoints may be infinite ({!top} stands for "nothing is known");
+    NaN endpoints and empty intervals are rejected at construction. *)
+
+type t = { lo : float; hi : float }
+
+val make : lo:float -> hi:float -> t
+(** Raises a [Db_util.Error] failure on NaN endpoints or [lo > hi]. *)
+
+val point : float -> t
+
+val zero : t
+
+val top : t
+(** [[-inf, +inf]]. *)
+
+val is_top : t -> bool
+(** True when either endpoint is infinite. *)
+
+val is_finite : t -> bool
+
+val contains : t -> float -> bool
+
+val subset : t -> of_:t -> bool
+(** [subset a ~of_:b]: every point of [a] lies in [b]. *)
+
+val join : t -> t -> t
+(** Convex hull of two intervals (the lattice join). *)
+
+val hull : t list -> t
+(** Join of a non-empty list. *)
+
+val abs_max : t -> float
+(** Largest magnitude the interval reaches. *)
+
+val width : t -> float
+
+val add : t -> t -> t
+
+val neg : t -> t
+
+val scale : t -> float -> t
+(** Image under multiplication by a constant (sign-aware). *)
+
+val term_hi : t -> float -> float
+(** [term_hi t w = max (w * t.lo) (w * t.hi)]: the largest value [w * x]
+    takes over x in [t].  Building block of the interval dot products. *)
+
+val term_lo : t -> float -> float
+
+val clamp : t -> lo:float -> hi:float -> t
+(** Intersect with [[lo, hi]], collapsing to the nearest bound when the
+    interval lies entirely outside — the abstract image of a saturating
+    write-back. *)
+
+val monotone : (float -> float) -> t -> t
+(** Image under a monotonically increasing function (sigmoid, tanh). *)
+
+val widen : ?rel:float -> t -> t
+(** Relative outward widening absorbing float summation-order noise. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

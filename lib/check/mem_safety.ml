@@ -1,0 +1,184 @@
+(* Static memory-safety proof of a compiled schedule.
+
+   The compiler emits one [fold_program] per schedule step, each carrying
+   DRAM access patterns and on-chip working sets.  This module re-proves,
+   without replaying a single AGU cycle, that
+
+   - every access pattern stays inside the layout region it belongs to
+     and inside the DRAM image (DB-M101),
+   - each step's resident feature working set fits the feature buffer
+     (DB-M102) and its weight working set fits the weight buffer
+     (DB-M103),
+   - no read pattern overlaps a write pattern within the same step
+     (DB-M104 — an in-place hazard the double-buffered datapath cannot
+     hide),
+   - every generated address fits the AGU's address register (DB-M105 —
+     a wider address would silently wrap in hardware).
+
+   The types here are deliberately plain records: [db_check] sits below
+   [db_core] in the library graph, so the generator-side [Checker] module
+   extracts a [plant]/[step list] view from the compiled design and hands
+   it over.  Address ranges are judged by the pattern's [start,
+   last_address] span, which encloses every address [Access_pattern.
+   addresses] can produce — the AGU-replay property tests in
+   test/test_check.ml pin the enclosure. *)
+
+module Access_pattern = Db_mem.Access_pattern
+module Buffer_model = Db_mem.Buffer_model
+module D = Db_analysis.Diagnostic
+
+let code_region_escape = "DB-M101"
+
+let code_feature_overflow = "DB-M102"
+
+let code_weight_overflow = "DB-M103"
+
+let code_rw_overlap = "DB-M104"
+
+let code_addr_wrap = "DB-M105"
+
+type direction = Read | Write
+
+type access = {
+  ac_name : string;
+  ac_dir : direction;
+  ac_pattern : Access_pattern.t;
+}
+
+type step = {
+  st_event : string;
+  st_layer : string;
+  st_accesses : access list;
+  st_feature_words : int;
+      (** feature words this step needs resident on-chip *)
+  st_weight_words : int;  (** weight words live in the weight buffer *)
+}
+
+type region = { rg_name : string; rg_base : int; rg_words : int }
+
+type plant = {
+  pl_scope : string;
+  pl_regions : region list;
+  pl_total_words : int;  (** DRAM image size; regions lie inside it *)
+  pl_feature_buffer : Buffer_model.t;
+  pl_weight_buffer : Buffer_model.t;
+  pl_addr_bits : int;
+}
+
+(* Static address bounds of a pattern: every address the AGU generates
+   for it lies in [span]. *)
+let span (p : Access_pattern.t) =
+  (p.Access_pattern.start, Access_pattern.last_address p)
+
+let region_containing plant ~lo ~hi =
+  List.find_opt
+    (fun r -> lo >= r.rg_base && hi < r.rg_base + r.rg_words)
+    plant.pl_regions
+
+let spans_overlap (lo_a, hi_a) (lo_b, hi_b) = lo_a <= hi_b && lo_b <= hi_a
+
+let check_access plant step access =
+  let lo, hi = span access.ac_pattern in
+  let item = access.ac_name in
+  let escapes_image = lo < 0 || hi >= plant.pl_total_words in
+  let region = region_containing plant ~lo ~hi in
+  let region_diag =
+    if escapes_image then
+      Some
+        (D.v ~code:code_region_escape ~severity:D.Error ~scope:plant.pl_scope
+           ~item
+           (Printf.sprintf
+              "step %s: addresses [%d, %d] escape the %d-word DRAM image"
+              step.st_event lo hi plant.pl_total_words))
+    else begin
+      match region with
+      | Some _ -> None
+      | None ->
+          Some
+            (D.v ~code:code_region_escape ~severity:D.Error
+               ~scope:plant.pl_scope ~item
+               (Printf.sprintf
+                  "step %s: addresses [%d, %d] are not contained in any \
+                   single layout region — the transfer crosses a tensor \
+                   boundary"
+                  step.st_event lo hi))
+    end
+  in
+  let wrap_diag =
+    let limit = 1 lsl plant.pl_addr_bits in
+    if hi >= limit then
+      Some
+        (D.v ~code:code_addr_wrap ~severity:D.Error ~scope:plant.pl_scope
+           ~item
+           (Printf.sprintf
+              "step %s: address %d does not fit the %d-bit AGU address \
+               register (max %d) and would wrap in hardware"
+              step.st_event hi plant.pl_addr_bits (limit - 1)))
+    else None
+  in
+  List.filter_map Fun.id [ region_diag; wrap_diag ]
+
+let check_step plant step =
+  let access_diags =
+    List.concat_map (check_access plant step) step.st_accesses
+  in
+  let feature_diag =
+    if Buffer_model.holds plant.pl_feature_buffer ~words:step.st_feature_words
+    then None
+    else
+      Some
+        (D.v ~code:code_feature_overflow ~severity:D.Error
+           ~scope:plant.pl_scope ~item:step.st_event
+           (Printf.sprintf
+              "layer %s needs %d feature words resident but the feature \
+               buffer holds %d"
+              step.st_layer step.st_feature_words
+              plant.pl_feature_buffer.Buffer_model.capacity_words))
+  in
+  let weight_diag =
+    if Buffer_model.holds plant.pl_weight_buffer ~words:step.st_weight_words
+    then None
+    else
+      Some
+        (D.v ~code:code_weight_overflow ~severity:D.Error
+           ~scope:plant.pl_scope ~item:step.st_event
+           (Printf.sprintf
+              "layer %s needs %d weight words live but the weight buffer \
+               holds %d"
+              step.st_layer step.st_weight_words
+              plant.pl_weight_buffer.Buffer_model.capacity_words))
+  in
+  (* Same-step read/write hazard: the span over-approximation is safe
+     (may flag, never miss) and exact for the compiler's contiguous
+     output/weight transfers. *)
+  let reads, writes =
+    List.partition (fun a -> a.ac_dir = Read) step.st_accesses
+  in
+  let overlap_diags =
+    List.concat_map
+      (fun w ->
+        List.filter_map
+          (fun r ->
+            if spans_overlap (span w.ac_pattern) (span r.ac_pattern) then
+              Some
+                (D.v ~code:code_rw_overlap ~severity:D.Error
+                   ~scope:plant.pl_scope ~item:step.st_event
+                   (Printf.sprintf
+                      "write %s overlaps read %s within the same step: \
+                       in-place update the datapath cannot order"
+                      w.ac_name r.ac_name))
+            else None)
+          reads)
+      writes
+  in
+  access_diags
+  @ List.filter_map Fun.id [ feature_diag; weight_diag ]
+  @ overlap_diags
+
+let check plant steps =
+  D.sort (List.concat_map (check_step plant) steps)
+
+(* Static address bounds of a pattern, exported for the AGU-enclosure
+   property tests: every address [Access_pattern.addresses] (and hence
+   [Agu_sim]) produces lies in the returned closed range. *)
+let address_bounds = span

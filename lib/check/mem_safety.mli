@@ -1,0 +1,58 @@
+(** Static memory-safety proof of a compiled schedule.
+
+    Consumes a plain-record view of the compiled design (extracted by
+    [Db_core.Checker]) and proves, without AGU replay, that every DRAM
+    access pattern stays inside its layout region, on-chip working sets
+    fit their buffers, no same-step read/write ranges overlap, and every
+    address fits the AGU's address register.
+
+    Diagnostic codes (documented in DESIGN.md §13), all errors:
+    - [DB-M101]: access pattern escapes its layout region / DRAM image;
+    - [DB-M102]: resident feature working set exceeds the feature buffer;
+    - [DB-M103]: live weight working set exceeds the weight buffer;
+    - [DB-M104]: same-step read/write overlap (in-place hazard);
+    - [DB-M105]: an address does not fit the AGU address register. *)
+
+val code_region_escape : string
+
+val code_feature_overflow : string
+
+val code_weight_overflow : string
+
+val code_rw_overlap : string
+
+val code_addr_wrap : string
+
+type direction = Read | Write
+
+type access = {
+  ac_name : string;  (** pattern name, e.g. ["layer2-fold0_wt"] *)
+  ac_dir : direction;
+  ac_pattern : Db_mem.Access_pattern.t;
+}
+
+type step = {
+  st_event : string;  (** schedule event this step belongs to *)
+  st_layer : string;
+  st_accesses : access list;
+  st_feature_words : int;  (** feature words needed resident on-chip *)
+  st_weight_words : int;  (** weight words live in the weight buffer *)
+}
+
+type region = { rg_name : string; rg_base : int; rg_words : int }
+
+type plant = {
+  pl_scope : string;  (** design name, used as diagnostic scope *)
+  pl_regions : region list;
+  pl_total_words : int;  (** DRAM image size *)
+  pl_feature_buffer : Db_mem.Buffer_model.t;
+  pl_weight_buffer : Db_mem.Buffer_model.t;
+  pl_addr_bits : int;
+}
+
+val check : plant -> step list -> Db_analysis.Diagnostic.t list
+(** All violated proofs as sorted diagnostics; [[]] is the safety proof. *)
+
+val address_bounds : Db_mem.Access_pattern.t -> int * int
+(** Closed static range enclosing every address the pattern generates —
+    the bound the AGU-replay enclosure tests validate against. *)

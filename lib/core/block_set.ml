@@ -58,8 +58,16 @@ let classifier_config (g : Graph.t) =
         end
       | _ -> acc)
 
-let build (g : Graph.t) dp ~schedule ~layout =
+let build ?acc_bits (g : Graph.t) dp ~schedule ~layout =
   let fmt = dp.Db_sched.Datapath.fmt in
+  (* The historical width (word + 8 guard bits) is the floor; the range
+     analysis can require more for deep dot products. *)
+  let acc_bits =
+    let floor_bits = fmt.Db_fixed.Fixed.total_bits + 8 in
+    match acc_bits with
+    | Some b -> Stdlib.max floor_bits b
+    | None -> floor_bits
+  in
   let mk name kind = Block.make ~name ~fmt kind in
   let lanes = dp.Db_sched.Datapath.lanes in
   let blocks = ref [] in
@@ -71,7 +79,9 @@ let build (g : Graph.t) dp ~schedule ~layout =
          (Printf.sprintf "neuron_%d" i)
          (Block.Synergy_neuron { simd = dp.Db_sched.Datapath.simd }));
     push
-      (mk (Printf.sprintf "accum_%d" i) (Block.Accumulator { depth = 16 }))
+      (mk
+         (Printf.sprintf "accum_%d" i)
+         (Block.Accumulator { depth = 16; acc_bits }))
   done;
   (* Pooling units, one per lane, sized to the widest window in the model. *)
   let window = max_pool_window g in

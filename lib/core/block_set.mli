@@ -10,6 +10,7 @@ type t = {
 }
 
 val build :
+  ?acc_bits:int ->
   Db_ir.Graph.t ->
   Db_sched.Datapath.t ->
   schedule:Db_sched.Schedule.t ->
@@ -18,7 +19,9 @@ val build :
 (** Chooses the block inventory from the op classes present in the IR
     graph (Section 3.2's layer -> building-block mapping) scaled by the
     datapath, sizes the AGUs from the layout's address space and the
-    schedule's pattern count, and sums the cost. *)
+    schedule's pattern count, and sums the cost.  [?acc_bits] is the
+    minimal accumulator width proven by the range analysis; the
+    accumulators are sized to [max (word + 8) acc_bits]. *)
 
 val find : t -> kind_label:string -> Db_blocks.Block.t list
 (** All blocks of one class. *)

@@ -25,7 +25,7 @@ let profile_max_abs net params ~input_blob ~samples =
         acc env)
     weight_max samples
 
-let choose_format ?(margin_bits = 1) ~total_bits ~max_abs () =
+let choose_format_report ?(margin_bits = 1) ~total_bits ~max_abs () =
   if max_abs < 0.0 || Float.is_nan max_abs then
     fail "invalid profiled magnitude %g" max_abs;
   (* Integer bits needed so that max_abs (with headroom) stays below the
@@ -35,14 +35,27 @@ let choose_format ?(margin_bits = 1) ~total_bits ~max_abs () =
     if max_abs <= 1.0 then 0
     else int_of_float (Float.ceil (log (max_abs +. 1e-12) /. log 2.0))
   in
-  let frac_bits =
-    Stdlib.max 0 (Stdlib.min (total_bits - 1) (total_bits - 1 - int_bits - margin_bits))
+  let wanted = total_bits - 1 - int_bits - margin_bits in
+  let frac_bits = Stdlib.max 0 (Stdlib.min (total_bits - 1) wanted) in
+  (* The historical clamp to 0 fraction bits was silent; a word too narrow
+     for the profiled magnitude now surfaces as DB-R006 so strict callers
+     can refuse the integer-resolution format instead of shipping it. *)
+  let diags =
+    if wanted < 0 then [ Db_check.Range.frac_clamp_diag ~total_bits ~max_abs ]
+    else []
   in
-  Fixed.format ~total_bits ~frac_bits
+  (Fixed.format ~total_bits ~frac_bits, diags)
 
-let calibrate ?margin_bits ?(total_bits = 16) net params ~input_blob ~samples =
+let choose_format ?margin_bits ~total_bits ~max_abs () =
+  fst (choose_format_report ?margin_bits ~total_bits ~max_abs ())
+
+let calibrate_report ?margin_bits ?(total_bits = 16) net params ~input_blob
+    ~samples =
   let max_abs = profile_max_abs net params ~input_blob ~samples in
-  choose_format ?margin_bits ~total_bits ~max_abs ()
+  choose_format_report ?margin_bits ~total_bits ~max_abs ()
+
+let calibrate ?margin_bits ?total_bits net params ~input_blob ~samples =
+  fst (calibrate_report ?margin_bits ?total_bits net params ~input_blob ~samples)
 
 let calibrated_constraints ?margin_bits (cons : Constraints.t) net params
     ~input_blob ~samples =

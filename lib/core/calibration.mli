@@ -23,6 +23,27 @@ val choose_format :
     that represents [max_abs] without saturation; everything else becomes
     fraction bits.  Clamps to at least 0 fraction bits. *)
 
+val choose_format_report :
+  ?margin_bits:int ->
+  total_bits:int ->
+  max_abs:float ->
+  unit ->
+  Db_fixed.Fixed.format * Db_analysis.Diagnostic.t list
+(** Like {!choose_format}, but when the profiled magnitude forces the
+    fraction entirely out of the word (the silent clamp to 0 fraction
+    bits) the chosen format is accompanied by a [DB-R006] warning, which
+    [deepburning check --strict] promotes to an error. *)
+
+val calibrate_report :
+  ?margin_bits:int ->
+  ?total_bits:int ->
+  Db_nn.Network.t ->
+  Db_nn.Params.t ->
+  input_blob:string ->
+  samples:Db_tensor.Tensor.t list ->
+  Db_fixed.Fixed.format * Db_analysis.Diagnostic.t list
+(** [profile_max_abs] then {!choose_format_report}. *)
+
 val calibrate :
   ?margin_bits:int ->
   ?total_bits:int ->

@@ -45,6 +45,12 @@ let evaluate cons (g : Graph.t) ~lanes =
     ~attrs:[ ("lanes", string_of_int lanes) ]
     (fun () ->
       let buffer_words = buffer_words_for cons in
+      (* Minimal accumulator width proven by the range analysis (assumed
+         Xavier-bounded weights: parameters are not materialized during
+         the search); sizes the per-lane accumulators below. *)
+      let acc_bits =
+        Db_check.Range.min_acc_bits ~fmt:cons.Constraints.fmt g
+      in
       let datapath =
         Db_sched.Datapath.make ~lanes ~simd:1 ~port_words:(port_words_for lanes)
           ~fmt:cons.Constraints.fmt ~feature_buffer_words:buffer_words
@@ -64,11 +70,20 @@ let evaluate cons (g : Graph.t) ~lanes =
       in
       let block_set =
         Db_obs.Obs.with_span "block_set" (fun () ->
-            Block_set.build g datapath ~schedule ~layout)
+            Block_set.build ~acc_bits g datapath ~schedule ~layout)
       in
       { datapath; schedule; layout; block_set })
 
 let search cons (g : Graph.t) =
+  (* Range-infeasible Q-formats are rejected before any point is costed:
+     if the format cannot represent the canonical input range, every
+     candidate datapath saturates on arrival and the search would only
+     rank garbage. *)
+  (match Db_check.Range.format_feasibility cons.Constraints.fmt with
+  | Ok () -> ()
+  | Error why ->
+      fail "format %a is infeasible for network %S: %s" Db_fixed.Fixed.pp_format
+        cons.Constraints.fmt g.Graph.graph_name why);
   let cap = Stdlib.max 1 cons.Constraints.budget.Resource.dsps in
   let upper = Stdlib.min cap (useful_lanes g) in
   let rec try_lanes lanes =

@@ -7,7 +7,8 @@ module Datapath = Db_sched.Datapath
 let canonical_module_name (b : Block.t) =
   match b.Block.kind with
   | Block.Synergy_neuron { simd } -> Printf.sprintf "synergy_neuron_s%d" simd
-  | Block.Accumulator { depth } -> Printf.sprintf "accumulator_d%d" depth
+  | Block.Accumulator { depth; acc_bits } ->
+      Printf.sprintf "accumulator_d%d_w%d" depth acc_bits
   | Block.Pooling_unit { window; pool } ->
       Printf.sprintf "pooling_unit_w%d_%s" window
         (match pool with Block.Max_pool -> "max" | Block.Avg_pool -> "avg")
@@ -415,6 +416,9 @@ let assemble ?tiling_enabled cons network ir (picked : Config_search.result) =
         "generated design failed static analysis: %d error(s); first: %s"
         (List.length errs)
         (Db_analysis.Diagnostic.to_string first));
+  (* ... and the same for the range/memory-safety checker: an error-level
+     DB-R/DB-M finding on a freshly generated design is a generator bug. *)
+  Checker.gate design;
   design
 
 let generate ?tiling_enabled cons network =

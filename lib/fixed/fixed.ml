@@ -61,5 +61,21 @@ let dequantize_tensor q ~shape values =
 
 let roundtrip_error_bound q = resolution q /. 2.0
 
+let fits_float q x =
+  (not (Float.is_nan x)) && x >= min_float q && x <= max_float q
+
+let headroom_bits q x =
+  let m = Float.abs x in
+  if m <= 0.0 then infinity
+  else if Float.is_nan m then neg_infinity
+  else log (max_float q /. m) /. log 2.0
+
+let signed_bits_for magnitude =
+  if Float.is_nan magnitude || magnitude < 0.0 then
+    invalid_arg "Fixed.signed_bits_for: magnitude must be non-negative"
+  else if magnitude = 0.0 then 1
+  else if magnitude = infinity then max_int
+  else 1 + int_of_float (Float.ceil (log (magnitude +. 1.0) /. log 2.0))
+
 let pp_format fmt q =
   Format.fprintf fmt "Q%d.%d" (q.total_bits - q.frac_bits) q.frac_bits

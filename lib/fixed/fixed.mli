@@ -61,5 +61,19 @@ val dequantize_tensor : format -> shape:Db_tensor.Shape.t -> int array -> Db_ten
 val roundtrip_error_bound : format -> float
 (** Worst-case |x - to_float(of_float x)| for in-range x: half an LSB. *)
 
+val fits_float : format -> float -> bool
+(** Whether the real value is representable without saturating, i.e. lies
+    in [[min_float, max_float]].  NaN never fits. *)
+
+val headroom_bits : format -> float -> float
+(** [log2 (max_float q / |x|)]: how many doublings of |x| the format still
+    absorbs before saturation.  [infinity] for x = 0, negative once |x|
+    already saturates. *)
+
+val signed_bits_for : float -> int
+(** Minimal width of a two's-complement register holding every integer of
+    the given magnitude: [1 + ceil(log2 (magnitude + 1))], and 1 for 0.
+    Raises [Invalid_argument] on NaN or negative magnitudes. *)
+
 val pp_format : Format.formatter -> format -> unit
 (** e.g. ["Q16.8"]. *)

@@ -1,7 +1,8 @@
 type t = { clock_mhz : float }
 
 let at_mhz clock_mhz =
-  if clock_mhz <= 0.0 then invalid_arg "Timing.at_mhz: non-positive frequency";
+  if clock_mhz <= 0.0 then
+    Db_util.Error.failf_at ~component:"timing" "at_mhz: non-positive frequency";
   { clock_mhz }
 
 let default = at_mhz 100.0

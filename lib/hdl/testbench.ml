@@ -5,11 +5,13 @@ type stimulus = {
   watchdog_cycles : int;
 }
 
+let fail fmt = Db_util.Error.failf_at ~component:"testbench" fmt
+
 let generate ~top stimulus =
   if stimulus.word_bits <= 0 || stimulus.word_bits > 32 then
-    invalid_arg "Testbench.generate: word_bits out of range";
+    fail "generate: word_bits out of range";
   if stimulus.watchdog_cycles <= 0 then
-    invalid_arg "Testbench.generate: watchdog must be positive";
+    fail "generate: watchdog must be positive";
   let buf = Buffer.create 4096 in
   let out fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   let mask v = v land ((1 lsl stimulus.word_bits) - 1) in

@@ -31,6 +31,11 @@ val validate : t -> unit
 val word_count : t -> int
 (** Total number of addresses one trigger generates. *)
 
+val last_address : t -> int
+(** Largest address the pattern can generate ([start] is the smallest);
+    together they bound every address in {!addresses} — the static range
+    [Db_check.Mem_safety] proves containment against. *)
+
 val addresses : t -> int Seq.t
 (** The generated address stream, lazily. *)
 

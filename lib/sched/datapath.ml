@@ -8,15 +8,17 @@ type t = {
   lut_entries : int;
 }
 
+let fail fmt = Db_util.Error.failf_at ~component:"datapath" fmt
+
 let make ?(simd = 1) ?(port_words = 4) ?(fmt = Db_fixed.Fixed.q16_8)
     ?(feature_buffer_words = 8192) ?(weight_buffer_words = 8192)
     ?(lut_entries = 256) ~lanes () =
-  if lanes <= 0 then invalid_arg "Datapath.make: lanes must be positive";
-  if simd <= 0 then invalid_arg "Datapath.make: simd must be positive";
-  if port_words <= 0 then invalid_arg "Datapath.make: port_words must be positive";
+  if lanes <= 0 then fail "make: lanes must be positive";
+  if simd <= 0 then fail "make: simd must be positive";
+  if port_words <= 0 then fail "make: port_words must be positive";
   if feature_buffer_words <= 0 || weight_buffer_words <= 0 then
-    invalid_arg "Datapath.make: buffer sizes must be positive";
-  if lut_entries < 2 then invalid_arg "Datapath.make: lut_entries must be >= 2";
+    fail "make: buffer sizes must be positive";
+  if lut_entries < 2 then fail "make: lut_entries must be >= 2";
   { lanes; simd; port_words; fmt; feature_buffer_words; weight_buffer_words; lut_entries }
 
 let macs_per_cycle t = t.lanes * t.simd

@@ -52,6 +52,13 @@ let () =
       ("tiling", Validation);
       ("dram", Validation);
       ("calibration", Validation);
+      ("timing", Validation);
+      ("testbench", Validation);
+      ("axbench", Validation);
+      ("interval", Validation);
+      ("range-check", Validation);
+      ("mem-check", Validation);
+      ("check", Validation);
       ("config-search", Resource);
       ("generator", Resource);
       ("compiler", Resource);

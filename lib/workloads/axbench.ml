@@ -1,11 +1,13 @@
 (* fft *)
 
+let fail fmt = Db_util.Error.failf_at ~component:"axbench" fmt
+
 let fft_size = 8
 
 let fft_complex input =
   let n = Array.length input in
   if n land (n - 1) <> 0 || n = 0 then
-    invalid_arg "Axbench.fft_complex: length must be a power of two";
+    fail "fft_complex: length must be a power of two";
   let rec go input =
     let n = Array.length input in
     if n = 1 then input
@@ -29,7 +31,7 @@ let fft_complex input =
 
 let fft_golden samples =
   if Array.length samples <> fft_size then
-    invalid_arg "Axbench.fft_golden: wrong input length";
+    fail "fft_golden: wrong input length";
   let spectrum = fft_complex (Array.map (fun x -> (x, 0.0)) samples) in
   Array.map
     (fun (re, im) -> sqrt ((re *. re) +. (im *. im)) /. float_of_int fft_size)
@@ -57,7 +59,7 @@ let dct_basis =
                /. (2.0 *. float_of_int n))))
 
 let dct2 block =
-  if Array.length block <> block_n then invalid_arg "Axbench.dct2: wrong length";
+  if Array.length block <> block_n then fail "dct2: wrong length";
   let n = jpeg_block in
   let out = Array.make block_n 0.0 in
   for u = 0 to n - 1 do
@@ -74,7 +76,7 @@ let dct2 block =
   out
 
 let idct2 coeffs =
-  if Array.length coeffs <> block_n then invalid_arg "Axbench.idct2: wrong length";
+  if Array.length coeffs <> block_n then fail "idct2: wrong length";
   let n = jpeg_block in
   let out = Array.make block_n 0.0 in
   for y = 0 to n - 1 do
@@ -129,7 +131,7 @@ let sq_dist a b =
   !acc
 
 let kmeans_assign pixel =
-  if Array.length pixel <> 3 then invalid_arg "Axbench.kmeans_assign: need RGB";
+  if Array.length pixel <> 3 then fail "kmeans_assign: need RGB";
   let best = ref 0 in
   for k = 1 to kmeans_k - 1 do
     if sq_dist pixel kmeans_centroids.(k) < sq_dist pixel kmeans_centroids.(!best)

@@ -106,7 +106,7 @@ let test_templates_emit () =
   let blocks =
     [
       Block.make ~name:"neuron" ~fmt (Block.Synergy_neuron { simd = 2 });
-      Block.make ~name:"acc" ~fmt (Block.Accumulator { depth = 8 });
+      Block.make ~name:"acc" ~fmt (Block.Accumulator { depth = 8; acc_bits = 24 });
       Block.make ~name:"poolmax" ~fmt (Block.Pooling_unit { window = 2; pool = Block.Max_pool });
       Block.make ~name:"poolavg" ~fmt (Block.Pooling_unit { window = 3; pool = Block.Avg_pool });
       Block.make ~name:"act" ~fmt

@@ -467,7 +467,8 @@ let test_testbench_generation () =
 
 let test_testbench_validation () =
   Alcotest.check_raises "bad word bits"
-    (Invalid_argument "Testbench.generate: word_bits out of range") (fun () ->
+    (Db_util.Error.Deepburning_error "testbench: generate: word_bits out of range")
+    (fun () ->
       ignore
         (Db_hdl.Testbench.generate ~top:"x"
            {

@@ -74,7 +74,8 @@ let test_timing () =
   Alcotest.(check (float 1e-9)) "ms" 0.01 (Timing.cycles_to_ms t 1000);
   Alcotest.(check int) "inverse" 1000 (Timing.seconds_to_cycles t 1e-5);
   Alcotest.check_raises "bad frequency"
-    (Invalid_argument "Timing.at_mhz: non-positive frequency") (fun () ->
+    (Db_util.Error.Deepburning_error "timing: at_mhz: non-positive frequency")
+    (fun () ->
       ignore (Timing.at_mhz 0.0))
 
 let prop_fits_antisymmetric =

@@ -14,7 +14,8 @@ let fold_layer_plan dp layer = Folding.fold_op_plan dp (Db_ir.Op.of_layer layer)
 
 let test_datapath_validation () =
   Alcotest.check_raises "zero lanes"
-    (Invalid_argument "Datapath.make: lanes must be positive") (fun () ->
+    (Db_util.Error.Deepburning_error "datapath: make: lanes must be positive")
+    (fun () ->
       ignore (Datapath.make ~lanes:0 ()));
   Alcotest.(check int) "macs/cycle" 8
     (Datapath.macs_per_cycle (Datapath.make ~lanes:4 ~simd:2 ()))
