@@ -11,6 +11,11 @@
      the threshold percentage slower;
    - new entries in the fresh run are reported but never fail the gate, so
      adding a benchmark does not force a baseline bump on its own;
+   - throughput numbers (fault_campaign.injections_per_second and
+     sim_throughput.batched_samples_per_second) are higher-is-better: the
+     fresh run must reach at least (1 - threshold%) of the baseline.  A
+     baseline that predates a throughput field only warns, so the gate
+     stays usable across schema bumps;
    - a baseline produced with a different DEEPBURNING_JOBS, a different
      schema version, or in quick mode vs a full run only *warns*: those
      runs are not comparable enough to fail on, but the operator should
@@ -137,10 +142,58 @@ let () =
         else Some [ name; "-"; Printf.sprintf "%.0f" now; "-"; "new" ])
       fresh_ns
   in
+  (* Higher-is-better throughput gates.  [path] is section.field; the fresh
+     value must be at least (1 - threshold%) of the baseline's. *)
+  let throughput_field (section, field) =
+    let lookup j =
+      match Json.member section j with
+      | Some obj -> Option.map Json.to_number (Json.member field obj)
+      | None -> None
+    in
+    let label = section ^ "." ^ field in
+    match (lookup baseline, lookup fresh) with
+    | None, None -> None
+    | None, Some now ->
+        Some [ label; "-"; Printf.sprintf "%.0f" now; "-"; "new" ]
+    | Some base, None ->
+        fail
+          "throughput %s is in the baseline but missing from the fresh run; \
+           regenerate BENCH.json alongside the change that removed it"
+          label;
+        Some [ label; Printf.sprintf "%.0f" base; "missing"; "-"; "FAIL" ]
+    | Some base, Some now ->
+        let ratio = if base > 0.0 then now /. base else 1.0 in
+        let floor_ratio = 1.0 -. (!threshold /. 100.0) in
+        let verdict =
+          if ratio < floor_ratio then begin
+            fail "throughput %s dropped %.0f%%: %.0f -> %.0f per second" label
+              ((1.0 -. ratio) *. 100.0)
+              base now;
+            "FAIL"
+          end
+          else if ratio > 1.0 then "ok (faster)"
+          else "ok"
+        in
+        Some
+          [
+            label;
+            Printf.sprintf "%.0f" base;
+            Printf.sprintf "%.0f" now;
+            Printf.sprintf "%.2fx" ratio;
+            verdict;
+          ]
+  in
+  let throughput_rows =
+    List.filter_map throughput_field
+      [
+        ("fault_campaign", "injections_per_second");
+        ("sim_throughput", "batched_samples_per_second");
+      ]
+  in
   print_string
     (Db_report.Table.render
        ~headers:[ "benchmark"; "baseline ns"; "fresh ns"; "ratio"; "verdict" ]
-       ~rows:(rows @ new_rows));
+       ~rows:(rows @ new_rows @ throughput_rows));
   List.iter (fun w -> Printf.printf "WARN: %s\n" w) (List.rev !warnings);
   match List.rev !failures with
   | [] ->

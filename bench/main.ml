@@ -7,9 +7,10 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- fig8 table3  # selected sections
      dune exec bench/main.exe -- quick        # skip AlexNet/NiN scale
+     dune exec bench/main.exe -- full fig10   # unsampled fig10 (nightly)
    Sections: table1 table2 fig8 fig9 fig10 table3 summary training
              throughput ablation-tiling ablation-lut ablation-lanes
-             ablation-fixed report bechamel json
+             ablation-fixed faults report bechamel json
    (report writes RESULTS.md, json writes BENCH.json; both re-run whole
    experiments and are skipped by the default run) *)
 
@@ -19,12 +20,16 @@ let section_header title = Printf.printf "\n=== %s ===\n\n%!" title
 
 let quick = ref false
 
+let full = ref false
+
 (* Where the [json] section writes its output; CI redirects this with
    `--out` so the committed BENCH.json baseline stays untouched. *)
 let json_out = ref "BENCH.json"
 
 let config () =
-  if !quick then Experiments.quick_config else Experiments.default_config
+  if !quick then Experiments.quick_config
+  else if !full then Experiments.full_config
+  else Experiments.default_config
 
 (* fig8/fig9 share the generation+simulation work; memoise per run. *)
 let perf_rows : Experiments.perf_row list option ref = ref None
@@ -124,6 +129,64 @@ let run_ablation_fixed () =
        (Experiments.ablation_fixed_point cfg
           ~widths:[ (8, 4); (12, 6); (16, 8); (24, 12) ]))
 
+(* The fault-campaign benchmark setup, shared by the [faults] section and
+   the BENCH.json writer: a seeded single-bit SEU sweep over the ANN-0
+   accelerator (fresh Xavier weights; trained ones would only change the
+   outcomes, not the cost per injection). *)
+let fault_bench_setup () =
+  let cfg = config () in
+  let bench = Db_workloads.Benchmarks.find "ANN-0" in
+  let design = Experiments.design_for bench in
+  let net = design.Db_core.Design.network in
+  let rng = Db_util.Rng.create cfg.Experiments.seed in
+  let params = Db_nn.Params.init_xavier rng net in
+  let input_node = List.hd (Db_nn.Network.input_nodes net) in
+  let shape =
+    match input_node.Db_nn.Network.layer with
+    | Db_nn.Layer.Input { shape } -> shape
+    | _ -> assert false
+  in
+  let inputs =
+    Array.init 4 (fun _ ->
+        Db_tensor.Tensor.random_uniform rng shape ~min:(-1.0) ~max:1.0)
+  in
+  (design, params, List.hd input_node.Db_nn.Network.tops, inputs)
+
+let fault_bench_trials () = if !quick then 150 else 400
+
+let run_fault_campaign engine =
+  let design, params, input_blob, inputs = fault_bench_setup () in
+  Db_fault.Campaign.run ~design ~params ~input_blob ~inputs
+    {
+      Db_fault.Campaign.default_config with
+      Db_fault.Campaign.trials = fault_bench_trials ();
+      cycle_budget = 20_000;
+      rates = [ 1e-4 ];
+      engine;
+    }
+
+let run_faults () =
+  section_header "Fault-campaign engine A/B (ANN-0 SEU sweep)";
+  let trials = fault_bench_trials () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  ignore (fault_bench_setup ());
+  let spec, spec_s = time (fun () -> run_fault_campaign Db_fault.Campaign.Specialized) in
+  let gen, gen_s = time (fun () -> run_fault_campaign Db_fault.Campaign.Generic) in
+  let ips s = float_of_int trials /. s in
+  Printf.printf
+    "specialized: %d trials in %.4fs (%.0f injections/s)\n\
+     generic:     %d trials in %.4fs (%.0f injections/s)\n\
+     speedup:     %.2fx (outcomes %s)\n"
+    trials spec_s (ips spec_s) trials gen_s (ips gen_s) (gen_s /. spec_s)
+    (if
+       Db_fault.Campaign.render_json spec = Db_fault.Campaign.render_json gen
+     then "identical"
+     else "DIVERGED")
+
 let run_report () =
   section_header "Writing RESULTS.md (generated markdown report)";
   Db_report.Report_writer.write ~path:"RESULTS.md" (config ());
@@ -131,7 +194,13 @@ let run_report () =
 
 let bechamel_rows () =
   let open Bechamel in
-  let cfg_small = { Experiments.seed = 42; benchmarks = [ "ANN-0"; "CMAC" ] } in
+  let cfg_small =
+    {
+      Experiments.seed = 42;
+      benchmarks = [ "ANN-0"; "CMAC" ];
+      accuracy_samples = Experiments.default_config.Experiments.accuracy_samples;
+    }
+  in
   let bench_of name f = Test.make ~name (Staged.stage f) in
   let tests =
     Test.make_grouped ~name:"deepburning"
@@ -263,8 +332,51 @@ let git_rev () =
   with Unix.Unix_error _ | Sys_error _ -> "unknown"
 
 (* Bumped whenever BENCH.json's shape changes; the checker warns on
-   baselines from another schema rather than mis-reading them. *)
-let bench_schema_version = 2
+   baselines from another schema rather than mis-reading them.  v3 adds
+   the [sim_throughput] section (specialized-engine batched playback). *)
+let bench_schema_version = 3
+
+(* Specialized-engine playback throughput on the MNIST accelerator: trace
+   compilation cost, then the same input set replayed one sample at a time
+   (per-call bind + quantize) versus through the batched entry point (one
+   bind for the whole set). *)
+let sim_throughput_micro () =
+  let batch_n = 32 in
+  let bench = Db_workloads.Benchmarks.find "MNIST" in
+  let design = Experiments.design_for bench in
+  let net = design.Db_core.Design.network in
+  let rng = Db_util.Rng.create 7 in
+  let params = Db_nn.Params.init_xavier rng net in
+  let input_node = List.hd (Db_nn.Network.input_nodes net) in
+  let shape =
+    match input_node.Db_nn.Network.layer with
+    | Db_nn.Layer.Input { shape } -> shape
+    | _ -> assert false
+  in
+  let blob = List.hd input_node.Db_nn.Network.tops in
+  let inputs =
+    Array.init batch_n (fun _ ->
+        Db_tensor.Tensor.random_uniform rng shape ~min:(-1.0) ~max:1.0)
+  in
+  let _, compile_s = time (fun () -> Db_sim.Specialize.compile design) in
+  let _, single_s =
+    time (fun () ->
+        Array.iter
+          (fun input ->
+            ignore
+              (Db_sim.Simulator.functional_output design params
+                 ~inputs:[ (blob, input) ]))
+          inputs)
+  in
+  let _, batched_s =
+    time (fun () ->
+        ignore
+          (Db_sim.Simulator.functional_output_batch design params
+             ~batch:
+               (Array.to_list
+                  (Array.map (fun input -> [ (blob, input) ]) inputs))))
+  in
+  (batch_n, compile_s, single_s, batched_s)
 
 let run_json () =
   section_header "Writing BENCH.json (per-section wall-clock + ns/run)";
@@ -313,36 +425,13 @@ let run_json () =
     in
     s
   in
-  (* Fault-campaign throughput: seeded single-bit SEU sweep over the ANN-0
-     accelerator (fresh Xavier weights; trained ones would only change the
-     outcomes, not the cost per injection). *)
-  let fault_trials = if !quick then 150 else 400 in
+  (* Fault-campaign throughput (specialized engine — the default). *)
+  let fault_trials = fault_bench_trials () in
   let fault_result, faults_s =
-    time (fun () ->
-        let bench = Db_workloads.Benchmarks.find "ANN-0" in
-        let design = Experiments.design_for bench in
-        let net = design.Db_core.Design.network in
-        let rng = Db_util.Rng.create cfg.Experiments.seed in
-        let params = Db_nn.Params.init_xavier rng net in
-        let input_node = List.hd (Db_nn.Network.input_nodes net) in
-        let shape =
-          match input_node.Db_nn.Network.layer with
-          | Db_nn.Layer.Input { shape } -> shape
-          | _ -> assert false
-        in
-        let inputs =
-          Array.init 4 (fun _ ->
-              Db_tensor.Tensor.random_uniform rng shape ~min:(-1.0) ~max:1.0)
-        in
-        Db_fault.Campaign.run ~design ~params
-          ~input_blob:(List.hd input_node.Db_nn.Network.tops)
-          ~inputs
-          {
-            Db_fault.Campaign.default_config with
-            Db_fault.Campaign.trials = fault_trials;
-            cycle_budget = 20_000;
-            rates = [ 1e-4 ];
-          })
+    time (fun () -> run_fault_campaign Db_fault.Campaign.Specialized)
+  in
+  let sim_batch_n, sim_compile_s, sim_single_s, sim_batched_s =
+    sim_throughput_micro ()
   in
   let micros =
     List.map conv_micro
@@ -383,6 +472,14 @@ let run_json () =
     (float_of_int fault_trials /. faults_s)
     (Db_fault.Campaign.silent_fraction
        fault_result.Db_fault.Campaign.res_total);
+  Printf.bprintf buf
+    "  \"sim_throughput\": { \"benchmark\": \"MNIST\", \"batch\": %d, \
+     \"trace_compile_seconds\": %s, \"single_seconds\": %s, \
+     \"batched_seconds\": %s, \"single_samples_per_second\": %.1f, \
+     \"batched_samples_per_second\": %.1f },\n"
+    sim_batch_n (fsec sim_compile_s) (fsec sim_single_s) (fsec sim_batched_s)
+    (float_of_int sim_batch_n /. sim_single_s)
+    (float_of_int sim_batch_n /. sim_batched_s);
   Buffer.add_string buf "  \"conv_micro\": [\n";
   Buffer.add_string buf
     (String.concat ",\n"
@@ -427,6 +524,7 @@ let sections =
     ("ablation-lut", run_ablation_lut);
     ("ablation-lanes", run_ablation_lanes);
     ("ablation-fixed", run_ablation_fixed);
+    ("faults", run_faults);
     ("report", run_report);
     ("bechamel", run_bechamel);
     ("json", run_json);
@@ -438,6 +536,9 @@ let () =
     | [] -> List.rev acc
     | ("quick" | "--quick") :: rest ->
         quick := true;
+        strip_flags acc rest
+    | ("full" | "--full") :: rest ->
+        full := true;
         strip_flags acc rest
     | "--out" :: path :: rest ->
         json_out := path;

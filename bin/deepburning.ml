@@ -440,6 +440,17 @@ let faults_cmd =
       & info [ "budget" ] ~docv:"CYCLES"
           ~doc:"Watchdog cycle budget for control playback.")
   in
+  let engine_arg =
+    Arg.(
+      value
+      & opt (enum [ ("specialized", Campaign.Specialized); ("generic", Campaign.Generic) ])
+          Campaign.Specialized
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Simulation engine: $(b,specialized) replays the design's \
+             compiled trace (fast, the default); $(b,generic) re-quantizes \
+             and interprets per trial.  Results are byte-identical.")
+  in
   let inputs_arg =
     Arg.(
       value & opt int 8
@@ -501,8 +512,9 @@ let faults_cmd =
     | "fsm" | "control-fsm" -> Site.Control_fsm
     | other -> Db_util.Error.failf_at ~component:"fault" "unknown target class %S" other
   in
-  let run model_path constraint_path tiling seed trials budget ninputs protect
-      p_weights p_biases p_luts p_buffers p_agu rates targets json trace =
+  let run model_path constraint_path tiling seed trials budget engine ninputs
+      protect p_weights p_biases p_luts p_buffers p_agu rates targets json
+      trace =
     wrap ?trace (fun () ->
         if ninputs <= 0 then
           Db_util.Error.failf_at ~component:"fault"
@@ -576,6 +588,7 @@ let faults_cmd =
             protection;
             rates;
             targets;
+            engine;
           }
         in
         let result =
@@ -594,7 +607,7 @@ let faults_cmd =
           bill.")
     Term.(
       const run $ net_arg $ constraint_arg $ tiling_arg $ seed_arg
-      $ trials_arg $ budget_arg $ inputs_arg $ protect_arg
+      $ trials_arg $ budget_arg $ engine_arg $ inputs_arg $ protect_arg
       $ per_class_protect "weights" $ per_class_protect "biases"
       $ per_class_protect "luts" $ per_class_protect "buffers"
       $ per_class_protect "agu" $ rates_arg $ targets_arg $ json_arg

@@ -77,7 +77,7 @@ let () =
                  in
                  Db_util.Stats.rel_distance_accuracy
                    ~golden:(Axbench.jpeg_golden input)
-                   ~approx:(Tensor.data out))
+                   ~approx:(Tensor.to_array out))
                eval_set)
         in
         let design =

@@ -42,6 +42,14 @@ module D = Db_analysis.Diagnostic
 
 let fail fmt = Db_util.Error.failf_at ~component:"range-check" fmt
 
+(* Tensor buffers are float64 Bigarrays; rebind flat indexing for the
+   weight/bias tap readers below ([external] so the primitive inlines
+   instead of going through a boxing C stub). *)
+external ( .%() ) :
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  int ->
+  float = "%caml_ba_ref_1"
+
 let code_input_escape = "DB-R001"
 
 let code_param_escape = "DB-R002"
@@ -255,8 +263,8 @@ let conv_bounds mode (node : Graph.node) ~num_output ~kernel_size ~pad ~group
         | _ -> None
       in
       weighted_bounds ~include_zero:(pad > 0) ~units:num_output ~taps
-        ~tap:(fun u i -> wdata.((u * taps) + i))
-        ~bias:(fun u -> match bdata with Some b -> b.(u) | None -> 0.0)
+        ~tap:(fun u i -> wdata.%((u * taps) + i))
+        ~bias:(fun u -> match bdata with Some b -> b.%(u) | None -> 0.0)
         x
   | Some [] | None -> begin
       match node.Graph.param_shapes with
@@ -279,8 +287,8 @@ let fc_bounds mode (node : Graph.node) ~num_output ~has_bias x =
         | _ -> None
       in
       weighted_bounds ~include_zero:false ~units:num_output ~taps
-        ~tap:(fun u i -> wdata.((u * taps) + i))
-        ~bias:(fun u -> match bdata with Some b -> b.(u) | None -> 0.0)
+        ~tap:(fun u i -> wdata.%((u * taps) + i))
+        ~bias:(fun u -> match bdata with Some b -> b.%(u) | None -> 0.0)
         x
   | Some [] | None -> begin
       match node.Graph.param_shapes with
@@ -309,9 +317,9 @@ let recurrent_bounds mode (node : Graph.node) ~num_output ~has_bias x =
         let taps = nin + num_output in
         weighted_bounds ~include_zero:false ~units:num_output ~taps
           ~tap:(fun u i ->
-            if i < nin then win.((u * nin) + i)
-            else wrec.((u * num_output) + i - nin))
-          ~bias:(fun u -> match bdata with Some b -> b.(u) | None -> 0.0)
+            if i < nin then win.%((u * nin) + i)
+            else wrec.%((u * num_output) + i - nin))
+          ~bias:(fun u -> match bdata with Some b -> b.%(u) | None -> 0.0)
           (Interval.join x state)
     | Some _ | None -> begin
         let bound =

@@ -5,13 +5,54 @@
    that optimize to the same graph (e.g. differing only in elided
    dropout) share one cache entry. *)
 
+(* The canonical-IR half of the key depends only on the network, and
+   lowering + optimizing it costs tens of microseconds even for small
+   nets — paid on every *hit* without this memo, which dominates warm
+   [generate] calls (the experiment harness and DSE loops look the same
+   design up constantly).  Networks are immutable once built, so the
+   dump is memoised per network identity, bounded like the artifact
+   caches below. *)
+let canonical_dumps : (Db_nn.Network.t * string) list ref = ref []
+
+let canonical_dumps_lock = Mutex.create ()
+
+let canonical_dumps_max = 64
+
+let canonical_dump network =
+  let cached =
+    Mutex.lock canonical_dumps_lock;
+    let r = List.find_opt (fun (n, _) -> n == network) !canonical_dumps in
+    Mutex.unlock canonical_dumps_lock;
+    r
+  in
+  match cached with
+  | Some (_, dump) -> dump
+  | None ->
+      let dump =
+        Db_ir.Print.to_string
+          (Db_ir.Pass.optimize ~verify:false (Db_ir.Lower.lower network))
+      in
+      Mutex.lock canonical_dumps_lock;
+      (match List.find_opt (fun (n, _) -> n == network) !canonical_dumps with
+      | Some (_, existing) ->
+          Mutex.unlock canonical_dumps_lock;
+          ignore existing
+      | None ->
+          let trimmed =
+            if List.length !canonical_dumps >= canonical_dumps_max then
+              List.filteri
+                (fun i _ -> i < canonical_dumps_max - 1)
+                !canonical_dumps
+            else !canonical_dumps
+          in
+          canonical_dumps := (network, dump) :: trimmed;
+          Mutex.unlock canonical_dumps_lock);
+      dump
+
 let fmt_key ?lanes ~tiling_enabled cons network =
   let buf = Buffer.create 1024 in
   let fmt = Format.formatter_of_buffer buf in
-  let canonical =
-    Db_ir.Pass.optimize ~verify:false (Db_ir.Lower.lower network)
-  in
-  Format.pp_print_string fmt (Db_ir.Print.to_string canonical);
+  Format.pp_print_string fmt (canonical_dump network);
   let b = cons.Constraints.budget in
   let f = cons.Constraints.fmt in
   Format.fprintf fmt
@@ -75,9 +116,79 @@ let generate_with_lanes ?(tiling_enabled = true) cons network ~lanes =
 
 let stats () = (Atomic.get hit_count, Atomic.get miss_count)
 
+(* Derived-artifact side caches (compiled simulation traces, memoised
+   timing reports, ...) register a clear hook here so [clear] drops them
+   together with the designs they were derived from — a stale artifact
+   keyed on a dropped design would pin it alive forever. *)
+let artifact_hooks : (unit -> unit) list ref = ref []
+
+let artifact_hooks_lock = Mutex.create ()
+
+module Artifact (V : sig
+  type t
+end) =
+struct
+  (* Identity-keyed: a design is only ever reachable through this cache or
+     through the caller's own handle, and [memo] guarantees one canonical
+     value per key, so physical equality is the natural artifact key — no
+     re-serialisation of the design, no hashing of megabyte RTL strings. *)
+  let store : (Design.t * V.t) list ref = ref []
+
+  let store_lock = Mutex.create ()
+
+  let max_entries = 64
+
+  let () =
+    Mutex.lock artifact_hooks_lock;
+    artifact_hooks :=
+      (fun () ->
+        Mutex.lock store_lock;
+        store := [];
+        Mutex.unlock store_lock)
+      :: !artifact_hooks;
+    Mutex.unlock artifact_hooks_lock
+
+  let find design ~compile =
+    let cached =
+      Mutex.lock store_lock;
+      let r = List.find_opt (fun (d, _) -> d == design) !store in
+      Mutex.unlock store_lock;
+      r
+    in
+    match cached with
+    | Some (_, v) ->
+        Db_obs.Obs.incr "design_cache.artifact_hits";
+        v
+    | None ->
+        Db_obs.Obs.incr "design_cache.artifact_misses";
+        let v = compile design in
+        Mutex.lock store_lock;
+        let v =
+          match List.find_opt (fun (d, _) -> d == design) !store with
+          | Some (_, existing) -> existing
+          | None ->
+              let kept =
+                if List.length !store >= max_entries then
+                  List.filteri (fun i _ -> i < max_entries - 1) !store
+                else !store
+              in
+              store := (design, v) :: kept;
+              v
+        in
+        Mutex.unlock store_lock;
+        v
+end
+
 let clear () =
   Mutex.lock lock;
   Hashtbl.reset table;
   Mutex.unlock lock;
+  Mutex.lock canonical_dumps_lock;
+  canonical_dumps := [];
+  Mutex.unlock canonical_dumps_lock;
+  Mutex.lock artifact_hooks_lock;
+  let hooks = !artifact_hooks in
+  Mutex.unlock artifact_hooks_lock;
+  List.iter (fun f -> f ()) hooks;
   Atomic.set hit_count 0;
   Atomic.set miss_count 0

@@ -20,5 +20,23 @@ val generate_with_lanes :
 val stats : unit -> int * int
 (** [(hits, misses)] since start or the last {!clear}. *)
 
+(** Per-design derived-artifact cache (compiled simulation traces, memoised
+    timing reports, ...).  Each instantiation owns an identity-keyed store:
+    entries are keyed on the physical {!Design.t} value, which is canonical
+    because {!generate} memoises, so [==] is both cheap and correct.  The
+    store registers itself with {!clear} and is dropped alongside the
+    design table.  Generative: instantiate once per artifact kind at module
+    level, not per call. *)
+module Artifact (V : sig
+  type t
+end) : sig
+  val find : Design.t -> compile:(Design.t -> V.t) -> V.t
+  (** Return the cached artifact for this exact design value, compiling and
+      inserting it on first use.  [compile] runs outside the store lock;
+      concurrent racers on the same design both compile and the first
+      insert wins.  Safe to call from pool workers. *)
+end
+
 val clear : unit -> unit
-(** Drop every cached design and reset {!stats}. *)
+(** Drop every cached design (and every registered {!Artifact} store) and
+    reset {!stats}. *)

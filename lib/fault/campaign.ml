@@ -38,6 +38,8 @@ let scheme_for p = function
   | Site.Agu_config -> p.agu
   | Site.Control_fsm -> Protect.Unprotected
 
+type engine = Generic | Specialized
+
 type config = {
   seed : int;
   trials : int;
@@ -45,6 +47,7 @@ type config = {
   protection : protection;
   rates : float list;
   targets : Site.target_class list;
+  engine : engine;
 }
 
 let default_config =
@@ -55,6 +58,7 @@ let default_config =
     protection = unprotected;
     rates = [ 1e-7; 1e-6; 1e-5; 1e-4; 1e-3 ];
     targets = Site.all_classes;
+    engine = Specialized;
   }
 
 type outcome = Masked | Sdc | Top1_flip | Corrected | Retried | Hang
@@ -137,11 +141,13 @@ let quantize_luts fmt luts =
     luts
 
 let tensors_equal a b =
-  let da = Tensor.data a and db = Tensor.data b in
-  Array.length da = Array.length db
+  Tensor.numel a = Tensor.numel b
   &&
   let ok = ref true in
-  Array.iteri (fun i x -> if x <> db.(i) then ok := false) da;
+  for i = 0 to Tensor.numel a - 1 do
+    (* structural [<>], as before: NaN differs from everything incl. itself *)
+    if Tensor.unsafe_get a i <> Tensor.unsafe_get b i then ok := false
+  done;
   !ok
 
 (* Shallow rebuild: every tensor shared except the one replaced, so a
@@ -177,18 +183,36 @@ let agu_with_field (p : Access_pattern.t) field v =
   | Site.Offset -> { p with Access_pattern.offset = v }
   | Site.Repeat -> { p with Access_pattern.repeat = v }
 
-(* Address stream straight from the counter arithmetic, with no
+(* Address streams straight from the counter arithmetic, with no
    validation: a corrupted register produces whatever the counters
-   produce. *)
-let agu_addresses (p : Access_pattern.t) =
-  let row = p.Access_pattern.x_length in
-  let block = row * p.Access_pattern.y_length in
-  List.init (block * p.Access_pattern.repeat) (fun i ->
-      let b = i / block and w = i mod block in
-      p.Access_pattern.start
-      + (b * p.Access_pattern.offset)
-      + (w / row * p.Access_pattern.stride)
-      + (w mod row))
+   produce.  Compared in place — equal iff the streams have the same
+   length and agree pointwise — so the common early-mismatch case
+   (a flipped start or stride register) costs a couple of integer
+   comparisons instead of materialising both streams. *)
+let agu_addresses_equal (g : Access_pattern.t) (c : Access_pattern.t) =
+  let row_g = g.Access_pattern.x_length
+  and row_c = c.Access_pattern.x_length in
+  let block_g = row_g * g.Access_pattern.y_length
+  and block_c = row_c * c.Access_pattern.y_length in
+  let n = block_g * g.Access_pattern.repeat in
+  n = block_c * c.Access_pattern.repeat
+  &&
+  let rec agree i =
+    i >= n
+    ||
+    let bg = i / block_g and wg = i mod block_g in
+    let bc = i / block_c and wc = i mod block_c in
+    g.Access_pattern.start
+    + (bg * g.Access_pattern.offset)
+    + (wg / row_g * g.Access_pattern.stride)
+    + (wg mod row_g)
+    = c.Access_pattern.start
+      + (bc * c.Access_pattern.offset)
+      + (wc / row_c * c.Access_pattern.stride)
+      + (wc mod row_c)
+    && agree (i + 1)
+  in
+  agree 0
 
 let agu_cycles (p : Access_pattern.t) =
   let words =
@@ -208,7 +232,7 @@ let classify_agu ~budget golden corrupted =
     || corrupted.Access_pattern.repeat <= 0
   then Hang
   else if agu_cycles corrupted > budget then Hang
-  else if agu_addresses corrupted = agu_addresses golden then Masked
+  else if agu_addresses_equal golden corrupted then Masked
   else Sdc
 
 (* ------------------------------------------------------------------ *)
@@ -242,6 +266,19 @@ let run ~design ~params ~input_blob ~inputs (config : config) =
   let forward ~params ~eval input =
     Quantized.output ~eval ~fmt net params ~inputs:[ (input_blob, input) ]
   in
+  (* The specialized engine binds the parameter set once and replays the
+     design's compiled trace per trial; faulty trials swap in a single
+     flipped tensor in the stored-word domain instead of re-quantizing the
+     whole parameter store.  Both engines are bitwise-identical (the
+     spec-equivalence property tests compare whole campaign JSON outputs),
+     so [config.engine] only trades speed.  Forced lazily so a Generic
+     campaign never compiles the trace. *)
+  let bound0 =
+    lazy (Db_sim.Specialize.bind (Db_sim.Specialize.of_design design) params)
+  in
+  let qforward_spec ~bound ~eval input =
+    Db_sim.Specialize.qoutput ~eval bound ~inputs:[ (input_blob, input) ]
+  in
   let classifier =
     match Graph.last_node design.Design.ir with
     | Some last -> Db_ir.Op.is_classifier last.Graph.op
@@ -250,8 +287,43 @@ let run ~design ~params ~input_blob ~inputs (config : config) =
   let top1_of t =
     if classifier then int_of_float (Tensor.get t 0) else Tensor.max_index t
   in
-  let golden = Array.map (fun i -> forward ~params ~eval i) inputs in
-  let golden_top1 = Array.map top1_of golden in
+  (* The generic engine classifies dequantized float tensors; the
+     specialized engine classifies the underlying Q-words directly.
+     [Fixed.to_float] is injective and strictly monotone on stored words
+     (v * 2^-frac, exact in binary64), and the classifier head emits
+     [float_of_int] of class indices, so word-array equality and
+     first-strict-max argmax agree exactly with the float comparison —
+     while skipping the per-trial dequantize and Bigarray allocation. *)
+  let qtop1_of (q : Quantized.qtensor) =
+    if classifier then q.Quantized.qdata.(0)
+    else begin
+      let d = q.Quantized.qdata in
+      if Array.length d = 0 then
+        Db_util.Error.failf_at ~component:"tensor" "max_index: empty tensor";
+      let best = ref 0 in
+      for i = 1 to Array.length d - 1 do
+        if Array.unsafe_get d i > Array.unsafe_get d !best then best := i
+      done;
+      !best
+    end
+  in
+  let golden_q =
+    match config.engine with
+    | Specialized ->
+        let bound = Lazy.force bound0 in
+        Array.map (fun i -> qforward_spec ~bound ~eval i) inputs
+    | Generic -> [||]
+  in
+  let golden =
+    match config.engine with
+    | Generic -> Array.map (fun i -> forward ~params ~eval i) inputs
+    | Specialized -> [||]
+  in
+  let golden_top1 =
+    match config.engine with
+    | Generic -> Array.map top1_of golden
+    | Specialized -> Array.map qtop1_of golden_q
+  in
   let stored_bits cls ~word_bits =
     Protect.stored_bits (scheme_for config.protection cls) ~word_bits
   in
@@ -263,6 +335,21 @@ let run ~design ~params ~input_blob ~inputs (config : config) =
   let classify_output input_idx out =
     if tensors_equal out golden.(input_idx) then Masked
     else if top1_of out = golden_top1.(input_idx) then Sdc
+    else Top1_flip
+  in
+  let qwords_equal a b =
+    Array.length a = Array.length b
+    &&
+    let n = Array.length a in
+    let rec go i =
+      i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1))
+    in
+    go 0
+  in
+  let classify_qoutput input_idx (q : Quantized.qtensor) =
+    if qwords_equal q.Quantized.qdata golden_q.(input_idx).Quantized.qdata
+    then Masked
+    else if qtop1_of q = golden_top1.(input_idx) then Sdc
     else Top1_flip
   in
   let run_trial t =
@@ -281,16 +368,40 @@ let run ~design ~params ~input_blob ~inputs (config : config) =
           with
           | Protect.Corrected -> Corrected
           | Protect.Reloaded -> Retried
-          | Protect.Silent w ->
+          | Protect.Silent w -> (
               let v' = sign_extend word_bits w in
               if v' = v then Masked
-              else begin
-                let t' = Tensor.copy tens in
-                Tensor.set t' word (Fixed.to_float fmt v');
-                let params' = substitute_param params node tensor t' in
-                classify_output input_idx
-                  (forward ~params:params' ~eval inputs.(input_idx))
-              end)
+              else
+                match config.engine with
+                | Generic ->
+                    let t' = Tensor.copy tens in
+                    Tensor.set t' word (Fixed.to_float fmt v');
+                    let params' = substitute_param params node tensor t' in
+                    classify_output input_idx
+                      (forward ~params:params' ~eval inputs.(input_idx))
+                | Specialized ->
+                    (* Flip directly in the pre-quantized store.  The
+                       generic path writes [to_float v'] into the float
+                       tensor and re-quantizes on entry; in-range Q-words
+                       round-trip exactly through of_float/to_float, so
+                       landing [v'] in the qdata word is the same fault. *)
+                    let bound = Lazy.force bound0 in
+                    let qts = Db_sim.Specialize.node_qparams bound ~node in
+                    let qts' =
+                      List.mapi
+                        (fun i (q : Quantized.qtensor) ->
+                          if i = tensor then begin
+                            let qdata = Array.copy q.Quantized.qdata in
+                            qdata.(word) <- v';
+                            { q with Quantized.qdata = qdata }
+                          end
+                          else q)
+                        qts
+                    in
+                    classify_qoutput input_idx
+                      (qforward_spec
+                         ~bound:(Db_sim.Specialize.with_node_params bound ~node qts')
+                         ~eval inputs.(input_idx))))
       | Site.P_lut { lut } -> (
           let l =
             List.find (fun l -> String.equal l.Approx_lut.lut_name lut) luts
@@ -316,9 +427,15 @@ let run ~design ~params ~input_blob ~inputs (config : config) =
                       else x)
                     luts
                 in
-                classify_output input_idx
-                  (forward ~params ~eval:(Db_sim.Lut_eval.of_luts luts')
-                     inputs.(input_idx))
+                let eval' = Db_sim.Lut_eval.of_luts luts' in
+                match config.engine with
+                | Generic ->
+                    classify_output input_idx
+                      (forward ~params ~eval:eval' inputs.(input_idx))
+                | Specialized ->
+                    classify_qoutput input_idx
+                      (qforward_spec ~bound:(Lazy.force bound0) ~eval:eval'
+                         inputs.(input_idx))
               end)
       | Site.P_buffer _ -> (
           let input = inputs.(input_idx) in
@@ -335,7 +452,12 @@ let run ~design ~params ~input_blob ~inputs (config : config) =
               else begin
                 let input' = Tensor.copy input in
                 Tensor.set input' word (Fixed.to_float fmt v');
-                classify_output input_idx (forward ~params ~eval input')
+                match config.engine with
+                | Generic ->
+                    classify_output input_idx (forward ~params ~eval input')
+                | Specialized ->
+                    classify_qoutput input_idx
+                      (qforward_spec ~bound:(Lazy.force bound0) ~eval input')
               end)
       | Site.P_agu { program; transfer } -> (
           let p = List.nth design.Design.program.Compiler.programs program in
@@ -365,14 +487,23 @@ let run ~design ~params ~input_blob ~inputs (config : config) =
             match p.Compiler.transfers with
             | [] -> Hang
             | tr :: _ -> (
-                let agu = Db_mem.Agu_sim.create tr.Compiler.pattern in
-                Db_mem.Agu_sim.inject_stuck_state agu;
-                match
-                  Db_mem.Agu_sim.run_to_completion
-                    ~max_cycles:config.cycle_budget agu
-                with
-                | _ -> Masked (* unreachable: a stuck machine never finishes *)
-                | exception Db_util.Error.Timeout _ -> Hang)
+                match config.engine with
+                | Specialized ->
+                    (* A stuck one-hot state register provably never raises
+                       [done_pulse] ([Agu_sim.step] re-enters the corrupted
+                       state forever), so with a positive budget the
+                       watchdog always fires and records no counters —
+                       clocking the machine can only ever return Hang. *)
+                    Hang
+                | Generic -> (
+                    let agu = Db_mem.Agu_sim.create tr.Compiler.pattern in
+                    Db_mem.Agu_sim.inject_stuck_state agu;
+                    match
+                      Db_mem.Agu_sim.run_to_completion
+                        ~max_cycles:config.cycle_budget agu
+                    with
+                    | _ -> Masked (* unreachable: a stuck machine never finishes *)
+                    | exception Db_util.Error.Timeout _ -> Hang))
           end
     in
     Db_obs.Obs.incr "faults.trials";
@@ -440,25 +571,72 @@ let run ~design ~params ~input_blob ~inputs (config : config) =
             in
             if nflips = 0 then hits.(i) <- true
             else begin
-              let params' = Params.copy params in
               let input' = Tensor.copy inputs.(i) in
-              for _ = 1 to nflips do
-                let g, word, bit = Site.pick data_space rng in
-                let flip_word t =
-                  let v = Fixed.of_float fmt (Tensor.get t word) in
-                  let v' =
-                    sign_extend word_bits ((v land word_mask) lxor (1 lsl bit))
-                  in
-                  Tensor.set t word (Fixed.to_float fmt v')
-                in
-                match g.Site.g_payload with
-                | Site.P_param { node; tensor } ->
-                    flip_word (List.nth (Params.get params' node) tensor)
-                | Site.P_buffer _ -> flip_word input'
-                | _ -> ()
-              done;
-              let out = forward ~params:params' ~eval input' in
-              hits.(i) <- top1_of out = golden_top1.(i)
+              let flip_q v bit =
+                sign_extend word_bits ((v land word_mask) lxor (1 lsl bit))
+              in
+              let flip_float_word t word bit =
+                let v = Fixed.of_float fmt (Tensor.get t word) in
+                Tensor.set t word (Fixed.to_float fmt (flip_q v bit))
+              in
+              let t1 =
+                match config.engine with
+                | Generic ->
+                    let params' = Params.copy params in
+                    for _ = 1 to nflips do
+                      let g, word, bit = Site.pick data_space rng in
+                      match g.Site.g_payload with
+                      | Site.P_param { node; tensor } ->
+                          flip_float_word
+                            (List.nth (Params.get params' node) tensor)
+                            word bit
+                      | Site.P_buffer _ -> flip_float_word input' word bit
+                      | _ -> ()
+                    done;
+                    top1_of (forward ~params:params' ~eval input')
+                | Specialized ->
+                    (* Same flips, applied in the stored-word domain over
+                       copies of the bound trace's quantized tensors —
+                       copied per touched node so the shared golden bound
+                       is never mutated.  The RNG draw order matches the
+                       generic branch exactly. *)
+                    let bound = Lazy.force bound0 in
+                    let touched : (string, Quantized.qtensor list) Hashtbl.t =
+                      Hashtbl.create 4
+                    in
+                    for _ = 1 to nflips do
+                      let g, word, bit = Site.pick data_space rng in
+                      match g.Site.g_payload with
+                      | Site.P_param { node; tensor } ->
+                          let qts =
+                            match Hashtbl.find_opt touched node with
+                            | Some qts -> qts
+                            | None ->
+                                List.map
+                                  (fun (q : Quantized.qtensor) ->
+                                    {
+                                      q with
+                                      Quantized.qdata =
+                                        Array.copy q.Quantized.qdata;
+                                    })
+                                  (Db_sim.Specialize.node_qparams bound ~node)
+                          in
+                          let q = List.nth qts tensor in
+                          q.Quantized.qdata.(word) <-
+                            flip_q q.Quantized.qdata.(word) bit;
+                          Hashtbl.replace touched node qts
+                      | Site.P_buffer _ -> flip_float_word input' word bit
+                      | _ -> ()
+                    done;
+                    let bound' =
+                      Hashtbl.fold
+                        (fun node qts b ->
+                          Db_sim.Specialize.with_node_params b ~node qts)
+                        touched bound
+                    in
+                    qtop1_of (qforward_spec ~bound:bound' ~eval input')
+              in
+              hits.(i) <- t1 = golden_top1.(i)
             end);
         let correct =
           Array.fold_left (fun a h -> if h then a + 1 else a) 0 hits

@@ -21,6 +21,15 @@ val unprotected : protection
 val scheme_for : protection -> Site.target_class -> Protect.scheme
 (** [Control_fsm] is never protected (the watchdog is its mitigation). *)
 
+type engine =
+  | Generic
+      (** re-quantize and interpret per trial ({!Db_nn.Quantized.output}) —
+          the oracle the specialized engine is property-tested against *)
+  | Specialized
+      (** replay the design's compiled trace ({!Db_sim.Specialize}):
+          parameters quantized once, faulty trials swap in single flipped
+          tensors in the stored-word domain *)
+
 type config = {
   seed : int;
   trials : int;
@@ -28,6 +37,9 @@ type config = {
   protection : protection;
   rates : float list;  (** fault rates for the degradation curve *)
   targets : Site.target_class list;
+  engine : engine;
+      (** both engines produce byte-identical results for a fixed seed;
+          [Specialized] (the default) is an order of magnitude faster *)
 }
 
 val default_config : config

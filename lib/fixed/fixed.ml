@@ -54,7 +54,9 @@ let shift_right_approx q v n =
   if n < 0 then invalid_arg "Fixed.shift_right_approx: negative shift";
   saturate q (v asr n)
 
-let quantize_tensor q t = Array.map (of_float q) (Db_tensor.Tensor.data t)
+let quantize_tensor q t =
+  let n = Db_tensor.Tensor.numel t in
+  Array.init n (fun i -> of_float q (Db_tensor.Tensor.unsafe_get t i))
 
 let dequantize_tensor q ~shape values =
   Db_tensor.Tensor.of_array shape (Array.map (to_float q) values)

@@ -25,6 +25,24 @@ val quantize : Db_fixed.Fixed.format -> Db_tensor.Tensor.t -> qtensor
 
 val dequantize : Db_fixed.Fixed.format -> qtensor -> Db_tensor.Tensor.t
 
+val rescale_acc : Db_fixed.Fixed.format -> int -> int
+(** Rescale a wide multiply-accumulate result ([frac*2] fractional bits)
+    back to the working format: round-to-nearest, then saturate.  Exposed
+    for the specialized simulation engine, whose precompiled kernels must
+    rescale exactly as the generic ones do. *)
+
+val eval_node :
+  Db_fixed.Fixed.format ->
+  function_eval ->
+  Layer.t ->
+  params:qtensor list ->
+  bottoms:qtensor list ->
+  qtensor
+(** Evaluate one non-input layer on already-quantised params and bottoms.
+    This is the per-node kernel behind {!forward}; the specialized engine
+    delegates float-order-sensitive layers (LRN, softmax, recurrent, ...)
+    to it verbatim so both engines stay bitwise identical. *)
+
 val forward :
   ?eval:function_eval ->
   fmt:Db_fixed.Fixed.format ->

@@ -8,10 +8,17 @@
 type run_config = {
   seed : int;
   benchmarks : string list;  (** subset of Table 2's names *)
+  accuracy_samples : int option;
+      (** [Some n] scores Fig. 10 on the first [n] eval inputs per
+          benchmark; [None] replays the complete eval set *)
 }
 
 val default_config : run_config
-(** seed 42, all eight benchmarks. *)
+(** seed 42, all eight benchmarks, sampled Fig. 10 sweep. *)
+
+val full_config : run_config
+(** [default_config] with the complete Fig. 10 eval sweep — the nightly
+    configuration, selected by the harness's [--full] flag. *)
 
 val quick_config : run_config
 (** The small benchmarks only (skips AlexNet/NiN scale); used by tests. *)

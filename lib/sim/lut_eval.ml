@@ -6,25 +6,32 @@ let find luts name =
 
 let of_luts luts =
   let exact = Quantized.exact_eval in
-  let via name fallback x =
-    match find luts name with
-    | Some lut -> Approx_lut.eval lut x
-    | None -> fallback x
+  (* Table lookups are resolved once here, not per evaluated element: a
+     forward pass calls these closures once per activation word, and the
+     LUT list is immutable after construction. *)
+  let sigmoid_lut = find luts "sigmoid" in
+  let tanh_lut = find luts "tanh" in
+  let exp_lut = find luts "exp" in
+  let reciprocal_lut = find luts "reciprocal" in
+  let lrn_power_lut = find luts "lrn_power" in
+  let via lut fallback =
+    match lut with Some lut -> Approx_lut.eval lut | None -> fallback
   in
   {
     Quantized.eval_activation =
-      (fun act x ->
-        (* Dispatch on the IR activation vocabulary; [act] is passed through
-           unchanged to the exact fallback. *)
+      (fun act ->
+        (* Dispatch on the IR activation vocabulary once per partial
+           application — [qmap] applies [eval_activation act] to a whole
+           tensor, so the dispatch is hoisted out of the element loop.
+           [act] is passed through unchanged to the exact fallback. *)
         match Db_ir.Op.activation_of_layer act with
-        | Db_ir.Op.Relu | Db_ir.Op.Sign ->
-            exact.Quantized.eval_activation act x
+        | Db_ir.Op.Relu | Db_ir.Op.Sign -> exact.Quantized.eval_activation act
         | Db_ir.Op.Sigmoid ->
-            via "sigmoid" (exact.Quantized.eval_activation act) x
-        | Db_ir.Op.Tanh -> via "tanh" (exact.Quantized.eval_activation act) x);
+            via sigmoid_lut (exact.Quantized.eval_activation act)
+        | Db_ir.Op.Tanh -> via tanh_lut (exact.Quantized.eval_activation act));
     eval_reciprocal =
       (fun x ->
-        match find luts "reciprocal" with
+        match reciprocal_lut with
         | None -> 1.0 /. x
         | Some lut ->
             (* Range reduction: write |x| = m * 2^k with m in [1, 2), read
@@ -42,8 +49,8 @@ let of_luts luts =
       (fun x p ->
         (* The only power the layer vocabulary needs is LRN's scale^-beta,
            tabulated as (1 + u)^-0.75 over u = scale - 1. *)
-        match find luts "lrn_power" with
+        match lrn_power_lut with
         | Some lut when p < 0.0 -> Approx_lut.eval lut (x -. 1.0)
         | Some _ | None -> x ** p);
-    eval_exp = (fun x -> via "exp" exp x);
+    eval_exp = (fun x -> via exp_lut exp x);
   }

@@ -44,10 +44,7 @@ let record_layer_counters per_layer =
         Db_obs.Obs.incr ~by:r.lr_folds (p ^ ".folds"))
       per_layer
 
-let timing ?(dram = Db_mem.Dram.zynq_ddr3) (design : Design.t) =
-  Db_obs.Obs.with_span "simulate.timing"
-    ~attrs:[ ("network", design.Design.network.Db_nn.Network.net_name) ]
-  @@ fun () ->
+let timing_core ~dram (design : Design.t) =
   let dp = design.Design.datapath in
   let bytes_per_word = (dp.Db_sched.Datapath.fmt.Db_fixed.Fixed.total_bits + 7) / 8 in
   let costs =
@@ -108,7 +105,6 @@ let timing ?(dram = Db_mem.Dram.zynq_ddr3) (design : Design.t) =
       per_layer
   in
   let macs = Folding.total_macs design.Design.schedule.Db_sched.Schedule.folds in
-  record_layer_counters per_layer;
   {
     design_name = design.Design.network.Db_nn.Network.net_name;
     total_cycles;
@@ -126,6 +122,28 @@ let timing ?(dram = Db_mem.Dram.zynq_ddr3) (design : Design.t) =
       (if seconds > 0.0 then float_of_int macs /. seconds /. 1e9 else 0.0);
   }
 
+(* The report is a pure function of the design at the default DRAM model,
+   and the experiment harness re-times the same cached designs constantly —
+   memoise it next to the design.  Counters and spans stay per-call (below),
+   so observability output is unchanged by the cache. *)
+module Timing_cache = Db_core.Design_cache.Artifact (struct
+  type t = report
+end)
+
+let timing ?dram (design : Design.t) =
+  Db_obs.Obs.with_span "simulate.timing"
+    ~attrs:[ ("network", design.Design.network.Db_nn.Network.net_name) ]
+  @@ fun () ->
+  let r =
+    match dram with
+    | Some dram -> timing_core ~dram design
+    | None ->
+        Timing_cache.find design
+          ~compile:(timing_core ~dram:Db_mem.Dram.zynq_ddr3)
+  in
+  record_layer_counters r.per_layer;
+  r
+
 type batch_report = {
   batch : int;
   batch_cycles : int;
@@ -135,7 +153,9 @@ type batch_report = {
 }
 
 let batch_timing ?(dram = Db_mem.Dram.zynq_ddr3) ~batch (design : Design.t) =
-  if batch <= 0 then invalid_arg "Simulator.batch_timing: batch must be positive";
+  if batch <= 0 then
+    Db_util.Error.failf_at ~component:"simulator"
+      "batch_timing: batch must be positive";
   let dp = design.Design.datapath in
   let bytes_per_word = (dp.Db_sched.Datapath.fmt.Db_fixed.Fixed.total_bits + 7) / 8 in
   let costs =
@@ -217,8 +237,16 @@ let batch_timing ?(dram = Db_mem.Dram.zynq_ddr3) ~batch (design : Design.t) =
 (* Replay the whole control path (every compiled AGU transfer) under one
    shared cycle budget.  A healthy design finishes well inside any sane
    budget; a corrupted configuration register or stuck FSM state does not,
-   and the watchdog converts that would-be hang into a structured error. *)
+   and the watchdog converts that would-be hang into a structured error.
+   The replay runs on the compiled trace: closed-form per-transfer cycle
+   counts under the same watchdog, counters and timeout payloads as
+   clocking each AGU FSM ({!Specialize.replay_control}). *)
 let replay_control ~cycle_budget (design : Design.t) =
+  Specialize.replay_control ~cycle_budget (Specialize.of_design design)
+
+(* The slow path the trace compiler is verified against: clock every AGU
+   cycle by cycle.  Exposed for the spec-equivalence property tests. *)
+let replay_control_generic ~cycle_budget (design : Design.t) =
   Db_obs.Obs.with_span "simulate.replay" @@ fun () ->
   let spent = ref 0 in
   List.iter
@@ -246,14 +274,39 @@ let functional_output ?cycle_budget (design : Design.t) params ~inputs =
   (match cycle_budget with
   | Some budget -> ignore (replay_control ~cycle_budget:budget design)
   | None -> ());
+  Specialize.output (Specialize.bind (Specialize.of_design design) params) ~inputs
+
+(* The generic engine, kept as the oracle the specialized one is tested
+   against: re-quantizes every parameter and interprets the network per
+   call. *)
+let functional_output_generic ?cycle_budget (design : Design.t) params ~inputs =
+  Db_obs.Obs.with_span "simulate.functional" @@ fun () ->
+  (match cycle_budget with
+  | Some budget -> ignore (replay_control_generic ~cycle_budget:budget design)
+  | None -> ());
   let eval = Lut_eval.of_luts design.Design.program.Compiler.luts in
   Db_nn.Quantized.output ~eval
     ~fmt:design.Design.datapath.Db_sched.Datapath.fmt design.Design.network
     params ~inputs
 
+let functional_output_batch ?cycle_budget (design : Design.t) params ~batch =
+  Db_obs.Obs.with_span "simulate.functional_batch" @@ fun () ->
+  (* The control path is input-independent, so one watchdog replay covers
+     the whole batch. *)
+  (match cycle_budget with
+  | Some budget -> ignore (replay_control ~cycle_budget:budget design)
+  | None -> ());
+  Specialize.output_batch (Specialize.bind (Specialize.of_design design) params)
+    ~batch
+
 let run ?dram ?cycle_budget design params ~inputs =
   Db_obs.Obs.with_span "simulate.run" @@ fun () ->
   (functional_output ?cycle_budget design params ~inputs, timing ?dram design)
+
+let run_batch ?dram ?cycle_budget design params ~batch =
+  Db_obs.Obs.with_span "simulate.run_batch" @@ fun () ->
+  ( functional_output_batch ?cycle_budget design params ~batch,
+    timing ?dram design )
 
 let testbench (design : Design.t) params ~inputs =
   let fmt = design.Design.datapath.Db_sched.Datapath.fmt in

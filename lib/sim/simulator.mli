@@ -52,12 +52,18 @@ val batch_timing : ?dram:Db_mem.Dram.t -> batch:int -> Db_core.Design.t -> batch
     motivates (repeated forward passes over an input set). *)
 
 val replay_control : cycle_budget:int -> Db_core.Design.t -> int
-(** Replay every compiled AGU transfer on the cycle-accurate
-    {!Db_mem.Agu_sim} machine under one shared cycle budget; returns the
-    control cycles spent.  Raises {!Db_util.Error.Timeout} when the budget
-    elapses first — the watchdog that turns a corrupted FSM or AGU
-    configuration register (which would hang real fabric) into a
-    structured, catchable failure. *)
+(** Replay every compiled AGU transfer under one shared cycle budget;
+    returns the control cycles spent.  Raises {!Db_util.Error.Timeout}
+    when the budget elapses first — the watchdog that turns a corrupted
+    FSM or AGU configuration register (which would hang real fabric) into
+    a structured, catchable failure.  Runs on the design's compiled trace
+    ({!Specialize}); cycles, counters and timeout payloads are identical
+    to {!replay_control_generic}. *)
+
+val replay_control_generic : cycle_budget:int -> Db_core.Design.t -> int
+(** The cycle-accurate oracle: clock every transfer on the
+    {!Db_mem.Agu_sim} machine.  The spec-equivalence tests pin
+    {!replay_control} to this, cycle for cycle and counter for counter. *)
 
 val functional_output :
   ?cycle_budget:int ->
@@ -69,7 +75,30 @@ val functional_output :
     dequantised).  When [cycle_budget] is given, the control path is
     replayed first under {!replay_control}'s watchdog, so a design whose
     control state was corrupted raises {!Db_util.Error.Timeout} instead of
-    looping forever. *)
+    looping forever.  Runs on the specialized engine; bitwise-identical to
+    {!functional_output_generic}. *)
+
+val functional_output_generic :
+  ?cycle_budget:int ->
+  Db_core.Design.t ->
+  Db_nn.Params.t ->
+  inputs:(string * Db_tensor.Tensor.t) list ->
+  Db_tensor.Tensor.t
+(** The generic engine ({!Db_nn.Quantized.output} with the design's LUTs),
+    kept as the oracle the specialized engine is property-tested against. *)
+
+val functional_output_batch :
+  ?cycle_budget:int ->
+  Db_core.Design.t ->
+  Db_nn.Params.t ->
+  batch:(string * Db_tensor.Tensor.t) list list ->
+  Db_tensor.Tensor.t list
+(** Batched multi-sample playback: the trace is compiled and the
+    parameters quantized once, then every sample replays over the bound
+    trace (fanned out across the domain pool, order preserved).  Each
+    result is bitwise-identical to the corresponding {!functional_output}
+    call; the optional watchdog replay runs once for the whole batch (the
+    control path is input-independent). *)
 
 val run :
   ?dram:Db_mem.Dram.t ->
@@ -79,6 +108,15 @@ val run :
   inputs:(string * Db_tensor.Tensor.t) list ->
   Db_tensor.Tensor.t * report
 (** [functional_output] (with the same optional watchdog) plus [timing]. *)
+
+val run_batch :
+  ?dram:Db_mem.Dram.t ->
+  ?cycle_budget:int ->
+  Db_core.Design.t ->
+  Db_nn.Params.t ->
+  batch:(string * Db_tensor.Tensor.t) list list ->
+  Db_tensor.Tensor.t list * report
+(** [functional_output_batch] plus [timing]. *)
 
 val pp_report : Format.formatter -> report -> unit
 

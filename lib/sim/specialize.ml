@@ -1,0 +1,476 @@
+(* Per-design specialized simulation engine: partial-evaluates a generated
+   design's schedule, folding plan and AGU address patterns into a flat
+   compiled trace, then replays it with tight loops.
+
+   The contract is bitwise identity with the generic engine
+   ({!Quantized.forward} + {!Db_mem.Agu_sim}): same outputs, same observable
+   counters, same exceptions at the same logical points, at any
+   DEEPBURNING_JOBS.  Two facts make the fast paths sound:
+
+   - the quantized conv / FC kernels accumulate in native ints, and the
+     checker's DB-R003 gate proves every accumulator fits 62 bits, so the
+     specialized kernels may hoist, unroll and skip bounds checks without
+     changing a single bit — integer addition is associative;
+   - a healthy AGU pattern's address stream and cycle count have closed
+     forms ({!Db_mem.Agu_sim.trace}), so control replay reduces to summing
+     precomputed per-transfer cycle counts under the same watchdog.
+
+   Float-order-sensitive layers (LRN, LCN, softmax, recurrent, activation
+   maps, pooling with reciprocals, ...) delegate to the generic
+   {!Quantized.eval_node} verbatim, as does any node whose parameters fail
+   the fast path's shape guard — the guard failure cases re-run the generic
+   kernel so error behaviour stays identical too. *)
+
+module Tensor = Db_tensor.Tensor
+module Shape = Db_tensor.Shape
+module Fixed = Db_fixed.Fixed
+module Design = Db_core.Design
+module Compiler = Db_core.Compiler
+module Network = Db_nn.Network
+module Layer = Db_nn.Layer
+module Quantized = Db_nn.Quantized
+module Params = Db_nn.Params
+module Pool = Db_parallel.Pool
+
+(* The specialized engine must be indistinguishable from the generic one,
+   so its functional errors carry the interpreter's component. *)
+let qfail fmt = Db_util.Error.failf_at ~component:"quantized" fmt
+
+let sfail fmt = Db_util.Error.failf_at ~component:"simulator" fmt
+
+(* --- compiled control trace ---------------------------------------------- *)
+
+type control_step =
+  | Healthy of { words : int; cycles : int }
+  | Invalid of exn
+      (** the exception pattern validation raised, replayed at the same
+          point the generic engine would hit it *)
+
+(* --- compiled functional plan --------------------------------------------- *)
+
+type kernel =
+  | K_input of { top : string; shape : Shape.t }
+  | K_bad_input  (** input node without exactly one top *)
+  | K_conv of { stride : int; pad : int; group : int; has_bias : bool }
+  | K_fc of { has_bias : bool }
+  | K_act of Layer.activation
+  | K_generic
+
+type node_plan = {
+  np_name : string;
+  np_layer : Layer.t;
+  np_bottoms : (string * int) array;  (** blob name, producing slot *)
+  np_kernel : kernel;
+}
+
+type out_spec =
+  | Out_single of { slot : int; classifier : bool }
+  | Out_multi of int
+
+type t = {
+  sp_network : string;
+  sp_fmt : Fixed.format;
+  sp_eval : Quantized.function_eval;
+  sp_plan : node_plan array;
+  sp_out : out_spec;
+  sp_control : control_step array;
+  sp_control_cycles : int;  (** healthy whole-trace replay cost *)
+}
+
+let qformat t = t.sp_fmt
+
+let lut_eval t = t.sp_eval
+
+let control_cycles t = t.sp_control_cycles
+
+(* --- trace compilation ---------------------------------------------------- *)
+
+(* The control trace is compiled from the checker's plant view of the
+   schedule — the exact program/transfer enumeration Mem_safety proves —
+   and cross-checked against the raw compiled programs the generic replay
+   iterates.  Any divergence means the two views of the schedule have
+   drifted apart, which is a compiler bug, not a simulation result. *)
+let compile_control (design : Design.t) =
+  let raw =
+    List.concat_map
+      (fun (p : Compiler.fold_program) ->
+        List.map (fun (tr : Compiler.transfer) -> tr.Compiler.pattern) p.Compiler.transfers)
+      design.Design.program.Compiler.programs
+  in
+  let plant_view =
+    List.concat_map
+      (fun (s : Db_check.Mem_safety.step) ->
+        List.map
+          (fun (a : Db_check.Mem_safety.access) -> a.Db_check.Mem_safety.ac_pattern)
+          s.Db_check.Mem_safety.st_accesses)
+      (Db_core.Checker.steps_of_design design)
+  in
+  if raw <> plant_view then
+    sfail "trace compiler: compiled transfers diverge from the checker plant view";
+  Array.of_list
+    (List.map
+       (fun p ->
+         match Db_mem.Agu_sim.trace p with
+         | addrs, cycles -> Healthy { words = Array.length addrs; cycles }
+         | exception e -> Invalid e)
+       raw)
+
+let compile (design : Design.t) =
+  Db_obs.Obs.with_span "simulate.compile_trace"
+    ~attrs:[ ("network", design.Design.network.Network.net_name) ]
+  @@ fun () ->
+  let net = design.Design.network in
+  let fmt = design.Design.datapath.Db_sched.Datapath.fmt in
+  let blob_slot = Hashtbl.create 16 in
+  let plans = ref [] in
+  let next = ref 0 in
+  Network.iter net (fun node ->
+      let slot = !next in
+      incr next;
+      let kernel =
+        match node.Network.layer with
+        | Layer.Input { shape } -> begin
+            match node.Network.tops with
+            | [ top ] -> K_input { top; shape }
+            | [] | _ :: _ :: _ -> K_bad_input
+          end
+        | Layer.Convolution { stride; pad; group; bias; _ } ->
+            K_conv { stride; pad; group; has_bias = bias }
+        | Layer.Inner_product { bias; _ } -> K_fc { has_bias = bias }
+        | Layer.Activation act -> K_act act
+        | _ -> K_generic
+      in
+      let np_bottoms =
+        Array.of_list
+          (List.map
+             (fun b ->
+               (b, Option.value ~default:(-1) (Hashtbl.find_opt blob_slot b)))
+             node.Network.bottoms)
+      in
+      List.iter (fun top -> Hashtbl.replace blob_slot top slot) node.Network.tops;
+      plans :=
+        { np_name = node.Network.node_name; np_layer = node.Network.layer;
+          np_bottoms; np_kernel = kernel }
+        :: !plans);
+  let sp_out =
+    match Network.output_blobs net with
+    | [ blob ] ->
+        (* Same classifier detection as [Quantized.output]: indices stay
+           integers instead of being dequantised. *)
+        let classifier =
+          Network.has_layer net (function Layer.Classifier _ -> true | _ -> false)
+          && (match List.rev net.Network.nodes with
+             | last :: _ -> (
+                 match last.Network.layer with Layer.Classifier _ -> true | _ -> false)
+             | [] -> false)
+        in
+        Out_single { slot = Hashtbl.find blob_slot blob; classifier }
+    | blobs -> Out_multi (List.length blobs)
+  in
+  let sp_control = compile_control design in
+  let sp_control_cycles =
+    Array.fold_left
+      (fun acc -> function Healthy { cycles; _ } -> acc + cycles | Invalid _ -> acc)
+      0 sp_control
+  in
+  {
+    sp_network = net.Network.net_name;
+    sp_fmt = fmt;
+    sp_eval = Lut_eval.of_luts design.Design.program.Compiler.luts;
+    sp_plan = Array.of_list (List.rev !plans);
+    sp_out;
+    sp_control;
+    sp_control_cycles;
+  }
+
+module Cache = Db_core.Design_cache.Artifact (struct
+  type nonrec t = t
+end)
+
+let of_design design = Cache.find design ~compile
+
+(* --- control replay -------------------------------------------------------- *)
+
+(* Exact replica of the generic [Simulator.replay_control] semantics: the
+   per-transfer budget pre-check fires with the cycles spent so far; a
+   mid-transfer overrun re-raises at budget + 1 (the generic path's
+   [max_cycles + 1] watchdog cycle folded into the running total); [agu.*]
+   counters are recorded per healthy transfer exactly as
+   [Agu_sim.run_to_completion] records them on success. *)
+let replay_control ~cycle_budget t =
+  Db_obs.Obs.with_span "simulate.replay" @@ fun () ->
+  let spent = ref 0 in
+  Array.iter
+    (fun step ->
+      if cycle_budget - !spent <= 0 then
+        Db_util.Error.timeout ~component:"simulator" ~cycles:!spent
+          ~budget:cycle_budget;
+      match step with
+      | Invalid e -> raise e
+      | Healthy { words; cycles } ->
+          if cycles > cycle_budget - !spent then
+            Db_util.Error.timeout ~component:"simulator"
+              ~cycles:(cycle_budget + 1) ~budget:cycle_budget;
+          if Db_obs.Obs.enabled () then begin
+            Db_obs.Obs.incr "agu.runs";
+            Db_obs.Obs.incr ~by:cycles "agu.cycles";
+            Db_obs.Obs.incr ~by:words "agu.addresses";
+            Db_obs.Obs.incr ~by:(cycles - words) "agu.stall_cycles"
+          end;
+          spent := !spent + cycles)
+    t.sp_control;
+  !spent
+
+(* --- specialized kernels --------------------------------------------------- *)
+
+(* Unsafe-indexed convolution.  Only entered once [conv_guard] has proved
+   every index the loops compute is in bounds; accumulation is integer so
+   the hoisted/reassociated order is bitwise-identical to the generic
+   kernel's. *)
+let conv_kernel fmt ~(input : Quantized.qtensor) ~(weights : Quantized.qtensor)
+    ~bias ~stride ~pad ~group ~cin_g ~cout ~k ~h ~w ~oh ~ow =
+  let idata = input.Quantized.qdata and wdata = weights.Quantized.qdata in
+  let out = Array.make (cout * oh * ow) 0 in
+  let cout_g = cout / group in
+  for oc = 0 to cout - 1 do
+    let g = oc / cout_g in
+    let base_ic = g * cin_g in
+    let b =
+      match bias with
+      | None -> 0
+      | Some (bt : Quantized.qtensor) ->
+          Array.unsafe_get bt.Quantized.qdata oc lsl fmt.Fixed.frac_bits
+    in
+    let wbase_oc = oc * cin_g * k * k in
+    let obase_oc = oc * oh * ow in
+    for oy = 0 to oh - 1 do
+      let obase = obase_oc + (oy * ow) in
+      for ox = 0 to ow - 1 do
+        let acc = ref b in
+        for ic = 0 to cin_g - 1 do
+          let ibase_c = (base_ic + ic) * h * w in
+          let wbase_c = wbase_oc + (ic * k * k) in
+          for ky = 0 to k - 1 do
+            let iy = (oy * stride) + ky - pad in
+            if iy >= 0 && iy < h then begin
+              let ibase = ibase_c + (iy * w) in
+              let wbase = wbase_c + (ky * k) in
+              for kx = 0 to k - 1 do
+                let ix = (ox * stride) + kx - pad in
+                if ix >= 0 && ix < w then
+                  acc :=
+                    !acc
+                    + Array.unsafe_get idata (ibase + ix)
+                      * Array.unsafe_get wdata (wbase + kx)
+              done
+            end
+          done
+        done;
+        Array.unsafe_set out (obase + ox) (Quantized.rescale_acc fmt !acc)
+      done
+    done
+  done;
+  { Quantized.qshape = Shape.chw ~channels:cout ~height:oh ~width:ow; qdata = out }
+
+let fc_kernel fmt ~(input : Quantized.qtensor) ~(weights : Quantized.qtensor)
+    ~bias ~nin ~nout =
+  let idata = input.Quantized.qdata and wdata = weights.Quantized.qdata in
+  let out = Array.make nout 0 in
+  for o = 0 to nout - 1 do
+    let base = o * nin in
+    let acc =
+      ref
+        (match bias with
+        | None -> 0
+        | Some (bt : Quantized.qtensor) ->
+            Array.unsafe_get bt.Quantized.qdata o lsl fmt.Fixed.frac_bits)
+    in
+    for i = 0 to nin - 1 do
+      acc :=
+        !acc + (Array.unsafe_get wdata (base + i) * Array.unsafe_get idata i)
+    done;
+    Array.unsafe_set out o (Quantized.rescale_acc fmt !acc)
+  done;
+  { Quantized.qshape = Shape.vector nout; qdata = out }
+
+let numel_matches (q : Quantized.qtensor) =
+  Array.length q.Quantized.qdata = Shape.numel q.Quantized.qshape
+
+(* --- bound traces ---------------------------------------------------------- *)
+
+type bound = {
+  bd_spec : t;
+  bd_qparams : Quantized.qtensor list array;  (** pre-quantized, per slot *)
+}
+
+let bind t params =
+  {
+    bd_spec = t;
+    bd_qparams =
+      Array.map
+        (fun np ->
+          match np.np_kernel with
+          | K_input _ | K_bad_input -> []
+          | K_conv _ | K_fc _ | K_act _ | K_generic ->
+              List.map (Quantized.quantize t.sp_fmt) (Params.get params np.np_name))
+        t.sp_plan;
+  }
+
+let spec bound = bound.bd_spec
+
+let node_slot bound ~node =
+  let found = ref (-1) in
+  Array.iteri
+    (fun i np -> if np.np_name = node then found := i)
+    bound.bd_spec.sp_plan;
+  if !found < 0 then sfail "specialized trace has no node %S" node;
+  !found
+
+let node_qparams bound ~node = bound.bd_qparams.(node_slot bound ~node)
+
+let with_node_params bound ~node qparams =
+  let qp = Array.copy bound.bd_qparams in
+  qp.(node_slot bound ~node) <- qparams;
+  { bound with bd_qparams = qp }
+
+(* --- functional playback --------------------------------------------------- *)
+
+let eval_slots ?eval bound ~inputs =
+  let t = bound.bd_spec in
+  let fmt = t.sp_fmt in
+  let eval = Option.value eval ~default:t.sp_eval in
+  let n = Array.length t.sp_plan in
+  let slots =
+    Array.make n { Quantized.qshape = Shape.scalar; qdata = [||] }
+  in
+  for i = 0 to n - 1 do
+    let np = Array.unsafe_get t.sp_plan i in
+    let generic qparams bottoms =
+      Quantized.eval_node fmt eval np.np_layer ~params:qparams ~bottoms
+    in
+    let result =
+      match np.np_kernel with
+      | K_bad_input -> qfail "input node must have exactly one top"
+      | K_input { top; shape } -> begin
+          match List.assoc_opt top inputs with
+          | Some tensor ->
+              if not (Shape.equal (Tensor.shape tensor) shape) then
+                qfail "input %S: shape mismatch" top;
+              Quantized.quantize fmt tensor
+          | None -> qfail "missing input tensor for blob %S" top
+        end
+      | (K_conv _ | K_fc _ | K_act _ | K_generic) as kernel -> (
+          let bottoms =
+            List.map
+              (fun (name, slot) ->
+                if slot < 0 then qfail "blob %S not available" name
+                else slots.(slot))
+              (Array.to_list np.np_bottoms)
+          in
+          let qparams = bound.bd_qparams.(i) in
+          match kernel, qparams, bottoms with
+          | K_conv { stride; pad; group; has_bias }, _, [ input ] -> begin
+              match qparams, has_bias with
+              | ([ weights ], false | [ weights; _ ], true) ->
+                  let bias =
+                    match qparams with [ _; b ] -> Some b | _ -> None
+                  in
+                  (* Dimension extraction in the generic kernel's order, so
+                     a malformed weight shape raises the same error here. *)
+                  let ish = input.Quantized.qshape in
+                  let cin = Shape.channels ish
+                  and h = Shape.height ish
+                  and w = Shape.width ish in
+                  let wsh = weights.Quantized.qshape in
+                  let cout = Shape.dim wsh 0
+                  and cin_g = Shape.dim wsh 1
+                  and k = Shape.dim wsh 2 in
+                  let oh =
+                    Db_tensor.Ops.conv_output_dim ~input:h ~kernel:k ~stride
+                      ~pad_lo:pad ~pad_hi:pad
+                  in
+                  let ow =
+                    Db_tensor.Ops.conv_output_dim ~input:w ~kernel:k ~stride
+                      ~pad_lo:pad ~pad_hi:pad
+                  in
+                  let guard =
+                    group > 0 && cin mod group = 0 && cout mod group = 0
+                    && cin_g = cin / group && Shape.rank wsh = 4
+                    && Shape.dim wsh 3 = k
+                    && Array.length input.Quantized.qdata = cin * h * w
+                    && numel_matches weights
+                    && (match bias with
+                       | None -> true
+                       | Some bt -> Array.length bt.Quantized.qdata >= cout)
+                  in
+                  if guard then
+                    conv_kernel fmt ~input ~weights ~bias ~stride ~pad ~group
+                      ~cin_g ~cout ~k ~h ~w ~oh ~ow
+                  else generic qparams bottoms
+              | _ -> generic qparams bottoms
+            end
+          | K_fc { has_bias }, _, [ input ] -> begin
+              match qparams, has_bias with
+              | ([ weights ], false | [ weights; _ ], true) ->
+                  let bias =
+                    match qparams with [ _; b ] -> Some b | _ -> None
+                  in
+                  let wsh = weights.Quantized.qshape in
+                  let nout = Shape.dim wsh 0 and nin = Shape.dim wsh 1 in
+                  if Array.length input.Quantized.qdata <> nin then
+                    qfail "fc: input size mismatch";
+                  let guard =
+                    Shape.rank wsh = 2 && numel_matches weights
+                    && (match bias with
+                       | None -> true
+                       | Some bt -> Array.length bt.Quantized.qdata >= nout)
+                  in
+                  if guard then fc_kernel fmt ~input ~weights ~bias ~nin ~nout
+                  else generic qparams bottoms
+              | _ -> generic qparams bottoms
+            end
+          | K_act act, _, [ input ] ->
+              (* [eval_node] runs [qmap fmt (eval.eval_activation act)] and
+                 ignores the node's parameters; the same map with the
+                 evaluator dispatched once, outside the element loop. *)
+              let f = eval.Quantized.eval_activation act in
+              let src = input.Quantized.qdata in
+              let out =
+                Array.map
+                  (fun v -> Fixed.of_float fmt (f (Fixed.to_float fmt v)))
+                  src
+              in
+              { input with Quantized.qdata = out }
+          | _ -> generic qparams bottoms)
+    in
+    Array.unsafe_set slots i result
+  done;
+  slots
+
+let qoutput ?eval bound ~inputs =
+  let t = bound.bd_spec in
+  let slots = eval_slots ?eval bound ~inputs in
+  match t.sp_out with
+  | Out_multi n -> qfail "network has %d output blobs, expected one" n
+  | Out_single { slot; _ } -> slots.(slot)
+
+let output ?eval bound ~inputs =
+  let t = bound.bd_spec in
+  let slots = eval_slots ?eval bound ~inputs in
+  match t.sp_out with
+  | Out_multi n -> qfail "network has %d output blobs, expected one" n
+  | Out_single { slot; classifier } ->
+      let q = slots.(slot) in
+      if classifier then
+        Tensor.of_array q.Quantized.qshape
+          (Array.map float_of_int q.Quantized.qdata)
+      else Quantized.dequantize t.sp_fmt q
+
+(* Batched playback: samples are independent forward passes over one bound
+   trace, so they fan out across the domain pool.  The functional path
+   records no per-sample counters (only [pool.*] scheduling counters, which
+   were never part of the determinism contract), and each sample's
+   arithmetic is self-contained — the batch is bitwise-identical to a
+   sequential loop at any DEEPBURNING_JOBS. *)
+let output_batch ?eval bound ~batch =
+  Pool.map_list (fun inputs -> output ?eval bound ~inputs) batch

@@ -1,22 +1,27 @@
+module A1 = Bigarray.Array1
+
+let fail fmt = Db_util.Error.failf_at ~component:"tensor" fmt
+
 type padding = { top : int; left : int; bottom : int; right : int }
 
 let no_padding = { top = 0; left = 0; bottom = 0; right = 0 }
 
 let symmetric_padding p =
-  if p < 0 then invalid_arg "Ops.symmetric_padding: negative";
+  if p < 0 then fail "symmetric_padding: negative";
   { top = p; left = p; bottom = p; right = p }
 
 let conv_output_dim ~input ~kernel ~stride ~pad_lo ~pad_hi =
-  if stride <= 0 then invalid_arg "Ops.conv_output_dim: stride must be positive";
+  if stride <= 0 then fail "conv_output_dim: stride must be positive";
   let span = input + pad_lo + pad_hi - kernel in
-  if span < 0 then invalid_arg "Ops.conv_output_dim: kernel larger than padded input";
+  if span < 0 then fail "conv_output_dim: kernel larger than padded input";
   (span / stride) + 1
 
-(* Shared shape validation for both convolution paths. *)
+(* Shared shape validation for both convolution paths.  This is the guarded
+   entry point: everything below it indexes the buffers unchecked. *)
 let conv2d_dims ~input ~weights ~bias ~stride ~padding ~group =
   let ishape = Tensor.shape input and wshape = Tensor.shape weights in
-  if Shape.rank ishape <> 3 then invalid_arg "Ops.conv2d: input must be CHW";
-  if Shape.rank wshape <> 4 then invalid_arg "Ops.conv2d: weights must be OIKK";
+  if Shape.rank ishape <> 3 then fail "conv2d: input must be CHW";
+  if Shape.rank wshape <> 4 then fail "conv2d: weights must be OIKK";
   let cin = Shape.dim ishape 0
   and h = Shape.dim ishape 1
   and w = Shape.dim ishape 2 in
@@ -24,14 +29,14 @@ let conv2d_dims ~input ~weights ~bias ~stride ~padding ~group =
   and cin_g = Shape.dim wshape 1
   and kh = Shape.dim wshape 2
   and kw = Shape.dim wshape 3 in
-  if kh <> kw then invalid_arg "Ops.conv2d: only square kernels supported";
+  if kh <> kw then fail "conv2d: only square kernels supported";
   if group <= 0 || cin mod group <> 0 || cout mod group <> 0 then
-    invalid_arg "Ops.conv2d: bad group";
-  if cin_g <> cin / group then invalid_arg "Ops.conv2d: weight channel mismatch";
+    fail "conv2d: bad group";
+  if cin_g <> cin / group then fail "conv2d: weight channel mismatch";
   (match bias with
   | None -> ()
   | Some b ->
-      if Tensor.numel b <> cout then invalid_arg "Ops.conv2d: bias length mismatch");
+      if Tensor.numel b <> cout then fail "conv2d: bias length mismatch");
   let oh = conv_output_dim ~input:h ~kernel:kh ~stride ~pad_lo:padding.top ~pad_hi:padding.bottom in
   let ow = conv_output_dim ~input:w ~kernel:kw ~stride ~pad_lo:padding.left ~pad_hi:padding.right in
   (cin, h, w, cout, cin_g, kh, kw, oh, ow)
@@ -58,14 +63,20 @@ let conv2d_naive ~input ~weights ~bias ~stride ~padding ~group =
               for kx = 0 to kw - 1 do
                 let ix = (ox * stride) + kx - padding.left in
                 if ix >= 0 && ix < w then begin
-                  let iv = idata.(((base_ic + ic) * h * w) + (iy * w) + ix) in
-                  let wv = wdata.((((oc * cin_g) + ic) * kh * kw) + (ky * kw) + kx) in
+                  let iv =
+                    A1.unsafe_get idata
+                      (((base_ic + ic) * h * w) + (iy * w) + ix)
+                  in
+                  let wv =
+                    A1.unsafe_get wdata
+                      ((((oc * cin_g) + ic) * kh * kw) + (ky * kw) + kx)
+                  in
                   acc := !acc +. (iv *. wv)
                 end
               done
           done
         done;
-        odata.((oc * oh * ow) + (oy * ow) + ox) <- !acc
+        A1.unsafe_set odata ((oc * oh * ow) + (oy * ow) + ox) !acc
       done
     done
   done;
@@ -77,10 +88,12 @@ let conv2d_naive ~input ~weights ~bias ~stride ~padding ~group =
    loops, so the GEMM below adds contributions in the same sequence (padded
    taps contribute literal zeros).  Rows are independent, so the fill is
    parallel over k. *)
-let im2col ~idata ~base_ic ~cin_g ~h ~w ~kh ~kw ~stride ~padding ~oh ~ow =
+let im2col ~(idata : Tensor.buf) ~base_ic ~cin_g ~h ~w ~kh ~kw ~stride
+    ~padding ~oh ~ow =
   let krows = cin_g * kh * kw in
   let n = oh * ow in
-  let patch = Array.make (krows * n) 0.0 in
+  let patch = A1.create Bigarray.float64 Bigarray.c_layout (krows * n) in
+  A1.fill patch 0.0;
   Db_parallel.Pool.parallel_for ~work:(krows * n) ~lo:0 ~hi:krows (fun k ->
       let ic = k / (kh * kw) in
       let ky = k / kw mod kh in
@@ -94,7 +107,8 @@ let im2col ~idata ~base_ic ~cin_g ~h ~w ~kh ~kw ~stride ~padding ~oh ~ow =
           let pdst = prow_base + (oy * ow) in
           for ox = 0 to ow - 1 do
             let ix = (ox * stride) + kx - padding.left in
-            if ix >= 0 && ix < w then patch.(pdst + ox) <- idata.(isrc + ix)
+            if ix >= 0 && ix < w then
+              A1.unsafe_set patch (pdst + ox) (A1.unsafe_get idata (isrc + ix))
           done
         end
       done);
@@ -105,7 +119,8 @@ let im2col ~idata ~base_ic ~cin_g ~h ~w ~kh ~kw ~stride ~padding ~oh ~ow =
    at a time so each streamed B row is reused from registers/L1 four times.
    Every C element accumulates its k terms in ascending order regardless of
    the blocking, which keeps results bitwise-stable across pool widths. *)
-let gemm ~m ~n ~k ~a ~a_off ~b ~c ~c_off =
+let gemm ~m ~n ~k ~(a : Tensor.buf) ~a_off ~(b : Tensor.buf)
+    ~(c : Tensor.buf) ~c_off =
   Db_parallel.Pool.parallel_for ~chunk:4 ~work:(m * n * k) ~lo:0
     ~hi:((m + 3) / 4) (fun blk ->
       let i0 = blk * 4 in
@@ -116,17 +131,17 @@ let gemm ~m ~n ~k ~a ~a_off ~b ~c ~c_off =
         and r2 = c_off + ((i0 + 2) * n)
         and r3 = c_off + ((i0 + 3) * n) in
         for p = 0 to k - 1 do
-          let a0 = a.(a_off + (i0 * k) + p)
-          and a1 = a.(a_off + ((i0 + 1) * k) + p)
-          and a2 = a.(a_off + ((i0 + 2) * k) + p)
-          and a3 = a.(a_off + ((i0 + 3) * k) + p) in
+          let a0 = A1.unsafe_get a (a_off + (i0 * k) + p)
+          and a1 = A1.unsafe_get a (a_off + ((i0 + 1) * k) + p)
+          and a2 = A1.unsafe_get a (a_off + ((i0 + 2) * k) + p)
+          and a3 = A1.unsafe_get a (a_off + ((i0 + 3) * k) + p) in
           let bp = p * n in
           for j = 0 to n - 1 do
-            let bv = b.(bp + j) in
-            c.(r0 + j) <- c.(r0 + j) +. (a0 *. bv);
-            c.(r1 + j) <- c.(r1 + j) +. (a1 *. bv);
-            c.(r2 + j) <- c.(r2 + j) +. (a2 *. bv);
-            c.(r3 + j) <- c.(r3 + j) +. (a3 *. bv)
+            let bv = A1.unsafe_get b (bp + j) in
+            A1.unsafe_set c (r0 + j) (A1.unsafe_get c (r0 + j) +. (a0 *. bv));
+            A1.unsafe_set c (r1 + j) (A1.unsafe_get c (r1 + j) +. (a1 *. bv));
+            A1.unsafe_set c (r2 + j) (A1.unsafe_get c (r2 + j) +. (a2 *. bv));
+            A1.unsafe_set c (r3 + j) (A1.unsafe_get c (r3 + j) +. (a3 *. bv))
           done
         done
       end
@@ -134,10 +149,11 @@ let gemm ~m ~n ~k ~a ~a_off ~b ~c ~c_off =
         for i = i0 to i0 + rows - 1 do
           let ri = c_off + (i * n) in
           for p = 0 to k - 1 do
-            let av = a.(a_off + (i * k) + p) in
+            let av = A1.unsafe_get a (a_off + (i * k) + p) in
             let bp = p * n in
             for j = 0 to n - 1 do
-              c.(ri + j) <- c.(ri + j) +. (av *. b.(bp + j))
+              A1.unsafe_set c (ri + j)
+                (A1.unsafe_get c (ri + j) +. (av *. A1.unsafe_get b (bp + j)))
             done
           done
         done)
@@ -157,7 +173,7 @@ let conv2d ~input ~weights ~bias ~stride ~padding ~group =
   | Some bt ->
       let bdata = Tensor.data bt in
       for oc = 0 to cout - 1 do
-        Array.fill odata (oc * n) n bdata.(oc)
+        A1.fill (A1.sub odata (oc * n) n) (A1.unsafe_get bdata oc)
       done);
   for g = 0 to group - 1 do
     let patch =
@@ -175,7 +191,7 @@ let conv2d ~input ~weights ~bias ~stride ~padding ~group =
 
 let pool_generic ~combine ~finish ~init_value ~input ~kernel ~stride =
   let ishape = Tensor.shape input in
-  if Shape.rank ishape <> 3 then invalid_arg "Ops.pool: input must be CHW";
+  if Shape.rank ishape <> 3 then fail "pool: input must be CHW";
   let c = Shape.dim ishape 0
   and h = Shape.dim ishape 1
   and w = Shape.dim ishape 2 in
@@ -192,10 +208,10 @@ let pool_generic ~combine ~finish ~init_value ~input ~kernel ~stride =
           for ky = 0 to kernel - 1 do
             for kx = 0 to kernel - 1 do
               let iy = (oy * stride) + ky and ix = (ox * stride) + kx in
-              acc := combine !acc idata.((ch * h * w) + (iy * w) + ix)
+              acc := combine !acc (A1.unsafe_get idata ((ch * h * w) + (iy * w) + ix))
             done
           done;
-          odata.((ch * oh * ow) + (oy * ow) + ox) <- finish !acc
+          A1.unsafe_set odata ((ch * oh * ow) + (oy * ow) + ox) (finish !acc)
         done
       done);
   out
@@ -211,7 +227,7 @@ let avg_pool ~input ~kernel ~stride =
 
 let global_avg_pool ~input =
   let ishape = Tensor.shape input in
-  if Shape.rank ishape <> 3 then invalid_arg "Ops.global_avg_pool: input must be CHW";
+  if Shape.rank ishape <> 3 then fail "global_avg_pool: input must be CHW";
   let c = Shape.dim ishape 0
   and h = Shape.dim ishape 1
   and w = Shape.dim ishape 2 in
@@ -220,22 +236,22 @@ let global_avg_pool ~input =
   Db_parallel.Pool.parallel_for ~work:(c * h * w) ~lo:0 ~hi:c (fun ch ->
       let acc = ref 0.0 in
       for i = 0 to (h * w) - 1 do
-        acc := !acc +. idata.((ch * h * w) + i)
+        acc := !acc +. A1.unsafe_get idata ((ch * h * w) + i)
       done;
-      odata.(ch) <- !acc /. float_of_int (h * w));
+      A1.unsafe_set odata ch (!acc /. float_of_int (h * w)));
   out
 
 let fully_connected ~input ~weights ~bias =
   let wshape = Tensor.shape weights in
-  if Shape.rank wshape <> 2 then invalid_arg "Ops.fully_connected: weights must be rank 2";
+  if Shape.rank wshape <> 2 then fail "fully_connected: weights must be rank 2";
   let nout = Shape.dim wshape 0 and nin = Shape.dim wshape 1 in
   if Tensor.numel input <> nin then
-    invalid_arg "Ops.fully_connected: input size mismatch";
+    fail "fully_connected: input size mismatch";
   (match bias with
   | None -> ()
   | Some b ->
       if Tensor.numel b <> nout then
-        invalid_arg "Ops.fully_connected: bias length mismatch");
+        fail "fully_connected: bias length mismatch");
   let out = Tensor.create (Shape.vector nout) in
   let idata = Tensor.data input
   and wdata = Tensor.data weights
@@ -245,9 +261,9 @@ let fully_connected ~input ~weights ~bias =
   Db_parallel.Pool.parallel_for ~work:(nout * nin) ~lo:0 ~hi:nout (fun o ->
       let acc = ref (match bias with None -> 0.0 | Some b -> Tensor.get b o) in
       for i = 0 to nin - 1 do
-        acc := !acc +. (wdata.((o * nin) + i) *. idata.(i))
+        acc := !acc +. (A1.unsafe_get wdata ((o * nin) + i) *. A1.unsafe_get idata i)
       done;
-      odata.(o) <- !acc);
+      A1.unsafe_set odata o !acc);
   out
 
 let relu t = Tensor.map (fun x -> Float.max 0.0 x) t
@@ -264,9 +280,9 @@ let softmax t =
 
 let lrn ~input ~local_size ~alpha ~beta ~k =
   let ishape = Tensor.shape input in
-  if Shape.rank ishape <> 3 then invalid_arg "Ops.lrn: input must be CHW";
+  if Shape.rank ishape <> 3 then fail "lrn: input must be CHW";
   if local_size <= 0 || local_size mod 2 = 0 then
-    invalid_arg "Ops.lrn: local_size must be odd and positive";
+    fail "lrn: local_size must be odd and positive";
   let c = Shape.dim ishape 0
   and h = Shape.dim ishape 1
   and w = Shape.dim ishape 2 in
@@ -280,23 +296,23 @@ let lrn ~input ~local_size ~alpha ~beta ~k =
         for x = 0 to w - 1 do
           let sq = ref 0.0 in
           for j = lo to hi do
-            let v = idata.((j * h * w) + (y * w) + x) in
+            let v = A1.unsafe_get idata ((j * h * w) + (y * w) + x) in
             sq := !sq +. (v *. v)
           done;
           let scale = k +. (alpha /. float_of_int local_size *. !sq) in
-          let v = idata.((ch * h * w) + (y * w) + x) in
-          odata.((ch * h * w) + (y * w) + x) <- v /. (scale ** beta)
+          let v = A1.unsafe_get idata ((ch * h * w) + (y * w) + x) in
+          A1.unsafe_set odata ((ch * h * w) + (y * w) + x) (v /. (scale ** beta))
         done
       done);
   out
 
 let dropout_inference ~ratio t =
-  if ratio < 0.0 || ratio >= 1.0 then invalid_arg "Ops.dropout_inference: bad ratio";
+  if ratio < 0.0 || ratio >= 1.0 then fail "dropout_inference: bad ratio";
   Tensor.copy t
 
 let concat_channels tensors =
   match tensors with
-  | [] -> invalid_arg "Ops.concat_channels: empty list"
+  | [] -> fail "concat_channels: empty list"
   | first :: _ ->
       let h = Shape.height (Tensor.shape first)
       and w = Shape.width (Tensor.shape first) in
@@ -304,7 +320,7 @@ let concat_channels tensors =
         (fun t ->
           let s = Tensor.shape t in
           if Shape.rank s <> 3 || Shape.height s <> h || Shape.width s <> w then
-            invalid_arg "Ops.concat_channels: spatial mismatch")
+            fail "concat_channels: spatial mismatch")
         tensors;
       let total_c = List.fold_left (fun acc t -> acc + Shape.channels (Tensor.shape t)) 0 tensors in
       let out = Tensor.create (Shape.chw ~channels:total_c ~height:h ~width:w) in
@@ -313,7 +329,7 @@ let concat_channels tensors =
       List.iter
         (fun t ->
           let n = Tensor.numel t in
-          Array.blit (Tensor.data t) 0 odata !offset n;
+          A1.blit (Tensor.data t) (A1.sub odata !offset n);
           offset := !offset + n)
         tensors;
       out

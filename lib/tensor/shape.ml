@@ -1,10 +1,9 @@
 type t = int array
 
+let fail fmt = Db_util.Error.failf_at ~component:"tensor" fmt
+
 let of_list dims =
-  List.iter
-    (fun d ->
-      if d <= 0 then invalid_arg "Shape.of_list: non-positive dimension")
-    dims;
+  List.iter (fun d -> if d <= 0 then fail "Shape.of_list: non-positive dimension") dims;
   Array.of_list dims
 
 let to_list t = Array.to_list t
@@ -18,7 +17,7 @@ let chw ~channels ~height ~width = of_list [ channels; height; width ]
 let rank t = Array.length t
 
 let dim t i =
-  if i < 0 || i >= Array.length t then invalid_arg "Shape.dim: out of range";
+  if i < 0 || i >= Array.length t then fail "Shape.dim: out of range";
   t.(i)
 
 let numel t = Array.fold_left ( * ) 1 t

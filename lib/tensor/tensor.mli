@@ -2,17 +2,30 @@
 
     This is the numeric substrate for the golden (floating-point) reference
     interpreter, the trainer, and the workload generators.  Neural-network
-    kernels (convolution, pooling, ...) live in {!Ops}. *)
+    kernels (convolution, pooling, ...) live in {!Ops}.
+
+    Storage is an unboxed float64 {!Bigarray.Array1} rather than a boxed
+    [float array]: the kernels in {!Ops} and the specialized simulation
+    engine index it with [unsafe_get]/[unsafe_set] behind the dimension
+    checks performed at each public entry point.  Validation failures raise
+    classified {!Db_util.Error.Deepburning_error} values (component
+    ["tensor"]), not bare [Invalid_argument]. *)
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The raw storage type shared with kernel code. *)
 
 type t
-(** A tensor owns its shape and a flat [float array] buffer. *)
+(** A tensor owns its shape and a flat float64 buffer. *)
 
 val create : Shape.t -> t
 (** Zero-filled tensor. *)
 
 val of_array : Shape.t -> float array -> t
-(** Wraps (does not copy) the array.  Raises [Invalid_argument] if the array
-    length does not match [Shape.numel]. *)
+(** Copies the array into a fresh buffer.  Fails if the array length does
+    not match [Shape.numel]. *)
+
+val to_array : t -> float array
+(** A fresh boxed copy of the buffer, for interop with array consumers. *)
 
 val init : Shape.t -> (int -> float) -> t
 (** [init shape f] fills position [i] (flat index) with [f i]. *)
@@ -23,7 +36,7 @@ val shape : t -> Shape.t
 
 val numel : t -> int
 
-val data : t -> float array
+val data : t -> buf
 (** The underlying buffer (shared, mutable). *)
 
 val copy : t -> t
@@ -33,6 +46,12 @@ val get : t -> int -> float
 
 val set : t -> int -> float -> unit
 (** Flat-index write with bounds check. *)
+
+val unsafe_get : t -> int -> float
+(** Unchecked flat-index read — kernel use only, behind validated shapes. *)
+
+val unsafe_set : t -> int -> float -> unit
+(** Unchecked flat-index write — kernel use only, behind validated shapes. *)
 
 val get3 : t -> c:int -> y:int -> x:int -> float
 (** CHW read of a rank-3 tensor. *)
@@ -45,12 +64,12 @@ val reshape : t -> Shape.t -> t
 val map : (float -> float) -> t -> t
 
 val map2 : (float -> float -> float) -> t -> t -> t
-(** Raises [Invalid_argument] on shape mismatch. *)
+(** Fails on shape mismatch. *)
 
 val fill : t -> float -> unit
 
 val blit : src:t -> dst:t -> unit
-(** Raises [Invalid_argument] on size mismatch. *)
+(** Fails on size mismatch. *)
 
 val add : t -> t -> t
 
@@ -73,6 +92,10 @@ val iteri : (int -> float -> unit) -> t -> unit
 
 val equal_approx : ?tol:float -> t -> t -> bool
 (** Element-wise comparison within absolute tolerance (default 1e-9). *)
+
+val equal_bits : t -> t -> bool
+(** Bitwise (IEEE representation) equality of shape and every element;
+    distinguishes [-0.] from [0.] and compares NaNs by payload. *)
 
 val l2_distance : t -> t -> float
 

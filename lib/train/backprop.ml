@@ -5,6 +5,23 @@ module Op = Db_ir.Op
 
 let fail fmt = Db_util.Error.failf_at ~component:"backprop" fmt
 
+(* Tensor buffers are float64 Bigarrays; rebind flat indexing so the
+   gradient kernels below read exactly like the forward ones.  The
+   operators must be [external] redeclarations of the Bigarray
+   primitives: a [let]-alias of [Array1.get] compiles (without flambda)
+   to an out-of-line C call that boxes every float, which is a ~7x
+   slowdown across the whole trainer. *)
+external ( .%() ) :
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  int ->
+  float = "%caml_ba_ref_1"
+
+external ( .%()<- ) :
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  int ->
+  float ->
+  unit = "%caml_ba_set_1"
+
 type cache = {
   c_op : Op.t;
   c_params : Tensor.t list;
@@ -66,8 +83,8 @@ let conv_backward ~input ~weights ~stride ~pad ~group ~grad_output ~has_bias =
       let base_ic = g * cin_g in
       for oy = 0 to oh - 1 do
         for ox = 0 to ow - 1 do
-          let go = godata.((oc * oh * ow) + (oy * ow) + ox) in
-          gbdata.(oc) <- gbdata.(oc) +. go;
+          let go = godata.%((oc * oh * ow) + (oy * ow) + ox) in
+          gbdata.%(oc) <- gbdata.%(oc) +. go;
           for ic = 0 to cin_g - 1 do
             for ky = 0 to k - 1 do
               let iy = (oy * stride) + ky - pad in
@@ -77,7 +94,7 @@ let conv_backward ~input ~weights ~stride ~pad ~group ~grad_output ~has_bias =
                   if ix >= 0 && ix < w then begin
                     let ii = ((base_ic + ic) * h * w) + (iy * w) + ix in
                     let wi = (((oc * cin_g) + ic) * k * k) + (ky * k) + kx in
-                    gwdata.(wi) <- gwdata.(wi) +. (idata.(ii) *. go)
+                    gwdata.%(wi) <- gwdata.%(wi) +. (idata.%(ii) *. go)
                   end
                 done
             done
@@ -91,7 +108,7 @@ let conv_backward ~input ~weights ~stride ~pad ~group ~grad_output ~has_bias =
       for oc = g * cout_g to ((g + 1) * cout_g) - 1 do
         for oy = 0 to oh - 1 do
           for ox = 0 to ow - 1 do
-            let go = godata.((oc * oh * ow) + (oy * ow) + ox) in
+            let go = godata.%((oc * oh * ow) + (oy * ow) + ox) in
             for ky = 0 to k - 1 do
               let iy = (oy * stride) + ky - pad in
               if iy >= 0 && iy < h then
@@ -100,7 +117,7 @@ let conv_backward ~input ~weights ~stride ~pad ~group ~grad_output ~has_bias =
                   if ix >= 0 && ix < w then begin
                     let ii = (gc * h * w) + (iy * w) + ix in
                     let wi = (((oc * cin_g) + ic) * k * k) + (ky * k) + kx in
-                    gxdata.(ii) <- gxdata.(ii) +. (wdata.(wi) *. go)
+                    gxdata.%(ii) <- gxdata.%(ii) +. (wdata.%(wi) *. go)
                   end
                 done
             done
@@ -128,11 +145,11 @@ let max_pool_backward ~input ~kernel ~stride ~grad_output =
           for ky = 0 to kernel - 1 do
             for kx = 0 to kernel - 1 do
               let ii = (ch * h * w) + (((oy * stride) + ky) * w) + (ox * stride) + kx in
-              if idata.(ii) > !best then begin best := idata.(ii); best_i := ii end
+              if idata.%(ii) > !best then begin best := idata.%(ii); best_i := ii end
             done
           done;
-          gxdata.(!best_i) <-
-            gxdata.(!best_i) +. godata.((ch * oh * ow) + (oy * ow) + ox)
+          gxdata.%(!best_i) <-
+            gxdata.%(!best_i) +. godata.%((ch * oh * ow) + (oy * ow) + ox)
         done
       done);
   gx
@@ -149,11 +166,11 @@ let avg_pool_backward ~input ~kernel ~stride ~grad_output =
     ~hi:c (fun ch ->
       for oy = 0 to oh - 1 do
         for ox = 0 to ow - 1 do
-          let go = godata.((ch * oh * ow) + (oy * ow) + ox) *. inv_area in
+          let go = godata.%((ch * oh * ow) + (oy * ow) + ox) *. inv_area in
           for ky = 0 to kernel - 1 do
             for kx = 0 to kernel - 1 do
               let ii = (ch * h * w) + (((oy * stride) + ky) * w) + (ox * stride) + kx in
-              gxdata.(ii) <- gxdata.(ii) +. go
+              gxdata.%(ii) <- gxdata.%(ii) +. go
             done
           done
         done
@@ -220,10 +237,10 @@ let backward_layer cache ~grad_output =
              terms in ascending-o order, exactly as the fused loop did. *)
           Db_parallel.Pool.parallel_for ~work:(nout * nin) ~lo:0 ~hi:nout
             (fun o ->
-              let go = godata.(o) in
+              let go = godata.%(o) in
               for i = 0 to nin - 1 do
-                gwdata.((o * nin) + i) <-
-                  gwdata.((o * nin) + i) +. (go *. xdata.(i))
+                gwdata.%((o * nin) + i) <-
+                  gwdata.%((o * nin) + i) +. (go *. xdata.%(i))
               done);
           let block = 256 in
           let nblocks = (nin + block - 1) / block in
@@ -231,9 +248,9 @@ let backward_layer cache ~grad_output =
             (fun bi ->
               let s = bi * block and e = Stdlib.min nin ((bi + 1) * block) in
               for o = 0 to nout - 1 do
-                let go = godata.(o) in
+                let go = godata.%(o) in
                 for i = s to e - 1 do
-                  gxdata.(i) <- gxdata.(i) +. (go *. wdata.((o * nin) + i))
+                  gxdata.%(i) <- gxdata.%(i) +. (go *. wdata.%((o * nin) + i))
                 done
               done);
           let gx = Tensor.reshape gx (Tensor.shape cache.c_input) in
@@ -280,12 +297,12 @@ let backward_layer cache ~grad_output =
             for x = 0 to w - 1 do
               let sq = ref 0.0 in
               for j = lo to hi do
-                let v = idata.((j * h * w) + (y * w) + x) in
+                let v = idata.%((j * h * w) + (y * w) + x) in
                 sq := !sq +. (v *. v)
               done;
               let scale = k +. (alpha /. float_of_int local_size *. !sq) in
               let i = (ch * h * w) + (y * w) + x in
-              gxdata.(i) <- godata.(i) /. (scale ** beta)
+              gxdata.%(i) <- godata.%(i) /. (scale ** beta)
             done
           done);
       (Some gx, [])

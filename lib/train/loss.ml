@@ -24,5 +24,7 @@ let backward t ~prediction ~target =
   | Softmax_cross_entropy -> Tensor.sub (Ops.softmax prediction) target
 
 let one_hot ~classes label =
-  if label < 0 || label >= classes then invalid_arg "Loss.one_hot: label out of range";
+  if label < 0 || label >= classes then
+    Db_util.Error.failf_at ~component:"trainer"
+      "Loss.one_hot: label %d out of range [0, %d)" label classes;
   Tensor.init (Shape.vector classes) (fun i -> if i = label then 1.0 else 0.0)

@@ -115,13 +115,14 @@ let apply_updates ~config ~velocities params grads batch_size =
         (fun i weight ->
           let grad = List.nth grad_tensors i in
           let vel = List.nth vels i in
-          let wdata = Tensor.data weight
-          and gdata = Tensor.data grad
-          and vdata = Tensor.data vel in
-          for j = 0 to Array.length wdata - 1 do
-            let g = (gdata.(j) *. scale) +. (config.weight_decay *. wdata.(j)) in
-            vdata.(j) <- (config.momentum *. vdata.(j)) -. g;
-            wdata.(j) <- wdata.(j) +. vdata.(j)
+          for j = 0 to Tensor.numel weight - 1 do
+            let g =
+              (Tensor.unsafe_get grad j *. scale)
+              +. (config.weight_decay *. Tensor.unsafe_get weight j)
+            in
+            let v = (config.momentum *. Tensor.unsafe_get vel j) -. g in
+            Tensor.unsafe_set vel j v;
+            Tensor.unsafe_set weight j (Tensor.unsafe_get weight j +. v)
           done)
         weights)
     grads

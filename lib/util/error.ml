@@ -36,6 +36,7 @@ let () =
       ("caffe", Parse);
       ("constraints", Parse);
       ("network", Validation);
+      ("tensor", Validation);
       ("params", Validation);
       ("shape-infer", Validation);
       ("quantized", Validation);

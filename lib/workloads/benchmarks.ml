@@ -258,9 +258,8 @@ let prepare_fidelity ~seed ~network ~input_shape ~samples =
   Params.iter params (fun _name tensors ->
       match tensors with
       | w :: _ ->
-          let data = Tensor.data w in
-          for i = 0 to Array.length data - 1 do
-            data.(i) <- data.(i) *. sqrt 2.0
+          for i = 0 to Tensor.numel w - 1 do
+            Tensor.unsafe_set w i (Tensor.unsafe_get w i *. sqrt 2.0)
           done
       | [] -> ());
   let eval_inputs =
@@ -419,25 +418,37 @@ let prepare_cached t ~seed =
       Mutex.unlock cache_lock;
       p
 
-let accuracy_percent prepared outputs =
+let accuracy_percent_prefix prepared outputs =
+  if Array.length outputs = 0 then
+    invalid_arg "Benchmarks.accuracy_percent: no outputs";
   match prepared.accuracy with
   | Classification { labels } ->
-      if Array.length outputs <> Array.length labels then
+      if Array.length outputs > Array.length labels then
         invalid_arg "Benchmarks.accuracy_percent: count mismatch";
       let correct = ref 0 in
       Array.iteri
         (fun i out -> if Tensor.max_index out = labels.(i) then incr correct)
         outputs;
-      100.0 *. float_of_int !correct /. float_of_int (Array.length labels)
+      100.0 *. float_of_int !correct /. float_of_int (Array.length outputs)
   | Relative { golden; postprocess } ->
-      if Array.length outputs <> Array.length golden then
+      if Array.length outputs > Array.length golden then
         invalid_arg "Benchmarks.accuracy_percent: count mismatch";
       let scores =
         Array.mapi
           (fun i out ->
             Db_util.Stats.rel_distance_accuracy
-              ~golden:(Tensor.data golden.(i))
-              ~approx:(Tensor.data (postprocess out)))
+              ~golden:(Tensor.to_array golden.(i))
+              ~approx:(Tensor.to_array (postprocess out)))
           outputs
       in
       Db_util.Stats.mean scores
+
+let accuracy_percent prepared outputs =
+  let expected =
+    match prepared.accuracy with
+    | Classification { labels } -> Array.length labels
+    | Relative { golden; _ } -> Array.length golden
+  in
+  if Array.length outputs <> expected then
+    invalid_arg "Benchmarks.accuracy_percent: count mismatch";
+  accuracy_percent_prefix prepared outputs

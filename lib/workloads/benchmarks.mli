@@ -51,5 +51,10 @@ val prepare_cached : t -> seed:int -> prepared
 val accuracy_percent : prepared -> Db_tensor.Tensor.t array -> float
 (** Score one implementation's outputs (same order as [eval_inputs]). *)
 
+val accuracy_percent_prefix : prepared -> Db_tensor.Tensor.t array -> float
+(** Like {!accuracy_percent} but scores any non-empty prefix of the eval
+    set — sampled accuracy sweeps pass the outputs for the first [n]
+    inputs only. *)
+
 val alexnet_l_dsp_cap : int
 (** Table 3's Alexnet-L row (DB-L budget). *)

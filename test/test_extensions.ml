@@ -216,7 +216,11 @@ let test_training_cpu_baseline () =
 let test_training_experiment_rows () =
   let rows =
     Db_report.Experiments.training
-      { Db_report.Experiments.seed = 42; benchmarks = [ "ANN-0"; "MNIST" ] }
+      {
+        Db_report.Experiments.seed = 42;
+        benchmarks = [ "ANN-0"; "MNIST" ];
+        accuracy_samples = Some 4;
+      }
   in
   Alcotest.(check int) "two rows" 2 (List.length rows);
   List.iter
@@ -638,7 +642,11 @@ let test_zoo_lenet5_vgg16_stats () =
 let test_report_writer () =
   let md =
     Db_report.Report_writer.markdown
-      { Db_report.Experiments.seed = 42; benchmarks = [ "ANN-0" ] }
+      {
+        Db_report.Experiments.seed = 42;
+        benchmarks = [ "ANN-0" ];
+        accuracy_samples = Some 4;
+      }
   in
   List.iter
     (fun needle ->

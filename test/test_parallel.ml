@@ -183,7 +183,7 @@ let top_k_reference input k =
   Array.init k (fun i -> float_of_int idx.(i))
 
 let top_k input k =
-  Tensor.data
+  Tensor.to_array
     (Db_nn.Interpreter.eval_layer
        (Layer.Classifier { top_k = k })
        ~params:[] ~bottoms:[ input ])

@@ -25,14 +25,16 @@ let test_shape_basics () =
 
 let test_shape_invalid () =
   Alcotest.check_raises "zero dim rejected"
-    (Invalid_argument "Shape.of_list: non-positive dimension") (fun () ->
+    (Db_util.Error.Deepburning_error
+       "tensor: Shape.of_list: non-positive dimension") (fun () ->
       ignore (Shape.of_list [ 3; 0 ]))
 
 let test_tensor_get_set () =
   let t = Tensor.create (Shape.vector 4) in
   Tensor.set t 2 5.0;
   check_float "set/get" 5.0 (Tensor.get t 2);
-  Alcotest.check_raises "oob get" (Invalid_argument "Tensor.get: out of range")
+  Alcotest.check_raises "oob get"
+    (Db_util.Error.Deepburning_error "tensor: get: index 4 out of range [0, 4)")
     (fun () -> ignore (Tensor.get t 4))
 
 let test_tensor_chw_indexing () =
