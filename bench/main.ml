@@ -333,8 +333,10 @@ let git_rev () =
 
 (* Bumped whenever BENCH.json's shape changes; the checker warns on
    baselines from another schema rather than mis-reading them.  v3 adds
-   the [sim_throughput] section (specialized-engine batched playback). *)
-let bench_schema_version = 3
+   the [sim_throughput] section (specialized-engine batched playback);
+   v4 adds [serve_throughput] (daemon round-trips) and
+   [store_persistence] (disk-store hits across a simulated restart). *)
+let bench_schema_version = 4
 
 (* Specialized-engine playback throughput on the MNIST accelerator: trace
    compilation cost, then the same input set replayed one sample at a time
@@ -377,6 +379,63 @@ let sim_throughput_micro () =
                   (Array.map (fun input -> [ (blob, input) ]) inputs))))
   in
   (batch_n, compile_s, single_s, batched_s)
+
+(* Daemon round-trip throughput: a real in-process daemon on an ephemeral
+   loopback port, warm-cache /generate requests over the blocking client.
+   Measures the whole serving path — accept, HTTP parse, quota, cache
+   lookup, response — not generation itself. *)
+let serve_throughput_micro () =
+  let module Serve = Db_serve.Serve in
+  let module Protocol = Db_serve.Protocol in
+  let n = if !quick then 20 else 80 in
+  let body =
+    Printf.sprintf "{\"model\":\"%s\"}"
+      (Protocol.json_escape Db_workloads.Model_zoo.mlp_prototxt)
+  in
+  let t = Serve.start { Serve.default_config with Serve.port = 0; workers = 2 } in
+  let port = Serve.port t in
+  let shoot () =
+    match
+      Protocol.request ~port ~meth:"POST" ~path:"/generate" ~body ()
+    with
+    | 200, _ -> ()
+    | status, _ -> Db_util.Error.fail "serve bench: unexpected status %d" status
+  in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop t)
+    (fun () ->
+      shoot () (* warm the design cache once, off the clock *);
+      let _, s = time (fun () -> for _ = 1 to n do shoot () done) in
+      (n, s))
+
+(* Persistent-store hit path across a simulated restart: write one design,
+   then reopen the store (fresh counters, same files) and time repeated
+   lookups — decode, CRC, unmarshal, the full read path a warm restart
+   pays per request. *)
+let store_persistence_micro () =
+  let module Store = Db_store.Disk_store in
+  let n = if !quick then 50 else 200 in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dbstore-bench-%d" (Unix.getpid ()))
+  in
+  let net = Db_nn.Caffe.import_string Db_workloads.Model_zoo.mlp_prototxt in
+  let cons = Db_core.Constraints.db_medium in
+  let design, generate_s = time (fun () -> Db_core.Generator.generate cons net) in
+  let key = Db_core.Design_cache.cache_key cons net in
+  let writer = Store.open_store ~dir () in
+  let _, write_s = time (fun () -> Store.store writer ~key design) in
+  (* The "restart": a fresh handle over the same directory. *)
+  let reader = Store.open_store ~dir () in
+  let _, lookup_s =
+    time (fun () ->
+        for _ = 1 to n do
+          match Store.lookup reader ~key with
+          | Some _ -> ()
+          | None -> Db_util.Error.fail "store bench: lost the stored design"
+        done)
+  in
+  (n, generate_s, write_s, lookup_s)
 
 let run_json () =
   section_header "Writing BENCH.json (per-section wall-clock + ns/run)";
@@ -433,6 +492,10 @@ let run_json () =
   let sim_batch_n, sim_compile_s, sim_single_s, sim_batched_s =
     sim_throughput_micro ()
   in
+  let serve_n, serve_s = serve_throughput_micro () in
+  let store_n, store_generate_s, store_write_s, store_lookup_s =
+    store_persistence_micro ()
+  in
   let micros =
     List.map conv_micro
       (("alexnet-conv3", 256, 13, 384, 3, 1, 1)
@@ -480,6 +543,18 @@ let run_json () =
     sim_batch_n (fsec sim_compile_s) (fsec sim_single_s) (fsec sim_batched_s)
     (float_of_int sim_batch_n /. sim_single_s)
     (float_of_int sim_batch_n /. sim_batched_s);
+  Printf.bprintf buf
+    "  \"serve_throughput\": { \"requests\": %d, \"seconds\": %s, \
+     \"requests_per_second\": %.1f },\n"
+    serve_n (fsec serve_s)
+    (float_of_int serve_n /. serve_s);
+  Printf.bprintf buf
+    "  \"store_persistence\": { \"lookups\": %d, \"generate_seconds\": %s, \
+     \"write_seconds\": %s, \"lookup_seconds\": %s, \
+     \"lookups_per_second\": %.1f, \"hit_speedup_over_generate\": %.1f },\n"
+    store_n (fsec store_generate_s) (fsec store_write_s) (fsec store_lookup_s)
+    (float_of_int store_n /. store_lookup_s)
+    (store_generate_s /. (store_lookup_s /. float_of_int store_n));
   Buffer.add_string buf "  \"conv_micro\": [\n";
   Buffer.add_string buf
     (String.concat ",\n"

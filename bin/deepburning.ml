@@ -9,16 +9,46 @@
 
 open Cmdliner
 
+(* All CLI file I/O runs classified: a missing model file or an unwritable
+   output path is an [Io] failure (exit code 8), not a bare [Sys_error]. *)
 let read_file path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  s
+  Db_util.Error.protect_io ~component:"io-cli" (fun () ->
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic)))
 
-let default_constraint_script =
-  {|constraint { device: "zynq-7045" dsps: 16 luts: 60000 ffs: 40000 bram_kb: 1024 }|}
+let write_file path content =
+  Db_util.Error.protect_io ~component:"io-cli" (fun () ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc content))
 
+let default_constraint_script = Db_serve.Serve.default_constraint_script
+
+(* [--store DIR] on work-producing subcommands: attach the persistent
+   design store so generation is served from disk across process runs. *)
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Attach the crash-safe persistent design store rooted at $(docv): \
+           look generated designs up there before regenerating, and write \
+           fresh ones through.")
+
+let with_store store f =
+  match store with
+  | None -> f ()
+  | Some dir ->
+      let s = Db_store.Disk_store.open_store ~dir () in
+      Db_store.Disk_store.attach s;
+      Fun.protect ~finally:Db_store.Disk_store.detach f
+
+(* Through [Design_cache], so an attached [--store] serves repeat models
+   from disk instead of regenerating. *)
 let load ~model_path ~constraint_path ~tiling =
   let model = read_file model_path in
   let constraint_script =
@@ -26,8 +56,9 @@ let load ~model_path ~constraint_path ~tiling =
     | Some path -> read_file path
     | None -> default_constraint_script
   in
-  Db_core.Generator.generate_from_script ~tiling_enabled:tiling ~model
-    ~constraint_script ()
+  let network = Db_nn.Caffe.import_string model in
+  let cons = Db_core.Constraints.parse constraint_script in
+  Db_core.Design_cache.generate ~tiling_enabled:tiling cons network
 
 let model_arg =
   Arg.(
@@ -80,9 +111,7 @@ let trace_arg =
            trace_event JSON file (open in chrome://tracing or Perfetto).")
 
 let write_trace path snap =
-  let oc = open_out path in
-  output_string oc (Db_obs.Render.chrome_trace snap);
-  close_out oc;
+  write_file path (Db_obs.Render.chrome_trace snap);
   Printf.eprintf "deepburning: wrote trace %s\n" path
 
 let with_trace trace f =
@@ -104,44 +133,47 @@ let generate_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Write the generated Verilog here (default: stdout).")
   in
-  let run model_path constraint_path tiling output trace =
+  let run model_path constraint_path tiling output store trace =
     wrap ?trace (fun () ->
-        let design = load ~model_path ~constraint_path ~tiling in
-        Format.eprintf "%a@." Db_core.Design.pp_summary design;
-        let verilog = Db_core.Design.verilog design in
-        match output with
-        | None -> print_string verilog
-        | Some path ->
-            let oc = open_out path in
-            output_string oc verilog;
-            close_out oc;
-            Printf.eprintf "wrote %s\n" path)
+        with_store store (fun () ->
+            let design = load ~model_path ~constraint_path ~tiling in
+            Format.eprintf "%a@." Db_core.Design.pp_summary design;
+            let verilog = Db_core.Design.verilog design in
+            match output with
+            | None -> print_string verilog
+            | Some path ->
+                write_file path verilog;
+                Printf.eprintf "wrote %s\n" path))
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate an accelerator (RTL to stdout or a file).")
     Term.(
       const run $ model_arg $ constraint_arg $ tiling_arg $ output_arg
-      $ trace_arg)
+      $ store_arg $ trace_arg)
 
 let simulate_cmd =
-  let run model_path constraint_path tiling trace =
+  let run model_path constraint_path tiling store trace =
     wrap ?trace (fun () ->
-        let design = load ~model_path ~constraint_path ~tiling in
-        Format.printf "%a@." Db_core.Design.pp_summary design;
-        let report = Db_sim.Simulator.timing design in
-        Format.printf "%a@." Db_sim.Simulator.pp_report report;
-        let cpu = Db_baseline.Cpu_model.xeon_2_4ghz in
-        let cpu_s =
-          Db_baseline.Cpu_model.forward_seconds cpu design.Db_core.Design.network
-        in
-        Printf.printf "CPU reference (%s): %s per forward pass\n"
-          cpu.Db_baseline.Cpu_model.cpu_name
-          (Db_report.Table.ms cpu_s))
+        with_store store (fun () ->
+            let design = load ~model_path ~constraint_path ~tiling in
+            Format.printf "%a@." Db_core.Design.pp_summary design;
+            let report = Db_sim.Simulator.timing design in
+            Format.printf "%a@." Db_sim.Simulator.pp_report report;
+            let cpu = Db_baseline.Cpu_model.xeon_2_4ghz in
+            let cpu_s =
+              Db_baseline.Cpu_model.forward_seconds cpu
+                design.Db_core.Design.network
+            in
+            Printf.printf "CPU reference (%s): %s per forward pass\n"
+              cpu.Db_baseline.Cpu_model.cpu_name
+              (Db_report.Table.ms cpu_s)))
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Generate and report one forward pass's latency, traffic and power.")
-    Term.(const run $ model_arg $ constraint_arg $ tiling_arg $ trace_arg)
+    Term.(
+      const run $ model_arg $ constraint_arg $ tiling_arg $ store_arg
+      $ trace_arg)
 
 let stats_cmd =
   let run model_path trace =
@@ -731,13 +763,94 @@ let profile_cmd =
       const run $ model_pos_arg $ constraint_arg $ tiling_arg $ json_arg
       $ trace_arg)
 
+let serve_cmd =
+  let default = Db_serve.Serve.default_config in
+  let port_arg =
+    Arg.(
+      value & opt int default.Db_serve.Serve.port
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"Listen port; 0 picks an ephemeral one (printed on startup).")
+  in
+  let host_arg =
+    Arg.(
+      value & opt string default.Db_serve.Serve.host
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Listen address.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int default.Db_serve.Serve.workers
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int default.Db_serve.Serve.queue_capacity
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission-control bound: connections beyond $(docv) waiting \
+             are shed with 503 + Retry-After.")
+  in
+  let quota_arg =
+    Arg.(
+      value & opt int default.Db_serve.Serve.per_client_quota
+      & info [ "quota" ] ~docv:"N"
+          ~doc:
+            "Concurrent requests per client (the x-client header, or the \
+             peer address) before 429.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt int (int_of_float (default.Db_serve.Serve.queue_deadline_s *. 1000.))
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Shed queued work older than $(docv) milliseconds.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int default.Db_serve.Serve.cycle_budget
+      & info [ "budget" ] ~docv:"CYCLES"
+          ~doc:"Default simulation watchdog cycle budget.")
+  in
+  let run port host workers queue quota deadline_ms budget store =
+    try
+      Db_serve.Serve.run
+        ~on_ready:(fun p ->
+          Printf.eprintf "deepburning: serving on %s:%d%s\n%!" host p
+            (match store with
+            | Some dir -> Printf.sprintf " (store %s)" dir
+            | None -> ""))
+        {
+          Db_serve.Serve.port;
+          host;
+          workers;
+          queue_capacity = queue;
+          per_client_quota = quota;
+          queue_deadline_s = float_of_int deadline_ms /. 1000.;
+          cycle_budget = budget;
+          max_body = default.Db_serve.Serve.max_body;
+          store_dir = store;
+        };
+      0
+    with e -> report_error e
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the accelerator-generation daemon: POST /generate and \
+          /simulate, GET /health and /metrics, with bounded-queue \
+          admission control, per-client quotas, graceful degradation and \
+          an optional crash-safe persistent design store.  SIGTERM drains \
+          in-flight work before exiting.")
+    Term.(
+      const run $ port_arg $ host_arg $ workers_arg $ queue_arg $ quota_arg
+      $ deadline_arg $ budget_arg $ store_arg)
+
 let main_cmd =
   let doc = "automatic generation of FPGA-based NN accelerators (DAC'16 reproduction)" in
   Cmd.group
     (Cmd.info "deepburning" ~version:"1.0.0" ~doc)
     [
-      generate_cmd; simulate_cmd; verify_cmd; profile_cmd; lint_cmd;
-      check_cmd; faults_cmd; ir_cmd; stats_cmd; zoo_cmd;
+      generate_cmd; simulate_cmd; serve_cmd; verify_cmd; profile_cmd;
+      lint_cmd; check_cmd; faults_cmd; ir_cmd; stats_cmd; zoo_cmd;
     ]
 
 let () = try exit (Cmd.eval' main_cmd) with e -> exit (report_error e)

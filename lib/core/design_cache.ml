@@ -74,6 +74,36 @@ let hit_count = Atomic.make 0
 
 let miss_count = Atomic.make 0
 
+(* Optional second level consulted between the in-memory table and the
+   generator — in practice the persistent on-disk store ([Db_store],
+   which lives above this library in the dependency order, hence the
+   closure record).  Both operations are best-effort: a second level
+   that raises is treated as silent (lookup: miss; store: dropped write)
+   because a cache layer must never fail a request the generator can
+   serve.  The L1 insert path is unchanged, so a second-level hit is
+   paid at most once per key per process. *)
+type second_level = {
+  sl_lookup : string -> Design.t option;
+  sl_store : string -> Design.t -> unit;
+}
+
+let second_level : second_level option Atomic.t = Atomic.make None
+
+let set_second_level sl = Atomic.set second_level sl
+
+let second_level_lookup key =
+  match Atomic.get second_level with
+  | None -> None
+  | Some sl -> (
+      match sl.sl_lookup key with
+      | res -> res
+      | exception _ -> None)
+
+let second_level_store key design =
+  match Atomic.get second_level with
+  | None -> ()
+  | Some sl -> ( try sl.sl_store key design with _ -> ())
+
 (* Generation runs outside the lock: distinct keys never block each other.
    Two domains racing on the same key both generate, but the generator is
    deterministic, so whichever insert lands is equivalent. *)
@@ -92,7 +122,13 @@ let memo key generate =
   | None ->
       Atomic.incr miss_count;
       Db_obs.Obs.incr "design_cache.misses";
-      let design = generate () in
+      let design, fresh =
+        match second_level_lookup key with
+        | Some design ->
+            Db_obs.Obs.incr "design_cache.l2_hits";
+            (design, false)
+        | None -> (generate (), true)
+      in
       Mutex.lock lock;
       let design =
         match Hashtbl.find_opt table key with
@@ -102,7 +138,14 @@ let memo key generate =
             design
       in
       Mutex.unlock lock;
+      (* Write-through only what this call generated: re-persisting a
+         design that just came *from* the second level would churn the
+         store for no information. *)
+      if fresh then second_level_store key design;
       design
+
+let cache_key ?lanes ?(tiling_enabled = true) cons network =
+  fmt_key ?lanes ~tiling_enabled cons network
 
 let generate ?(tiling_enabled = true) cons network =
   memo

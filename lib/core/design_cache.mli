@@ -20,6 +20,30 @@ val generate_with_lanes :
 val stats : unit -> int * int
 (** [(hits, misses)] since start or the last {!clear}. *)
 
+val cache_key :
+  ?lanes:int -> ?tiling_enabled:bool -> Constraints.t -> Db_nn.Network.t -> string
+(** The exact memoisation key {!generate} (or, with [lanes],
+    {!generate_with_lanes}) uses for this request — what a persistent
+    second level addresses its entries by. *)
+
+(** {2 Second level}
+
+    An optional persistent layer consulted on in-memory misses and
+    written through on generation — in practice [Db_store.Disk_store],
+    which depends on this library and therefore registers itself as a
+    pair of closures.  Both operations are best-effort: an exception
+    from the second level is absorbed (lookup behaves as a miss, the
+    write is dropped), because a cache must never fail a request the
+    generator can serve. *)
+
+type second_level = {
+  sl_lookup : string -> Design.t option;
+  sl_store : string -> Design.t -> unit;
+}
+
+val set_second_level : second_level option -> unit
+(** Install or remove the second level (process-wide). *)
+
 (** Per-design derived-artifact cache (compiled simulation traces, memoised
     timing reports, ...).  Each instantiation owns an identity-keyed store:
     entries are keyed on the physical {!Design.t} value, which is canonical

@@ -113,3 +113,24 @@ let crc8 ~data_bits words =
       done;
       !crc)
     0 words
+
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte
+   string, table-driven.  The persistent design store uses it to detect
+   torn writes and bit rot in on-disk entries — a much longer block than
+   the word streams [crc8] covers, hence the stronger code. *)
+let crc32_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc32_table in
+  let crc = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> crc := table.((!crc lxor Char.code ch) land 0xff) lxor (!crc lsr 8))
+    s;
+  !crc lxor 0xFFFFFFFF

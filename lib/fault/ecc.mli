@@ -43,3 +43,9 @@ val crc8 : data_bits:int -> int array -> int
 (** CRC-8 (polynomial 0x07) over a word stream, each word contributing its
     low [data_bits] bits MSB-first.  Detects every 1- and 2-bit error in
     blocks the campaign uses. *)
+
+val crc32 : string -> int
+(** CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of a byte
+    string, as an unsigned value in [0, 2^32).  Used by the persistent
+    design store to checksum on-disk entries; [crc32 "123456789"] is
+    [0xCBF43926]. *)

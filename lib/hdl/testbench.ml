@@ -109,6 +109,8 @@ let generate ~top stimulus =
   Buffer.contents buf
 
 let write ~top stimulus ~path =
-  let oc = open_out path in
-  output_string oc (generate ~top stimulus);
-  close_out oc
+  Db_util.Error.protect_io ~component:"io-testbench" (fun () ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (generate ~top stimulus)))

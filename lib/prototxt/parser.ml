@@ -41,7 +41,16 @@ let ident_value = function
   | "false" -> Ast.Bool false
   | other -> Ast.Enum other
 
-let rec parse_fields st ~until_rbrace acc =
+(* The parser recurses once per '{' nesting level; without a bound a
+   hostile input of tens of thousands of opening braces overflows the
+   stack, which is not a classified failure.  Real prototxt nests a
+   handful of levels. *)
+let max_depth = 512
+
+let rec parse_fields st ~depth ~until_rbrace acc =
+  if depth > max_depth then
+    Db_util.Error.failf_at ~component:"prototxt"
+      "messages nested deeper than %d levels" max_depth;
   let loc = peek st in
   match loc.token with
   | Lexer.Eof ->
@@ -64,11 +73,11 @@ let rec parse_fields st ~until_rbrace acc =
             | Lexer.Lbrace | Lexer.Rbrace | Lexer.Colon | Lexer.Eof ->
                 syntax_error vloc "a value"
           in
-          parse_fields st ~until_rbrace (Ast.Scalar (name, value) :: acc)
+          parse_fields st ~depth ~until_rbrace (Ast.Scalar (name, value) :: acc)
       | Lexer.Lbrace ->
           advance st;
-          let inner = parse_fields st ~until_rbrace:true [] in
-          parse_fields st ~until_rbrace (Ast.Message (name, inner) :: acc)
+          let inner = parse_fields st ~depth:(depth + 1) ~until_rbrace:true [] in
+          parse_fields st ~depth ~until_rbrace (Ast.Message (name, inner) :: acc)
       | Lexer.Ident _ | Lexer.Number _ | Lexer.Quoted _ | Lexer.Rbrace
       | Lexer.Eof ->
           syntax_error next "':' or '{'"
@@ -78,11 +87,14 @@ let rec parse_fields st ~until_rbrace acc =
 
 let parse src =
   let st = { rest = Lexer.tokenize src } in
-  parse_fields st ~until_rbrace:false []
+  parse_fields st ~depth:0 ~until_rbrace:false []
 
 let parse_file path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let src = really_input_string ic len in
-  close_in ic;
+  let src =
+    Db_util.Error.protect_io ~component:"io-prototxt" (fun () ->
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic)))
+  in
   parse src

@@ -1,0 +1,87 @@
+(* SHA-256 (FIPS 180-4), dependency-free.  Words are kept in native ints
+   masked to 32 bits, which is safe on every OCaml 5 target (63-bit
+   native ints).  Throughput is irrelevant here: the store hashes cache
+   keys (a few KB of canonical IR text) and RTL strings, not bulk data. *)
+
+let ( &: ) a b = a land b
+let ( |: ) a b = a lor b
+let ( ^: ) a b = a lxor b
+let mask32 = 0xFFFFFFFF
+let add32 a b = (a + b) &: mask32
+let rotr x n = ((x lsr n) |: (x lsl (32 - n))) &: mask32
+
+let k =
+  [|
+    0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
+    0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+    0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786;
+    0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+    0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+    0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
+    0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+    0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+    0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a;
+    0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+    0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2;
+  |]
+
+let digest_bytes msg =
+  let h = [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a;
+             0x510e527f; 0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |] in
+  let len = Bytes.length msg in
+  (* Padded message: original, 0x80, zeros, 64-bit big-endian bit length. *)
+  let padded_len = ((len + 8) / 64 * 64) + 64 in
+  let block = Bytes.make padded_len '\000' in
+  Bytes.blit msg 0 block 0 len;
+  Bytes.set block len '\x80';
+  let bits = len * 8 in
+  for i = 0 to 7 do
+    Bytes.set block (padded_len - 1 - i)
+      (Char.chr ((bits lsr (8 * i)) land 0xff))
+  done;
+  let w = Array.make 64 0 in
+  for blk = 0 to (padded_len / 64) - 1 do
+    let base = blk * 64 in
+    for t = 0 to 15 do
+      let b i = Char.code (Bytes.get block (base + (4 * t) + i)) in
+      w.(t) <- (b 0 lsl 24) |: (b 1 lsl 16) |: (b 2 lsl 8) |: b 3
+    done;
+    for t = 16 to 63 do
+      let s0 =
+        rotr w.(t - 15) 7 ^: rotr w.(t - 15) 18 ^: (w.(t - 15) lsr 3)
+      in
+      let s1 =
+        rotr w.(t - 2) 17 ^: rotr w.(t - 2) 19 ^: (w.(t - 2) lsr 10)
+      in
+      w.(t) <- add32 (add32 w.(t - 16) s0) (add32 w.(t - 7) s1)
+    done;
+    let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+    let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+    for t = 0 to 63 do
+      let s1 = rotr !e 6 ^: rotr !e 11 ^: rotr !e 25 in
+      let ch = (!e &: !f) ^: (lnot !e &: !g) in
+      let t1 = add32 (add32 !hh s1) (add32 (add32 ch k.(t)) w.(t)) in
+      let s0 = rotr !a 2 ^: rotr !a 13 ^: rotr !a 22 in
+      let maj = (!a &: !b) ^: (!a &: !c) ^: (!b &: !c) in
+      let t2 = add32 s0 maj in
+      hh := !g;
+      g := !f;
+      f := !e;
+      e := add32 !d t1;
+      d := !c;
+      c := !b;
+      b := !a;
+      a := add32 t1 t2
+    done;
+    h.(0) <- add32 h.(0) !a;
+    h.(1) <- add32 h.(1) !b;
+    h.(2) <- add32 h.(2) !c;
+    h.(3) <- add32 h.(3) !d;
+    h.(4) <- add32 h.(4) !e;
+    h.(5) <- add32 h.(5) !f;
+    h.(6) <- add32 h.(6) !g;
+    h.(7) <- add32 h.(7) !hh
+  done;
+  String.concat "" (Array.to_list (Array.map (Printf.sprintf "%08x") h))
+
+let hex s = digest_bytes (Bytes.of_string s)

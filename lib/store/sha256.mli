@@ -1,0 +1,9 @@
+(** Dependency-free SHA-256 (FIPS 180-4).
+
+    The persistent design store addresses entries by the SHA-256 of their
+    cache key and fingerprints generated RTL for equality checks across
+    processes.  [hex "abc"] is
+    ["ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"]. *)
+
+val hex : string -> string
+(** Lower-case 64-character hex digest of the input bytes. *)

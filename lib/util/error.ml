@@ -12,6 +12,16 @@ let failf_at ~component fmt =
 let timeout ~component ~cycles ~budget =
   raise (Timeout { component; cycles; budget })
 
+(* File-system work raises raw [Sys_error]/[End_of_file], which bypasses
+   the per-component classification below (library users catching
+   [Deepburning_error] never see them).  Running it under [protect_io]
+   rewraps those into a classified error carrying an io-* component, so
+   the CLI's Io exit code and the server's structured responses fire. *)
+let protect_io ~component f =
+  try f () with
+  | Sys_error msg -> failf_at ~component "%s" msg
+  | End_of_file -> failf_at ~component "unexpected end of file"
+
 type failure_class =
   | Parse
   | Validation
@@ -70,6 +80,13 @@ let () =
       ("trainer", Simulation);
       ("backprop", Simulation);
       ("fault", Simulation);
+      ("serve-request", Validation);
+      ("io-prototxt", Io);
+      ("io-report", Io);
+      ("io-testbench", Io);
+      ("io-cli", Io);
+      ("io-store", Io);
+      ("io-serve", Io);
     ]
 
 let classify_message msg =

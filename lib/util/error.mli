@@ -23,6 +23,14 @@ val failf_at : component:string -> ('a, Format.formatter, unit, 'b) format4 -> '
 val timeout : component:string -> cycles:int -> budget:int -> 'a
 (** Raise {!Timeout}. *)
 
+val protect_io : component:string -> (unit -> 'a) -> 'a
+(** [protect_io ~component f] runs [f], rewrapping any raw [Sys_error] or
+    [End_of_file] it raises into a classified {!Deepburning_error} under
+    [component] (use an [io-*] component so the error lands in {!Io}).
+    File reads/writes across the repository run under this guard so that
+    bare file-system exceptions never leak past the classification
+    layer. *)
+
 (** {2 Failure classes}
 
     Every {!Deepburning_error} belongs to one coarse class, derived from

@@ -8,4 +8,5 @@ let () =
    @ Test_ir.suite @ Test_analysis.suite @ Test_core.suite @ Test_sim.suite
    @ Test_baseline.suite @ Test_workloads.suite @ Test_integration.suite
    @ Test_extensions.suite @ Test_fault.suite @ Test_obs.suite
-   @ Test_fuzz.suite @ Test_check.suite @ Test_spec.suite)
+   @ Test_fuzz.suite @ Test_check.suite @ Test_spec.suite @ Test_store.suite
+   @ Test_serve.suite)

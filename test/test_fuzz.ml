@@ -165,12 +165,141 @@ let test_specific_seeds () =
   (* A few fixed seeds run on every CI pass regardless of qcheck's draws. *)
   List.iter (fun seed -> ignore (flow_invariants seed)) [ 1; 7; 13; 99; 1234 ]
 
+(* --- hostile inputs ------------------------------------------------------ *)
+
+(* The frontends' robustness contract: for ANY byte string — truncated,
+   bit-flipped, garbage, adversarially nested — the prototxt and
+   constraint parsers either succeed or raise a *classified* error
+   (Parse/Validation/Io), promptly.  Never an unclassified exception,
+   never a crash, never a hang. *)
+
+let classified_or_ok name f =
+  match f () with
+  | _ -> ()
+  | exception e -> (
+      match Db_util.Error.classify_exn e with
+      | Some (Db_util.Error.Parse | Db_util.Error.Validation | Db_util.Error.Io)
+        ->
+          ()
+      | Some cls ->
+          Alcotest.failf "%s: wrong failure class %s" name
+            (Db_util.Error.class_name cls)
+      | None ->
+          Alcotest.failf "%s: unclassified exception %s" name
+            (Printexc.to_string e))
+
+let hostile_corpus () =
+  let base = Db_workloads.Model_zoo.mlp_prototxt in
+  let n = String.length base in
+  let truncations =
+    List.map
+      (fun k -> ("truncate@" ^ string_of_int k, String.sub base 0 k))
+      [ 0; 1; n / 4; n / 2; n - 1 ]
+  in
+  let flips =
+    List.map
+      (fun (i, bit) ->
+        let b = Bytes.of_string base in
+        let i = i mod n in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor bit));
+        (Printf.sprintf "bitflip@%d^%02x" i bit, Bytes.to_string b))
+      [ (10, 0x01); (50, 0x80); (n / 2, 0x20); (n - 2, 0x04) ]
+  in
+  let garbage =
+    [
+      ("binary", "\x00\x01\x02\xff\xfe prototxt?");
+      ("unterminated string", "name: \"never closed");
+      ("lone colon", ":::::");
+      ("huge number", "layer { num_output: 999999999999999999999999 }");
+      ("unbalanced close", "layer { } } } }");
+      ("nul in ident", "la\x00yer { }");
+    ]
+  in
+  (* Nesting far past the parser's depth bound: must be a classified
+     error, not a stack overflow. *)
+  let deep =
+    [
+      ( "deep nesting",
+        String.concat "" (List.init 20_000 (fun _ -> "a { ")) );
+    ]
+  in
+  truncations @ flips @ garbage @ deep
+
+let test_hostile_prototxt () =
+  List.iter
+    (fun (name, src) ->
+      classified_or_ok ("model " ^ name) (fun () ->
+          Db_nn.Caffe.import_string src))
+    (hostile_corpus ())
+
+let test_hostile_constraints () =
+  let base =
+    {|constraint { device: "zynq-7045" dsps: 16 luts: 60000 ffs: 40000 bram_kb: 1024 }|}
+  in
+  let n = String.length base in
+  let corpus =
+    List.map (fun k -> ("truncate@" ^ string_of_int k, String.sub base 0 k))
+      [ 0; 5; n / 2; n - 1 ]
+    @ [
+        ("wrong block", "layer { name: \"x\" }");
+        ("negative budget", "constraint { dsps: -4 }");
+        ("string budget", "constraint { dsps: \"many\" }");
+        ("garbage", "\xde\xad\xbe\xef");
+      ]
+  in
+  List.iter
+    (fun (name, src) ->
+      classified_or_ok ("constraint " ^ name) (fun () ->
+          Db_core.Constraints.parse src))
+    corpus
+
+(* Random mutations on top of the fixed corpus: qcheck picks an offset
+   and a mutation kind; the parser must stay inside its contract. *)
+let prop_mutated_prototxt =
+  QCheck.Test.make ~name:"mutated prototxt never escapes classification"
+    ~count:100
+    QCheck.(pair small_nat small_nat)
+    (fun (off, kind) ->
+      let base = Db_workloads.Model_zoo.cmac_prototxt in
+      let n = String.length base in
+      let src =
+        match kind mod 4 with
+        | 0 -> String.sub base 0 (off mod n)
+        | 1 ->
+            let b = Bytes.of_string base in
+            Bytes.set b (off mod n) (Char.chr (off * 31 mod 256));
+            Bytes.to_string b
+        | 2 ->
+            String.sub base 0 (off mod n)
+            ^ "{" ^ String.sub base (off mod n) (n - (off mod n))
+        | _ -> String.init (off mod 64) (fun i -> Char.chr (i * 7 mod 256))
+      in
+      match Db_nn.Caffe.import_string src with
+      | _ -> true
+      | exception e -> (
+          match Db_util.Error.classify_exn e with
+          | Some
+              ( Db_util.Error.Parse | Db_util.Error.Validation
+              | Db_util.Error.Io ) ->
+              true
+          | _ ->
+              QCheck.Test.fail_report
+                ("escaped classification: " ^ Printexc.to_string e)))
+
 let suite =
   [
     ( "fuzz.flow",
       [
         QCheck_alcotest.to_alcotest prop_random_network_flow;
         Alcotest.test_case "pinned seeds" `Quick test_specific_seeds;
+      ] );
+    ( "fuzz.hostile",
+      [
+        Alcotest.test_case "hostile prototxt corpus" `Quick
+          test_hostile_prototxt;
+        Alcotest.test_case "hostile constraint corpus" `Quick
+          test_hostile_constraints;
+        QCheck_alcotest.to_alcotest prop_mutated_prototxt;
       ] );
   ]
 
