@@ -335,8 +335,35 @@ let git_rev () =
    baselines from another schema rather than mis-reading them.  v3 adds
    the [sim_throughput] section (specialized-engine batched playback);
    v4 adds [serve_throughput] (daemon round-trips) and
-   [store_persistence] (disk-store hits across a simulated restart). *)
-let bench_schema_version = 4
+   [store_persistence] (disk-store hits across a simulated restart);
+   v5 adds [explore] (design-space exploration throughput and
+   cache-dedupe rate). *)
+let bench_schema_version = 5
+
+(* Design-space exploration throughput on the MNIST accelerator: one cold
+   exploration (every candidate generated), then the identical exploration
+   again with the design cache warm — the second run's cost is dominated
+   by lookups, which is the dedupe path repeated points take. *)
+let explore_micro () =
+  let net =
+    Db_nn.Caffe.import_string Db_workloads.Model_zoo.mnist_prototxt
+  in
+  let cons =
+    Db_core.Constraints.parse
+      {|constraint { device: "zynq-7045" dsps: 16 luts: 60000 ffs: 40000 bram_kb: 1024 }|}
+  in
+  let config =
+    {
+      Db_dse.Explore.default_config with
+      Db_dse.Explore.budget = (if !quick then 8 else 16);
+      population = 8;
+    }
+  in
+  let h0, m0 = Db_core.Design_cache.stats () in
+  let res, cold_s = time (fun () -> Db_dse.Explore.explore ~config cons net) in
+  let _, warm_s = time (fun () -> Db_dse.Explore.explore ~config cons net) in
+  let h1, m1 = Db_core.Design_cache.stats () in
+  (config, res, cold_s, warm_s, h1 - h0, m1 - m0)
 
 (* Specialized-engine playback throughput on the MNIST accelerator: trace
    compilation cost, then the same input set replayed one sample at a time
@@ -496,6 +523,14 @@ let run_json () =
   let store_n, store_generate_s, store_write_s, store_lookup_s =
     store_persistence_micro ()
   in
+  let ( explore_config,
+        explore_res,
+        explore_cold_s,
+        explore_warm_s,
+        explore_hits,
+        explore_misses ) =
+    explore_micro ()
+  in
   let micros =
     List.map conv_micro
       (("alexnet-conv3", 256, 13, 384, 3, 1, 1)
@@ -555,6 +590,18 @@ let run_json () =
     store_n (fsec store_generate_s) (fsec store_write_s) (fsec store_lookup_s)
     (float_of_int store_n /. store_lookup_s)
     (store_generate_s /. (store_lookup_s /. float_of_int store_n));
+  Printf.bprintf buf
+    "  \"explore\": { \"model\": \"mnist\", \"budget\": %d, \
+     \"evaluated\": %d, \"deduped\": %d, \"front_size\": %d, \
+     \"cold_seconds\": %s, \"warm_seconds\": %s, \
+     \"candidates_per_second\": %.1f, \"cache_dedupe_hit_rate\": %.3f },\n"
+    explore_config.Db_dse.Explore.budget explore_res.Db_dse.Explore.r_evaluated
+    explore_res.Db_dse.Explore.r_deduped
+    (List.length explore_res.Db_dse.Explore.r_front)
+    (fsec explore_cold_s) (fsec explore_warm_s)
+    (float_of_int explore_res.Db_dse.Explore.r_evaluated /. explore_cold_s)
+    (float_of_int explore_hits
+    /. float_of_int (Stdlib.max 1 (explore_hits + explore_misses)));
   Buffer.add_string buf "  \"conv_micro\": [\n";
   Buffer.add_string buf
     (String.concat ",\n"
@@ -584,6 +631,17 @@ let run_json () =
   Printf.printf "wrote %s (fig8 cold %ss -> warm %ss)\n" !json_out
     (fsec fig8_cold) (fsec fig8_warm)
 
+let run_explore () =
+  section_header "Design-space exploration (multi-objective Pareto front)";
+  let _config, res, cold_s, warm_s, hits, misses = explore_micro () in
+  print_string (Db_dse.Explore.render_text res);
+  Printf.printf
+    "\ncold %.3fs (%.1f candidates/s)  warm %.3fs  design-cache %d hits / %d \
+     misses\n"
+    cold_s
+    (float_of_int res.Db_dse.Explore.r_evaluated /. cold_s)
+    warm_s hits misses
+
 let sections =
   [
     ("table1", run_table1);
@@ -600,6 +658,7 @@ let sections =
     ("ablation-lanes", run_ablation_lanes);
     ("ablation-fixed", run_ablation_fixed);
     ("faults", run_faults);
+    ("explore", run_explore);
     ("report", run_report);
     ("bechamel", run_bechamel);
     ("json", run_json);

@@ -844,6 +844,125 @@ let serve_cmd =
       const run $ port_arg $ host_arg $ workers_arg $ queue_arg $ quota_arg
       $ deadline_arg $ budget_arg $ store_arg)
 
+let explore_cmd =
+  let model_pos_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MODEL"
+          ~doc:"A bundled zoo model name or a .prototxt file path.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt int Db_dse.Explore.default_config.Db_dse.Explore.budget
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Maximum number of unique candidate evaluations.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt int Db_dse.Explore.default_config.Db_dse.Explore.seed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Exploration seed; the front is bitwise reproducible for a \
+             fixed seed at any $(b,DEEPBURNING_JOBS).")
+  in
+  let objectives_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "objectives" ] ~docv:"AXES"
+          ~doc:
+            "Comma-separated objective axes to minimise: cycles, latency, \
+             luts, ffs, dsps, bram, accuracy, resilience.  Default: every \
+             axis except resilience (SEU campaigns are costly).")
+  in
+  let epsilon_arg =
+    Arg.(
+      value
+      & opt float Db_dse.Explore.default_config.Db_dse.Explore.epsilon
+      & info [ "epsilon" ] ~docv:"EPS"
+          ~doc:
+            "Epsilon-dominance archive resolution: points within a factor \
+             (1+EPS) on every axis share one representative.")
+  in
+  let population_arg =
+    Arg.(
+      value
+      & opt int Db_dse.Explore.default_config.Db_dse.Explore.population
+      & info [ "population" ] ~docv:"N"
+          ~doc:"Candidate proposals per generation.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the stable front JSON instead of text.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Also write the stable front JSON to $(docv).")
+  in
+  let run model constraint_path budget seed objectives epsilon population
+      json out trace =
+    wrap ?trace (fun () ->
+        let source =
+          match List.assoc_opt model zoo_models with
+          | Some src -> src
+          | None ->
+              if Sys.file_exists model then read_file model
+              else
+                Db_util.Error.fail "%S is neither a zoo model nor a file" model
+        in
+        let net = Db_nn.Caffe.import_string source in
+        let constraint_script =
+          match constraint_path with
+          | Some path -> read_file path
+          | None -> default_constraint_script
+        in
+        let cons = Db_core.Constraints.parse constraint_script in
+        let axes =
+          match objectives with
+          | None -> Db_dse.Explore.default_config.Db_dse.Explore.axes
+          | Some s ->
+              List.map Db_core.Objective.axis_of_string
+                (List.filter
+                   (fun x -> String.trim x <> "")
+                   (String.split_on_char ',' s))
+        in
+        let config =
+          {
+            Db_dse.Explore.default_config with
+            Db_dse.Explore.seed;
+            budget;
+            axes;
+            epsilon;
+            population;
+          }
+        in
+        let result = Db_dse.Explore.explore ~config cons net in
+        (match out with
+        | Some path -> write_file path (Db_dse.Explore.render_json result)
+        | None -> ());
+        if json then print_string (Db_dse.Explore.render_json result)
+        else print_string (Db_dse.Explore.render_text result))
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Multi-objective design-space exploration: walk lane count, \
+          Q-format, Approx-LUT resolution, buffer sizing, tiling and SEU \
+          protection under the constraint budget and print the Pareto \
+          front over the selected objectives.  Deterministic for a fixed \
+          seed at any parallelism.")
+    Term.(
+      const run $ model_pos_arg $ constraint_arg $ budget_arg $ seed_arg
+      $ objectives_arg $ epsilon_arg $ population_arg $ json_arg $ out_arg
+      $ trace_arg)
+
 let main_cmd =
   let doc = "automatic generation of FPGA-based NN accelerators (DAC'16 reproduction)" in
   Cmd.group
@@ -851,6 +970,7 @@ let main_cmd =
     [
       generate_cmd; simulate_cmd; serve_cmd; verify_cmd; profile_cmd;
       lint_cmd; check_cmd; faults_cmd; ir_cmd; stats_cmd; zoo_cmd;
+      explore_cmd;
     ]
 
 let () = try exit (Cmd.eval' main_cmd) with e -> exit (report_error e)

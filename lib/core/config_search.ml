@@ -12,16 +12,32 @@ type result = {
 
 let fail fmt = Db_util.Error.failf_at ~component:"config-search" fmt
 
-let useful_lanes (g : Graph.t) =
-  Graph.fold g ~init:1 ~f:(fun acc node ->
+(* Fold [f] over every node's exploitable output parallelism (the same
+   quantity spatial folding cuts into lane-sized segments). *)
+let fold_parallelism (g : Graph.t) ~init ~f =
+  Graph.fold g ~init ~f:(fun acc node ->
       match Op.num_output node.Graph.op with
-      | Some num_output -> Stdlib.max acc num_output
+      | Some num_output -> f acc num_output
       | None -> begin
           match node.Graph.op, node.Graph.in_shapes with
           | (Op.Pool _ | Op.Global_pool _), [ bottom ] ->
-              Stdlib.max acc (Shape.channels bottom)
+              f acc (Shape.channels bottom)
           | _ -> acc
         end)
+
+let useful_lanes (g : Graph.t) = fold_parallelism g ~init:1 ~f:Stdlib.max
+
+(* Smallest lane count that keeps every layer's spatial fold count equal to
+   what it is at [lanes]: for a layer of parallelism [c] split into
+   [ceil (c / lanes)] folds, [ceil (c / folds)] lanes produce the same
+   split.  Anything between that and [lanes] buys no schedule shortening —
+   it only spends lanes on padding the last fold. *)
+let fold_preserving_lanes (g : Graph.t) ~lanes =
+  fold_parallelism g ~init:1 ~f:(fun acc c ->
+      if c <= 0 then acc
+      else
+        let folds = (c + lanes - 1) / lanes in
+        Stdlib.max acc ((c + folds - 1) / folds))
 
 let rec pow2_at_most n = if n < 2 then 1 else 2 * pow2_at_most (n / 2)
 
@@ -74,6 +90,45 @@ let evaluate cons (g : Graph.t) ~lanes =
       in
       { datapath; schedule; layout; block_set })
 
+(* The dominance axes the first-fit refinement scores on: schedule length
+   (total folds, the structural stand-in for cycles at a fixed memory
+   interface) plus the four resource classes.  The same comparison the
+   design-space explorer's archive uses ({!Objective.dominates}). *)
+let search_axes =
+  Objective.[ Cycles; Luts; Ffs; Dsps; Bram_bits ]
+
+let search_objective (r : result) =
+  Objective.of_resources
+    ~cycles:(float_of_int (Db_sched.Schedule.fold_count r.schedule))
+    r.block_set.Block_set.total
+
+(* The first feasible point of the downward lane walk is not always
+   undominated: when the walk stops at a lane count whose last fold is
+   mostly padding (lanes > ceil (c / folds) for every layer), the
+   fold-preserving slimmer datapath executes the *same* schedule on
+   strictly fewer resources.  Replace the pick only under an identical
+   memory interface (equal port width) and identical fold count, so the
+   refined design's control structure — and hence its cycle behaviour —
+   matches the point it dominates. *)
+let refine cons (g : Graph.t) (first : result) =
+  let lanes = first.datapath.Db_sched.Datapath.lanes in
+  let slim = fold_preserving_lanes g ~lanes in
+  if slim >= lanes || port_words_for slim <> port_words_for lanes then first
+  else
+    let candidate = evaluate cons g ~lanes:slim in
+    if
+      Resource.fits candidate.block_set.Block_set.total
+        ~within:cons.Constraints.budget
+      && Db_sched.Schedule.fold_count candidate.schedule
+         = Db_sched.Schedule.fold_count first.schedule
+      && Objective.dominates ~axes:search_axes (search_objective candidate)
+           (search_objective first)
+    then begin
+      Db_obs.Obs.incr "config_search.refined";
+      candidate
+    end
+    else first
+
 let search cons (g : Graph.t) =
   (* Range-infeasible Q-formats are rejected before any point is costed:
      if the format cannot represent the canonical input range, every
@@ -95,7 +150,7 @@ let search cons (g : Graph.t) =
       if
         Resource.fits candidate.block_set.Block_set.total
           ~within:cons.Constraints.budget
-      then candidate
+      then refine cons g candidate
       else
         (* Large steps far from fitting, fine steps close by. *)
         let next = if lanes > 16 then lanes * 7 / 8 else lanes - 1 in
@@ -103,3 +158,5 @@ let search cons (g : Graph.t) =
     end
   in
   try_lanes upper
+
+let select = search

@@ -15,7 +15,18 @@ type result = {
 
 val search : Constraints.t -> Db_ir.Graph.t -> result
 (** Raises {!Db_util.Error.Deepburning_error} if even a one-lane datapath
-    exceeds the budget. *)
+    exceeds the budget.
+
+    The first feasible point of the walk is refined through the
+    design-space explorer's dominance comparison
+    ({!Objective.dominates}): when a fold-preserving slimmer datapath
+    with the same port width executes the identical schedule on strictly
+    fewer resources, that strictly-dominating configuration is returned
+    instead (counted as [config_search.refined]). *)
+
+val select : Constraints.t -> Db_ir.Graph.t -> result
+(** Alias of {!search}: the degenerate single-objective entry point the
+    multi-objective explorer ({!Db_dse} upstream) generalises. *)
 
 val evaluate : Constraints.t -> Db_ir.Graph.t -> lanes:int -> result
 (** Build the full configuration for an explicit lane count (used by the
@@ -24,3 +35,8 @@ val evaluate : Constraints.t -> Db_ir.Graph.t -> lanes:int -> result
 val useful_lanes : Db_ir.Graph.t -> int
 (** Lane count beyond which no layer has any more output-channel / neuron
     parallelism to exploit. *)
+
+val fold_preserving_lanes : Db_ir.Graph.t -> lanes:int -> int
+(** Smallest lane count for which every layer keeps the fold count it has
+    at [lanes] — the slimming {!search} refines its first-fit pick with,
+    and a seed point for the design-space explorer. *)

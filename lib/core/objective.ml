@@ -1,0 +1,101 @@
+type t = {
+  cycles : float;
+  latency_s : float;
+  luts : float;
+  ffs : float;
+  dsps : float;
+  bram_bits : float;
+  accuracy_loss : float;
+  silent_fraction : float;
+}
+
+type axis =
+  | Cycles
+  | Latency_s
+  | Luts
+  | Ffs
+  | Dsps
+  | Bram_bits
+  | Accuracy_loss
+  | Silent_fraction
+
+let all_axes =
+  [ Cycles; Latency_s; Luts; Ffs; Dsps; Bram_bits; Accuracy_loss;
+    Silent_fraction ]
+
+let axis_name = function
+  | Cycles -> "cycles"
+  | Latency_s -> "latency_s"
+  | Luts -> "luts"
+  | Ffs -> "ffs"
+  | Dsps -> "dsps"
+  | Bram_bits -> "bram_bits"
+  | Accuracy_loss -> "accuracy_loss"
+  | Silent_fraction -> "silent_fraction"
+
+let axis_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "cycles" -> Cycles
+  | "latency" | "latency_s" | "seconds" -> Latency_s
+  | "luts" -> Luts
+  | "ffs" -> Ffs
+  | "dsps" -> Dsps
+  | "bram" | "bram_bits" -> Bram_bits
+  | "accuracy" | "accuracy_loss" -> Accuracy_loss
+  | "resilience" | "silent" | "silent_fraction" -> Silent_fraction
+  | other ->
+      Db_util.Error.failf_at ~component:"objective" "unknown objective %S"
+        other
+
+let get t = function
+  | Cycles -> t.cycles
+  | Latency_s -> t.latency_s
+  | Luts -> t.luts
+  | Ffs -> t.ffs
+  | Dsps -> t.dsps
+  | Bram_bits -> t.bram_bits
+  | Accuracy_loss -> t.accuracy_loss
+  | Silent_fraction -> t.silent_fraction
+
+let of_resources ?(cycles = 0.0) ?(latency_s = 0.0)
+    (r : Db_fpga.Resource.t) =
+  {
+    cycles;
+    latency_s;
+    luts = float_of_int r.Db_fpga.Resource.luts;
+    ffs = float_of_int r.Db_fpga.Resource.ffs;
+    dsps = float_of_int r.Db_fpga.Resource.dsps;
+    bram_bits = float_of_int r.Db_fpga.Resource.bram_bits;
+    accuracy_loss = 0.0;
+    silent_fraction = 0.0;
+  }
+
+let dominates ~axes a b =
+  axes <> []
+  && List.for_all (fun ax -> get a ax <= get b ax) axes
+  && List.exists (fun ax -> get a ax < get b ax) axes
+
+(* Logarithmic boxes so the same epsilon means "within a factor of
+   (1 + eps)" on cycle counts in the millions and silent fractions below
+   one alike.  [log1p] keeps 0 exactly in cell 0. *)
+let eps_cell ~epsilon ~axes t =
+  if epsilon <= 0.0 then
+    Db_util.Error.failf_at ~component:"objective" "epsilon must be positive";
+  let denom = Float.log1p epsilon in
+  String.concat ","
+    (List.map
+       (fun ax ->
+         let v = Stdlib.max 0.0 (get t ax) in
+         Printf.sprintf "%s:%d" (axis_name ax)
+           (int_of_float (Float.floor (Float.log1p v /. denom))))
+       axes)
+
+let number v = Printf.sprintf "%.9g" v
+
+let to_json t =
+  "{"
+  ^ String.concat ", "
+      (List.map
+         (fun ax -> Printf.sprintf "\"%s\": %s" (axis_name ax) (number (get t ax)))
+         all_axes)
+  ^ "}"

@@ -1,0 +1,71 @@
+(** Multi-objective design vectors and Pareto dominance.
+
+    One candidate accelerator configuration is scored on a joint vector —
+    execution cycles, wall-clock latency, the four FPGA resource classes,
+    fixed-point accuracy loss and SEU silent-corruption fraction.  All
+    axes are minimised.  The design-space explorer ({!Db_dse} upstream)
+    archives the non-dominated set of these vectors; {!Config_search}
+    routes its lane refinement through the same comparison so the single
+    point it returns is never strictly dominated within the structures it
+    enumerates. *)
+
+type t = {
+  cycles : float;
+      (** total execution cycles (or a structural proxy with identical
+          ordering, e.g. the fold count during configuration search) *)
+  latency_s : float;  (** cycles at the constraint clock *)
+  luts : float;
+  ffs : float;
+  dsps : float;
+  bram_bits : float;
+  accuracy_loss : float;
+      (** mean |accelerator - float reference| over the evaluation set *)
+  silent_fraction : float;
+      (** (sdc + top-1 flips) / injections of a budgeted SEU campaign;
+          0 when the resilience objective is disabled *)
+}
+
+type axis =
+  | Cycles
+  | Latency_s
+  | Luts
+  | Ffs
+  | Dsps
+  | Bram_bits
+  | Accuracy_loss
+  | Silent_fraction
+
+val all_axes : axis list
+(** Declaration order; every rendering and comparison iterates in it. *)
+
+val axis_name : axis -> string
+
+val axis_of_string : string -> axis
+(** Accepts the [axis_name] forms plus the CLI shorthands ["latency"],
+    ["bram"], ["accuracy"] and ["resilience"].  Raises
+    {!Db_util.Error.Deepburning_error} on anything else. *)
+
+val get : t -> axis -> float
+
+val of_resources : ?cycles:float -> ?latency_s:float -> Db_fpga.Resource.t -> t
+(** A vector carrying a resource bill (and optionally time axes); the
+    remaining axes are 0 so they never decide a comparison. *)
+
+val dominates : axes:axis list -> t -> t -> bool
+(** [dominates ~axes a b]: [a] is no worse than [b] on every listed axis
+    and strictly better on at least one.  Irreflexive. *)
+
+val eps_cell : epsilon:float -> axes:axis list -> t -> string
+(** Epsilon-dominance grid cell: each axis value mapped to
+    [floor (ln (1 + v) / ln (1 + epsilon))], rendered canonically.  Two
+    vectors in the same cell are within a factor [1 + epsilon] of each
+    other on every axis; the archive keeps one representative per cell. *)
+
+val to_json : t -> string
+(** Stable one-line JSON object, axes in declaration order, every float
+    printed with a fixed format — byte-identical across runs and pool
+    widths for equal vectors. *)
+
+val number : float -> string
+(** The canonical float rendering used by {!to_json} ([%.9g]); exposed so
+    the front writer renders every number the same way. *)

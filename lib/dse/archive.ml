@@ -1,0 +1,76 @@
+module Objective = Db_core.Objective
+
+type 'a entry = {
+  e_key : string;
+  e_value : 'a;
+  e_obj : Objective.t;
+  e_cell : string;
+}
+
+type 'a t = {
+  axes : Objective.axis list;
+  epsilon : float;
+  mutable items : 'a entry list;  (* insertion order *)
+}
+
+type verdict = Added | Dominated | Merged
+
+let fail fmt = Db_util.Error.failf_at ~component:"dse-archive" fmt
+
+let create ~axes ~epsilon () =
+  if axes = [] then fail "archive needs at least one objective axis";
+  if epsilon <= 0.0 then fail "epsilon must be positive (got %g)" epsilon;
+  { axes; epsilon; items = [] }
+
+(* Total order on entries: objective values in axis order, then key.
+   Decides cell representatives and the [entries] ordering. *)
+let compare_entries axes a b =
+  let rec cmp = function
+    | [] -> String.compare a.e_key b.e_key
+    | ax :: rest ->
+        let c =
+          Float.compare (Objective.get a.e_obj ax) (Objective.get b.e_obj ax)
+        in
+        if c <> 0 then c else cmp rest
+  in
+  cmp axes
+
+let equal_vector axes a b =
+  List.for_all (fun ax -> Objective.get a ax = Objective.get b ax) axes
+
+let add t ~key value obj =
+  let cell = Objective.eps_cell ~epsilon:t.epsilon ~axes:t.axes obj in
+  let cand = { e_key = key; e_value = value; e_obj = obj; e_cell = cell } in
+  if
+    List.exists
+      (fun e ->
+        Objective.dominates ~axes:t.axes e.e_obj obj
+        || equal_vector t.axes e.e_obj obj)
+      t.items
+  then Dominated
+  else if
+    (* A cellmate that ranks better keeps the cell.  Such a cellmate is
+       never dominated by the candidate: dominance implies ranking no
+       better at every axis and strictly worse at the first differing
+       one, so the merge check commutes with the eviction below. *)
+    List.exists
+      (fun e -> e.e_cell = cell && compare_entries t.axes e cand < 0)
+      t.items
+  then Merged
+  else begin
+    t.items <-
+      List.filter
+        (fun e ->
+          e.e_cell <> cell
+          && not (Objective.dominates ~axes:t.axes obj e.e_obj))
+        t.items
+      @ [ cand ];
+    Added
+  end
+
+let entries t =
+  List.map
+    (fun e -> (e.e_key, e.e_value, e.e_obj))
+    (List.sort (compare_entries t.axes) t.items)
+
+let size t = List.length t.items

@@ -1,0 +1,29 @@
+(** The Pareto archive: the non-dominated set with epsilon pruning.
+
+    Values enter one at a time and the archive maintains the invariants
+    that (a) no entry dominates another on the configured axes and (b) no
+    two entries share an epsilon-dominance grid cell.  Within a cell the
+    representative is the lexicographically smallest (objective values in
+    axis order, then key) — a total order, so the surviving set is a pure
+    function of the *set* of inserted points, independent of arrival
+    interleavings that preserve the insertion sequence. *)
+
+type 'a t
+
+val create :
+  axes:Db_core.Objective.axis list -> epsilon:float -> unit -> 'a t
+(** Fails ([Deepburning_error]) on an empty axis list or a non-positive
+    epsilon. *)
+
+type verdict =
+  | Added  (** entered the archive (possibly evicting dominated entries) *)
+  | Dominated  (** an existing entry dominates it, or ties its vector *)
+  | Merged
+      (** within epsilon of an existing cellmate that ranked better *)
+
+val add : 'a t -> key:string -> 'a -> Db_core.Objective.t -> verdict
+
+val entries : 'a t -> (string * 'a * Db_core.Objective.t) list
+(** Sorted by (objective values in axis order, key) — deterministic. *)
+
+val size : 'a t -> int

@@ -1,0 +1,70 @@
+(** The population-based multi-objective design-space explorer.
+
+    Rounds of candidates drawn from {!Space} are generated through
+    {!Db_core.Design_cache} (repeats cost a lookup), evaluated in
+    parallel over {!Db_parallel.Pool.map_list} and folded into an
+    {!Archive} in list order.  Every random draw comes from an RNG
+    created from [(seed, round, position)], proposals are deduplicated
+    against an explicit seen-set, and the reduction order is fixed — so
+    the front is bitwise identical at any [DEEPBURNING_JOBS] setting.
+
+    A candidate is *feasible* when its whole bill — block set plus the
+    protection overhead of its scheme — fits the *base* budget; the
+    archive only ever holds feasible points, so every front entry
+    regenerates into a design that passes the generator's analysis and
+    checker gates. *)
+
+type config = {
+  seed : int;
+  budget : int;  (** maximum unique candidate evaluations *)
+  axes : Db_core.Objective.axis list;  (** minimised; must be non-empty *)
+  epsilon : float;  (** archive grid, {!Db_core.Objective.eps_cell} *)
+  population : int;  (** proposals per round *)
+  accuracy_samples : int;
+      (** random inputs behind the [Accuracy_loss] axis *)
+  fault_trials : int;
+      (** SEU injections per candidate behind [Silent_fraction]; the
+          campaign only runs when that axis is enabled *)
+}
+
+val default_config : config
+(** seed 1, budget 40, every axis except [Silent_fraction], epsilon 0.05,
+    population 12, 2 accuracy samples, 24 fault trials. *)
+
+type entry = {
+  e_candidate : Space.candidate;
+  e_objective : Db_core.Objective.t;
+  e_round : int;  (** generation the candidate was proposed in *)
+  e_index : int;  (** evaluation order within the run (provenance) *)
+}
+
+type result = {
+  r_model : string;
+  r_config : config;
+  r_front : entry list;  (** archive contents, canonically sorted *)
+  r_proposed : int;
+  r_evaluated : int;  (** unique evaluations, feasible or not *)
+  r_deduped : int;  (** proposals dropped by the seen-set *)
+  r_infeasible : int;
+  r_rounds : int;
+}
+
+val explore :
+  ?config:config -> Db_core.Constraints.t -> Db_nn.Network.t -> result
+(** Raises {!Db_util.Error.Deepburning_error} on an empty axis list or
+    non-positive budget; an individual candidate's generation failure
+    just marks that candidate infeasible. *)
+
+val select :
+  ?config:config -> Db_core.Constraints.t -> Db_nn.Network.t -> entry
+(** The degenerate single-objective case: explore on [Cycles] plus the
+    resource axes and return the best front point (canonical order).
+    Raises if no candidate in the budget was feasible. *)
+
+val render_text : result -> string
+
+val render_json : result -> string
+(** The stable front: model, config echo, counters, then one object per
+    front point (candidate, objective vector, provenance), every float
+    through {!Db_core.Objective.number}.  Byte-identical for a fixed
+    seed at any [DEEPBURNING_JOBS]. *)

@@ -1,0 +1,185 @@
+module Rng = Db_util.Rng
+module Fixed = Db_fixed.Fixed
+module Protect = Db_fault.Protect
+module Constraints = Db_core.Constraints
+module Config_search = Db_core.Config_search
+
+type candidate = {
+  lanes : int;
+  total_bits : int;
+  frac_bits : int;
+  lut_entries : int;
+  bram_divisor : int;
+  tiling : bool;
+  protect : Protect.scheme;
+}
+
+type t = {
+  base : Constraints.t;
+  graph : Db_ir.Graph.t;
+  max_lanes : int;
+  fmt_menu : (int * int) array;
+  lut_menu : int array;
+  bram_menu : int array;
+  protect_menu : Protect.scheme array;
+}
+
+let dedup_keep_order ~key xs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      let k = key x in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    xs
+
+let make ?(resilience = false) (base : Constraints.t) (graph : Db_ir.Graph.t)
+    =
+  let cap = Stdlib.max 1 base.Constraints.budget.Db_fpga.Resource.dsps in
+  let max_lanes =
+    Stdlib.max 1 (Stdlib.min cap (Config_search.useful_lanes graph))
+  in
+  let base_fmt =
+    ( base.Constraints.fmt.Fixed.total_bits,
+      base.Constraints.fmt.Fixed.frac_bits )
+  in
+  let fmt_menu =
+    Array.of_list
+      (dedup_keep_order ~key:(fun (t, f) -> Printf.sprintf "%d.%d" t f)
+         (base_fmt :: [ (8, 4); (12, 6); (16, 8); (24, 12) ]))
+  in
+  let lut_menu =
+    Array.of_list
+      (dedup_keep_order ~key:string_of_int
+         (base.Constraints.lut_entries :: [ 64; 128; 256; 512 ]))
+  in
+  {
+    base;
+    graph;
+    max_lanes;
+    fmt_menu;
+    lut_menu;
+    bram_menu = [| 1; 2; 4 |];
+    protect_menu =
+      (if resilience then
+         [| Protect.Unprotected; Protect.Parity; Protect.Secded;
+            Protect.Crc_reload |]
+       else [| Protect.Unprotected |]);
+  }
+
+let max_lanes t = t.max_lanes
+
+let constraints_for t (c : candidate) =
+  let base = t.base in
+  {
+    base with
+    Constraints.fmt =
+      { Fixed.total_bits = c.total_bits; frac_bits = c.frac_bits };
+    lut_entries = c.lut_entries;
+    budget =
+      {
+        base.Constraints.budget with
+        Db_fpga.Resource.bram_bits =
+          Stdlib.max 1
+            (base.Constraints.budget.Db_fpga.Resource.bram_bits
+            / c.bram_divisor);
+      };
+  }
+
+let key (c : candidate) =
+  Printf.sprintf "lanes=%d;fmt=Q%d.%d;lut=%d;bram=%d;tiling=%b;protect=%s"
+    c.lanes c.total_bits c.frac_bits c.lut_entries c.bram_divisor c.tiling
+    (Protect.name c.protect)
+
+(* A plain character fold instead of [Hashtbl.hash]: the result must not
+   depend on the compiler version, because it seeds fault campaigns whose
+   counts land in golden front files built on more than one OCaml. *)
+let key_hash c =
+  let h = ref 5381 in
+  String.iter (fun ch -> h := ((!h * 31) + Char.code ch) land 0x3FFFFFFF)
+    (key c);
+  !h
+
+let to_json (c : candidate) =
+  Printf.sprintf
+    "{\"lanes\": %d, \"fmt\": \"Q%d.%d\", \"lut_entries\": %d, \
+     \"bram_divisor\": %d, \"tiling\": %b, \"protection\": \"%s\"}"
+    c.lanes c.total_bits c.frac_bits c.lut_entries c.bram_divisor c.tiling
+    (Protect.name c.protect)
+
+let base_candidate t ~lanes =
+  {
+    lanes = Stdlib.max 1 (Stdlib.min t.max_lanes lanes);
+    total_bits = t.base.Constraints.fmt.Fixed.total_bits;
+    frac_bits = t.base.Constraints.fmt.Fixed.frac_bits;
+    lut_entries = t.base.Constraints.lut_entries;
+    bram_divisor = 1;
+    tiling = true;
+    protect = Protect.Unprotected;
+  }
+
+let random t rng =
+  let pick a = a.(Rng.int rng (Array.length a)) in
+  let total_bits, frac_bits = pick t.fmt_menu in
+  {
+    lanes = 1 + Rng.int rng t.max_lanes;
+    total_bits;
+    frac_bits;
+    lut_entries = pick t.lut_menu;
+    bram_divisor = pick t.bram_menu;
+    tiling = Rng.bool rng;
+    protect = pick t.protect_menu;
+  }
+
+let seeds t ~count rng =
+  (* Lane-halving ladder plus the fold-preserving slimming of each rung:
+     the rungs shorten the schedule geometrically, the slimmings are the
+     points the refined configuration search itself would pick. *)
+  let rec ladder lanes acc =
+    if lanes < 1 then List.rev acc
+    else
+      let slim = Config_search.fold_preserving_lanes t.graph ~lanes in
+      let acc = base_candidate t ~lanes:slim :: base_candidate t ~lanes :: acc in
+      if lanes = 1 then List.rev acc else ladder (lanes / 2) acc
+  in
+  let rungs = ladder t.max_lanes [] in
+  let variants =
+    List.concat_map
+      (fun (total_bits, frac_bits) ->
+        [ { (base_candidate t ~lanes:t.max_lanes) with total_bits; frac_bits } ])
+      (Array.to_list t.fmt_menu)
+    @ List.map
+        (fun lut_entries ->
+          { (base_candidate t ~lanes:t.max_lanes) with lut_entries })
+        (Array.to_list t.lut_menu)
+  in
+  let deterministic = dedup_keep_order ~key (rungs @ variants) in
+  let n = List.length deterministic in
+  let fill =
+    if n >= count then []
+    else List.init (count - n) (fun _ -> random t rng)
+  in
+  dedup_keep_order ~key (deterministic @ fill)
+
+let mutate t rng (c : candidate) =
+  let pick a = a.(Rng.int rng (Array.length a)) in
+  match Rng.int rng 6 with
+  | 0 ->
+      let lanes =
+        match Rng.int rng 4 with
+        | 0 -> c.lanes + 1
+        | 1 -> c.lanes - 1
+        | 2 -> c.lanes * 2
+        | _ -> Stdlib.max 1 (c.lanes / 2)
+      in
+      { c with lanes = Stdlib.max 1 (Stdlib.min t.max_lanes lanes) }
+  | 1 ->
+      let total_bits, frac_bits = pick t.fmt_menu in
+      { c with total_bits; frac_bits }
+  | 2 -> { c with lut_entries = pick t.lut_menu }
+  | 3 -> { c with bram_divisor = pick t.bram_menu }
+  | 4 -> { c with tiling = not c.tiling }
+  | _ -> { c with protect = pick t.protect_menu }

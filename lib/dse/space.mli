@@ -1,0 +1,64 @@
+(** The bounded candidate space the explorer walks.
+
+    A candidate names one point on every axis the paper's experiments
+    sweep by hand: lane count (and with it spatial folding), Q-format,
+    Approx-LUT resolution, buffer sizing (as a divisor on the BRAM budget
+    the buffers are carved from), Method-1 tiling, and the SEU protection
+    scheme.  The space object carries the menus and bounds derived from
+    the constraint script and the lowered graph; every seeding and
+    mutation decision draws from an explicitly passed {!Db_util.Rng.t},
+    so candidate streams are a pure function of the seed. *)
+
+type candidate = {
+  lanes : int;
+  total_bits : int;
+  frac_bits : int;
+  lut_entries : int;
+  bram_divisor : int;
+      (** buffers are sized from [budget.bram_bits / bram_divisor]; 1 is
+          the full budget the configuration search uses *)
+  tiling : bool;
+  protect : Db_fault.Protect.scheme;
+}
+
+type t
+
+val make :
+  ?resilience:bool -> Db_core.Constraints.t -> Db_ir.Graph.t -> t
+(** Menus and bounds for one (constraint, lowered graph) pair.  The lane
+    axis tops out at [min budget.dsps (Config_search.useful_lanes g)];
+    the protection menu is [Unprotected] only unless [resilience] is set
+    (a protection scheme can never pay for itself when the resilience
+    objective is disabled). *)
+
+val max_lanes : t -> int
+
+val constraints_for : t -> candidate -> Db_core.Constraints.t
+(** The constraint script this candidate generates under: the base
+    constraints with the candidate's format, LUT resolution and scaled
+    BRAM budget substituted.  The *feasibility* budget stays the base
+    one — see {!Explore}. *)
+
+val seeds : t -> count:int -> Db_util.Rng.t -> candidate list
+(** Deterministic first generation: the widest datapath, a lane-halving
+    ladder with fold-preserving slimmings, format and LUT variants, then
+    random fill up to [count].  Duplicate-free. *)
+
+val random : t -> Db_util.Rng.t -> candidate
+
+val mutate : t -> Db_util.Rng.t -> candidate -> candidate
+(** One axis moved: lanes stepped or rescaled, or another axis redrawn
+    from its menu.  Always returns an in-bounds candidate. *)
+
+val key : candidate -> string
+(** Canonical identity, e.g.
+    ["lanes=8;fmt=Q16.8;lut=256;bram=1;tiling=true;protect=unprotected"].
+    Equal keys iff equal candidates. *)
+
+val key_hash : candidate -> int
+(** Deterministic non-negative hash of {!key} (a plain character fold —
+    stable across OCaml versions, unlike [Hashtbl.hash]).  Seeds the
+    per-candidate fault campaign. *)
+
+val to_json : candidate -> string
+(** Stable one-line JSON object. *)

@@ -21,9 +21,19 @@ let test_generate_every_benchmark () =
         true
         (Resource.fits used
            ~within:design.Design.constraints.Db_core.Constraints.budget);
-      Alcotest.(check int)
-        (b.Benchmarks.bench_name ^ " DSPs = per-app cap")
-        b.Benchmarks.dsp_cap used.Resource.dsps)
+      (* The search saturates the per-app DSP cap, then the dominance
+         refinement may slim lanes down as long as every layer keeps its
+         fold count — so the DSP usage lands in [fold-preserving floor,
+         cap] rather than exactly at the cap. *)
+      let cap = b.Benchmarks.dsp_cap in
+      let floor_lanes =
+        Db_core.Config_search.fold_preserving_lanes design.Design.ir
+          ~lanes:(min cap (Db_core.Config_search.useful_lanes design.Design.ir))
+      in
+      Alcotest.(check bool)
+        (b.Benchmarks.bench_name ^ " DSPs within per-app cap")
+        true
+        (used.Resource.dsps <= cap && used.Resource.dsps >= floor_lanes))
     Benchmarks.all
 
 let test_simulate_every_benchmark () =
