@@ -14,8 +14,9 @@
    - throughput numbers (fault_campaign.injections_per_second,
      sim_throughput.batched_samples_per_second,
      serve_throughput.requests_per_second,
-     store_persistence.lookups_per_second and
-     explore.candidates_per_second) are higher-is-better: the
+     store_persistence.lookups_per_second,
+     explore.candidates_per_second and
+     train_throughput.steps_per_second) are higher-is-better: the
      fresh run must reach at least (1 - threshold%) of the baseline.  A
      baseline that predates a throughput field only warns, so the gate
      stays usable across schema bumps;
@@ -194,6 +195,7 @@ let () =
         ("serve_throughput", "requests_per_second");
         ("store_persistence", "lookups_per_second");
         ("explore", "candidates_per_second");
+        ("train_throughput", "steps_per_second");
       ]
   in
   print_string

@@ -337,8 +337,27 @@ let git_rev () =
    v4 adds [serve_throughput] (daemon round-trips) and
    [store_persistence] (disk-store hits across a simulated restart);
    v5 adds [explore] (design-space exploration throughput and
-   cache-dedupe rate). *)
-let bench_schema_version = 5
+   cache-dedupe rate); v6 adds [train_throughput] (training-mode
+   hardware build, trace compilation and the on-chip SGD step rate). *)
+let bench_schema_version = 6
+
+(* On-chip training throughput on ANN-0: training-hardware assembly and
+   trace-compilation wall-clock, plus the SGD step rate the compiled
+   trace implies at the design's clock.  The step rate is a property of
+   the cycle model, not of this machine, so the regression floor on it
+   catches cost-model regressions rather than noisy hardware. *)
+let train_throughput_micro () =
+  let bench = Db_workloads.Benchmarks.find "ANN-0" in
+  let cons = Db_core.Constraints.db_medium in
+  let tb, build_s =
+    time (fun () ->
+        Db_core.Train_builder.build ~batch:16 cons
+          bench.Db_workloads.Benchmarks.network)
+  in
+  let report, compile_s =
+    time (fun () -> Db_sim.Train_sim.compile_trace tb)
+  in
+  (tb, report, build_s, compile_s)
 
 (* Design-space exploration throughput on the MNIST accelerator: one cold
    exploration (every candidate generated), then the identical exploration
@@ -523,6 +542,9 @@ let run_json () =
   let store_n, store_generate_s, store_write_s, store_lookup_s =
     store_persistence_micro ()
   in
+  let train_tb, train_report, train_build_s, train_compile_s =
+    train_throughput_micro ()
+  in
   let ( explore_config,
         explore_res,
         explore_cold_s,
@@ -602,6 +624,13 @@ let run_json () =
     (float_of_int explore_res.Db_dse.Explore.r_evaluated /. explore_cold_s)
     (float_of_int explore_hits
     /. float_of_int (Stdlib.max 1 (explore_hits + explore_misses)));
+  Printf.bprintf buf
+    "  \"train_throughput\": { \"model\": \"ANN-0\", \"batch\": 16, \
+     \"build_seconds\": %s, \"trace_compile_seconds\": %s, \
+     \"step_cycles\": %d, \"steps_per_second\": %.1f },\n"
+    (fsec train_build_s) (fsec train_compile_s)
+    train_report.Db_sim.Train_sim.step_cycles
+    (Db_sim.Train_sim.steps_per_second train_tb train_report);
   Buffer.add_string buf "  \"conv_micro\": [\n";
   Buffer.add_string buf
     (String.concat ",\n"

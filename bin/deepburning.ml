@@ -810,7 +810,16 @@ let serve_cmd =
       & info [ "budget" ] ~docv:"CYCLES"
           ~doc:"Default simulation watchdog cycle budget.")
   in
-  let run port host workers queue quota deadline_ms budget store =
+  let store_max_mb_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "store-max-mb" ] ~docv:"MB"
+          ~doc:
+            "Size-bound the persistent store: LRU-compact it to $(docv) \
+             megabytes on every write-through.")
+  in
+  let run port host workers queue quota deadline_ms budget store store_max_mb =
     try
       Db_serve.Serve.run
         ~on_ready:(fun p ->
@@ -828,6 +837,8 @@ let serve_cmd =
           cycle_budget = budget;
           max_body = default.Db_serve.Serve.max_body;
           store_dir = store;
+          store_max_bytes =
+            Option.map (fun mb -> mb * 1024 * 1024) store_max_mb;
         };
       0
     with e -> report_error e
@@ -842,7 +853,7 @@ let serve_cmd =
           in-flight work before exiting.")
     Term.(
       const run $ port_arg $ host_arg $ workers_arg $ queue_arg $ quota_arg
-      $ deadline_arg $ budget_arg $ store_arg)
+      $ deadline_arg $ budget_arg $ store_arg $ store_max_mb_arg)
 
 let explore_cmd =
   let model_pos_arg =
@@ -963,6 +974,227 @@ let explore_cmd =
       $ objectives_arg $ epsilon_arg $ population_arg $ json_arg $ out_arg
       $ trace_arg)
 
+let train_hw_cmd =
+  let model_pos_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MODEL"
+          ~doc:"A bundled zoo model name or a .prototxt file path.")
+  in
+  let epochs_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "epochs" ] ~docv:"N" ~doc:"Training epochs to simulate.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Mini-batch size (also sizes the gradient accumulators).")
+  in
+  let lr_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "lr" ] ~docv:"RATE" ~doc:"SGD learning rate.")
+  in
+  let samples_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "samples" ] ~docv:"N"
+          ~doc:"Synthetic training samples to generate.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Seed for weight init, data synthesis and the sample order.")
+  in
+  let campaign_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "campaign" ] ~docv:"TRIALS"
+          ~doc:
+            "Instead of the loss comparison, run a training-resilience \
+             campaign of $(docv) persistent upsets in the gradient buffers \
+             and update FSMs.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the stable JSON form instead of text.")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the BP/UP additions' Verilog here.")
+  in
+  let run model constraint_path tiling epochs batch lr nsamples seed campaign
+      json output trace =
+    wrap ?trace (fun () ->
+        let source =
+          match List.assoc_opt model zoo_models with
+          | Some src -> src
+          | None ->
+              if Sys.file_exists model then read_file model
+              else
+                Db_util.Error.fail "%S is neither a zoo model nor a file" model
+        in
+        let constraint_script =
+          match constraint_path with
+          | Some path -> read_file path
+          | None -> default_constraint_script
+        in
+        let net = Db_nn.Caffe.import_string source in
+        let cons = Db_core.Constraints.parse constraint_script in
+        let tb =
+          Db_core.Train_builder.build ~tiling_enabled:tiling ~batch cons net
+        in
+        (match output with
+        | None -> ()
+        | Some path ->
+            write_file path (Db_core.Train_builder.verilog tb);
+            Printf.eprintf "wrote %s\n" path);
+        let report = Db_sim.Train_sim.compile_trace tb in
+        let steps_s = Db_sim.Train_sim.steps_per_second tb report in
+        (* Synthetic regression data: deterministic in the seed, shaped by
+           the network's input and output blobs. *)
+        let ir = tb.Db_core.Train_builder.base.Db_core.Design.ir in
+        let in_shape =
+          match
+            List.find_opt
+              (fun (n : Db_ir.Graph.node) -> Db_ir.Op.is_input n.Db_ir.Graph.op)
+              ir.Db_ir.Graph.nodes
+          with
+          | Some n -> n.Db_ir.Graph.out_shape
+          | None -> Db_util.Error.fail "network has no input node"
+        in
+        let out_shape =
+          match List.rev ir.Db_ir.Graph.nodes with
+          | last :: _ -> last.Db_ir.Graph.out_shape
+          | [] -> Db_util.Error.fail "empty graph"
+        in
+        let data_rng = Db_util.Rng.create seed in
+        let data =
+          Array.init nsamples (fun _ ->
+              let draw shape =
+                Db_tensor.Tensor.init shape (fun _ ->
+                    Db_util.Rng.float data_rng 1.0)
+              in
+              let input = draw in_shape in
+              {
+                Db_train.Trainer.input;
+                target = draw out_shape;
+              })
+        in
+        let params =
+          Db_nn.Params.init_xavier (Db_util.Rng.create seed) net
+        in
+        match campaign with
+        | Some trials ->
+            let config =
+              {
+                Db_fault.Train_campaign.default_config with
+                Db_fault.Train_campaign.trials;
+                train_seed = seed + 1;
+                train_config =
+                  {
+                    Db_train.Trainer.default_config with
+                    Db_train.Trainer.epochs = Stdlib.min epochs 4;
+                    batch_size = batch;
+                    learning_rate = lr;
+                  };
+              }
+            in
+            let result =
+              Db_fault.Train_campaign.run ~config tb
+                (Db_nn.Params.copy params) data
+            in
+            if json then print_string (Db_fault.Train_campaign.render_json result)
+            else print_string (Db_fault.Train_campaign.render_text result)
+        | None ->
+            let config =
+              {
+                Db_train.Trainer.default_config with
+                Db_train.Trainer.epochs = epochs;
+                batch_size = batch;
+                learning_rate = lr;
+              }
+            in
+            let sw_params = Db_nn.Params.copy params in
+            let sw =
+              Db_train.Trainer.train ~config
+                ~rng:(Db_util.Rng.create (seed + 1))
+                net sw_params data
+            in
+            let hw_params = Db_nn.Params.copy params in
+            let hw =
+              Db_sim.Train_sim.train ~config
+                ~rng:(Db_util.Rng.create (seed + 1))
+                tb hw_params data
+            in
+            if json then begin
+              let arr a =
+                String.concat ", "
+                  (List.map (Printf.sprintf "%.6g") (Array.to_list a))
+              in
+              Printf.printf "{\n  \"network\": \"%s\",\n"
+                net.Db_nn.Network.net_name;
+              Printf.printf "  \"grad_acc_bits\": %d,\n"
+                tb.Db_core.Train_builder.grad_acc_bits;
+              Printf.printf
+                "  \"ff_cycles\": %d,\n  \"bp_cycles\": %d,\n  \
+                 \"up_cycles\": %d,\n  \"spill_cycles\": %d,\n"
+                report.Db_sim.Train_sim.ff.Db_sim.Train_sim.pc_cycles
+                report.Db_sim.Train_sim.bp.Db_sim.Train_sim.pc_cycles
+                report.Db_sim.Train_sim.up.Db_sim.Train_sim.pc_cycles
+                report.Db_sim.Train_sim.spill_cycles;
+              Printf.printf "  \"step_cycles\": %d,\n"
+                report.Db_sim.Train_sim.step_cycles;
+              Printf.printf "  \"steps_per_second\": %.6g,\n" steps_s;
+              Printf.printf "  \"sw_losses\": [%s],\n"
+                (arr sw.Db_train.Trainer.losses);
+              Printf.printf "  \"hw_losses\": [%s],\n"
+                (arr hw.Db_train.Trainer.losses);
+              Printf.printf
+                "  \"sw_final_loss\": %.6g,\n  \"hw_final_loss\": %.6g\n}\n"
+                sw.Db_train.Trainer.final_loss hw.Db_train.Trainer.final_loss
+            end
+            else begin
+              Format.printf "%a" Db_core.Train_builder.pp_summary tb;
+              Format.printf "%a" Db_sim.Train_sim.pp_cycles report;
+              Printf.printf "  %.1f SGD steps/s at the design clock\n\n"
+                steps_s;
+              Printf.printf
+                "loss trajectory (software trainer vs on-chip SGD):\n";
+              Printf.printf "  %-6s %-12s %-12s\n" "epoch" "software"
+                "hardware";
+              Array.iteri
+                (fun i l ->
+                  Printf.printf "  %-6d %-12.6f %-12.6f\n" i l
+                    hw.Db_train.Trainer.losses.(i))
+                sw.Db_train.Trainer.losses;
+              Printf.printf
+                "final: software %.6f, hardware %.6f (delta %+.6f)\n"
+                sw.Db_train.Trainer.final_loss hw.Db_train.Trainer.final_loss
+                (hw.Db_train.Trainer.final_loss
+                -. sw.Db_train.Trainer.final_loss)
+            end)
+  in
+  Cmd.v
+    (Cmd.info "train-hw"
+       ~doc:
+         "Compile a model in training mode (FF/BP/UP datapaths, three-phase \
+          schedule), replay one on-chip SGD step cycle-accurately, and \
+          compare the hardware loss trajectory against the software trainer.")
+    Term.(
+      const run $ model_pos_arg $ constraint_arg $ tiling_arg $ epochs_arg
+      $ batch_arg $ lr_arg $ samples_arg $ seed_arg $ campaign_arg $ json_arg
+      $ output_arg $ trace_arg)
+
 let main_cmd =
   let doc = "automatic generation of FPGA-based NN accelerators (DAC'16 reproduction)" in
   Cmd.group
@@ -970,7 +1202,7 @@ let main_cmd =
     [
       generate_cmd; simulate_cmd; serve_cmd; verify_cmd; profile_cmd;
       lint_cmd; check_cmd; faults_cmd; ir_cmd; stats_cmd; zoo_cmd;
-      explore_cmd;
+      explore_cmd; train_hw_cmd;
     ]
 
 let () = try exit (Cmd.eval' main_cmd) with e -> exit (report_error e)

@@ -17,6 +17,9 @@ type kind =
   | Coordinator of { n_states : int; n_signals : int }
   | Feature_buffer of { words : int; port_words : int }
   | Weight_buffer of { words : int; port_words : int }
+  | Transpose_port of { rows : int; cols : int }
+  | Grad_buffer of { words : int; port_words : int; acc_bits : int }
+  | Update_unit of { lanes : int }
 
 type t = { block_name : string; kind : kind; fmt : Db_fixed.Fixed.format }
 
@@ -46,11 +49,20 @@ let validate_kind = function
       if n_states <= 0 || n_signals < 0 then fail "coordinator needs states"
   | Feature_buffer { words; port_words } | Weight_buffer { words; port_words } ->
       if words <= 0 || port_words <= 0 then fail "buffer needs positive sizes"
+  | Transpose_port { rows; cols } ->
+      if rows <= 0 || cols <= 0 then
+        fail "transpose port needs a positive weight matrix"
+  | Grad_buffer { words; port_words; acc_bits } ->
+      if words <= 0 || port_words <= 0 then
+        fail "gradient buffer needs positive sizes";
+      if acc_bits <= 0 then fail "gradient buffer needs acc_bits >= 1"
+  | Update_unit { lanes } ->
+      if lanes <= 0 then fail "update unit needs lanes >= 1"
 
 let make ~name ~fmt kind =
   validate_kind kind;
   (match kind with
-  | Accumulator { acc_bits; _ } ->
+  | Accumulator { acc_bits; _ } | Grad_buffer { acc_bits; _ } ->
       if acc_bits < fmt.Db_fixed.Fixed.total_bits then
         fail "accumulator register (%d bits) narrower than the datapath word (%d bits)"
           acc_bits fmt.Db_fixed.Fixed.total_bits
@@ -72,6 +84,9 @@ let kind_label = function
   | Coordinator _ -> "coordinator"
   | Feature_buffer _ -> "feature_buffer"
   | Weight_buffer _ -> "weight_buffer"
+  | Transpose_port _ -> "transpose_port"
+  | Grad_buffer _ -> "grad_buffer"
+  | Update_unit _ -> "update_unit"
 
 (* Resource calibration.  Anchors (Table 3 of the paper): a 2-lane MLP
    accelerator lands near 2 DSP / 64 LUT / 48 FF; lane-count growth is
@@ -117,6 +132,25 @@ let resource t =
   | Feature_buffer { words; port_words } | Weight_buffer { words; port_words } ->
       Resource.make ~luts:(port_words * 8) ~ffs:(port_words * w)
         ~bram_bits:(words * w) ()
+  | Transpose_port { rows; cols } ->
+      (* address-swizzle multiplier/adder plus the read register; the
+         memory itself belongs to the weight buffer it taps *)
+      let addr_bits =
+        Stdlib.max 1
+          (int_of_float
+             (Float.ceil (log (float_of_int (rows * cols)) /. log 2.0)))
+      in
+      Resource.make ~luts:(addr_bits * 6) ~ffs:w ()
+  | Grad_buffer { words; port_words; acc_bits } ->
+      (* read-modify-write adder in full accumulator precision *)
+      Resource.make
+        ~luts:(acc_bits + (port_words * 8))
+        ~ffs:(port_words * acc_bits) ~bram_bits:(words * acc_bits) ()
+  | Update_unit { lanes } ->
+      (* two multipliers per lane (eta*g and momentum*v) plus the blend *)
+      Resource.make ~dsps:(2 * lanes)
+        ~luts:(lanes * 2 * w)
+        ~ffs:(lanes * w) ()
 
 let pipeline_latency t =
   match t.kind with
@@ -136,6 +170,9 @@ let pipeline_latency t =
   | Agu _ -> 1
   | Coordinator _ -> 1
   | Feature_buffer _ | Weight_buffer _ -> 1
+  | Transpose_port _ -> 1
+  | Grad_buffer _ -> 1
+  | Update_unit _ -> 2
 
 let macs_per_cycle t =
   match t.kind with Synergy_neuron { simd } -> simd | _ -> 0
@@ -167,6 +204,11 @@ let to_module t =
       Templates.coordinator ~name ~n_states ~n_signals
   | Feature_buffer { words; port_words } | Weight_buffer { words; port_words } ->
       Templates.buffer ~name ~fmt ~words ~port_words
+  | Transpose_port { rows; cols } ->
+      Templates.transpose_port ~name ~fmt ~rows ~cols
+  | Grad_buffer { words; port_words; acc_bits } ->
+      Templates.grad_buffer ~name ~fmt ~words ~port_words ~acc_bits
+  | Update_unit { lanes } -> Templates.update_unit ~name ~fmt ~lanes
 
 let pp fmt_ t =
   Format.fprintf fmt_ "%s<%s>" t.block_name (kind_label t.kind)

@@ -36,6 +36,18 @@ type kind =
   | Coordinator of { n_states : int; n_signals : int }
   | Feature_buffer of { words : int; port_words : int }
   | Weight_buffer of { words : int; port_words : int }
+  | Transpose_port of { rows : int; cols : int }
+      (** transposed (column-major) read port over a shared [rows]×[cols]
+          weight memory — the BP datapath reads Wᵀ through it while FF
+          keeps the row-major port *)
+  | Grad_buffer of { words : int; port_words : int; acc_bits : int }
+      (** gradient accumulator bank: read-modify-write adds in [acc_bits]
+          precision (sized by the DB-R003 range proof) so batch-summed
+          gradients cannot overflow before the scaled write-back *)
+  | Update_unit of { lanes : int }
+      (** SGD weight-update datapath: per lane computes
+          v' = momentum·v − eta·g and w' = w + v' in one pass over the
+          shared weight memory *)
 
 type t = { block_name : string; kind : kind; fmt : Db_fixed.Fixed.format }
 

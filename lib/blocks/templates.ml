@@ -284,6 +284,100 @@ let coordinator ~name ~n_states ~n_signals =
         (Stdlib.max 1 n_signals - 1);
     ]
 
+let transpose_port ~name ~fmt ~rows ~cols =
+  let w = word fmt in
+  let addr_bits =
+    Stdlib.max 1
+      (int_of_float (Float.ceil (log (float_of_int (rows * cols)) /. log 2.0)))
+  in
+  behavioural name
+    (clk_rst
+    @ [
+        in_port "rd_row" addr_bits;
+        in_port "rd_col" addr_bits;
+        in_port "mem_q" w;
+        out_port "t_addr" addr_bits;
+        out_port "t_data" w;
+      ])
+    [ ("ROWS", rows); ("COLS", cols) ]
+    [
+      Printf.sprintf
+        "// transposed read of the shared %dx%d weight memory: BP walks"
+        rows cols;
+      "// W^T column-by-column through the row-major array";
+      Printf.sprintf "wire [%d:0] flat = (rd_row * %d) + rd_col;"
+        ((2 * addr_bits) - 1) cols;
+      Printf.sprintf "reg [%d:0] t_reg;" (w - 1);
+      "always @(posedge clk) begin";
+      "  if (rst) t_reg <= 0;";
+      "  else t_reg <= mem_q;";
+      "end";
+      Printf.sprintf "assign t_addr = flat[%d:0];" (addr_bits - 1);
+      "assign t_data = t_reg;";
+    ]
+
+let grad_buffer ~name ~fmt ~words ~port_words ~acc_bits =
+  let w = word fmt in
+  let addr_bits =
+    Stdlib.max 1 (int_of_float (Float.ceil (log (float_of_int words) /. log 2.0)))
+  in
+  behavioural name
+    (clk_rst
+    @ [
+        in_port "wr_en" 1;
+        in_port "accumulate" 1;
+        in_port "wr_addr" addr_bits;
+        in_port "wr_data" w;
+        in_port "rd_addr" addr_bits;
+        out_port "rd_data" acc_bits;
+      ])
+    [ ("WORDS", words); ("PORT_WORDS", port_words); ("ACC_BITS", acc_bits) ]
+    [
+      "// gradient accumulator bank: read-modify-write adds in full";
+      "// accumulator precision; a plain write (accumulate=0) clears";
+      Printf.sprintf "reg signed [%d:0] mem [0:%d];" (acc_bits - 1) (words - 1);
+      Printf.sprintf "reg signed [%d:0] rd_reg;" (acc_bits - 1);
+      Printf.sprintf "wire signed [%d:0] wext = {{%d{wr_data[%d]}}, wr_data};"
+        (acc_bits - 1) (acc_bits - w) (w - 1);
+      "always @(posedge clk) begin";
+      "  if (wr_en) mem[wr_addr] <= accumulate ? mem[wr_addr] + wext : wext;";
+      "  rd_reg <= mem[rd_addr];";
+      "end";
+      "assign rd_data = rd_reg;";
+    ]
+
+let update_unit ~name ~fmt ~lanes =
+  let w = word fmt in
+  let frac = fmt.Db_fixed.Fixed.frac_bits in
+  let lines = ref [] in
+  let emit f = Printf.ksprintf (fun s -> lines := s :: !lines) f in
+  emit "// on-chip SGD: per lane v' = momentum*v - eta*g, w' = w + v'";
+  for i = 0 to lanes - 1 do
+    let hi = ((i + 1) * w) - 1 and lo = i * w in
+    emit "wire signed [%d:0] gscale%d = eta * grad[%d:%d];" ((2 * w) - 1) i hi
+      lo;
+    emit "wire signed [%d:0] vscale%d = momentum * vel_in[%d:%d];"
+      ((2 * w) - 1) i hi lo;
+    emit "wire signed [%d:0] vnew%d = (vscale%d >>> %d) - (gscale%d >>> %d);"
+      (w - 1) i i frac i frac;
+    emit "assign vel_out[%d:%d] = vnew%d;" hi lo i;
+    emit "assign weight_out[%d:%d] = weight_in[%d:%d] + vnew%d;" hi lo hi lo i
+  done;
+  behavioural name
+    (clk_rst
+    @ [
+        in_port "valid_in" 1;
+        in_port "eta" w;
+        in_port "momentum" w;
+        in_port "grad" (lanes * w);
+        in_port "weight_in" (lanes * w);
+        in_port "vel_in" (lanes * w);
+        out_port "weight_out" (lanes * w);
+        out_port "vel_out" (lanes * w);
+      ])
+    [ ("LANES", lanes); ("FRAC", frac) ]
+    (List.rev !lines)
+
 let buffer ~name ~fmt ~words ~port_words =
   let w = word fmt in
   let addr_bits =

@@ -61,3 +61,28 @@ val buffer :
   words:int ->
   port_words:int ->
   Db_hdl.Rtl.module_decl
+
+val transpose_port :
+  name:string ->
+  fmt:Db_fixed.Fixed.format ->
+  rows:int ->
+  cols:int ->
+  Db_hdl.Rtl.module_decl
+(** Transposed (column-major) read port over a shared weight memory. *)
+
+val grad_buffer :
+  name:string ->
+  fmt:Db_fixed.Fixed.format ->
+  words:int ->
+  port_words:int ->
+  acc_bits:int ->
+  Db_hdl.Rtl.module_decl
+(** Gradient accumulator bank with read-modify-write accumulation in
+    [acc_bits] precision. *)
+
+val update_unit :
+  name:string ->
+  fmt:Db_fixed.Fixed.format ->
+  lanes:int ->
+  Db_hdl.Rtl.module_decl
+(** SGD weight-update datapath (momentum blend + eta-scaled gradient). *)

@@ -377,6 +377,12 @@ let transfer mode (node : Graph.node) (ins : Interval.t list) =
         | [] -> 1
       in
       (Interval.make ~lo:0.0 ~hi:(float_of_int (Stdlib.max 1 (n - 1))), None)
+  | Op.Backward _ | Op.Sgd_update _ ->
+      (* Gradient accumulators are sized from the *forward* graph's DB-R003
+         proof ([Db_core.Train_builder]); interval analysis itself only
+         runs on inference graphs. *)
+      fail "range analysis runs on the forward graph; %s is a training op"
+        (Op.name node.Graph.op)
 
 let analyze ?params ?(input = default_input) ~fmt (g : Graph.t) =
   let mode = match params with Some p -> Actual p | None -> Assumed in

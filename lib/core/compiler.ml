@@ -60,7 +60,9 @@ let build_luts (g : Graph.t) ~entries =
       | Op.Pool { method_ = Op.Max_pool; _ }
       | Op.Global_pool Op.Max_pool
       | Op.Fc _ | Op.Dropout _ | Op.Associative _
-      | Op.Concat | Op.Classifier _ ->
+      | Op.Concat | Op.Classifier _
+      (* Backward derivative LUTs reuse the forward tables. *)
+      | Op.Backward _ | Op.Sgd_update _ ->
           ());
       match Op.fused_activation node.Graph.op with
       | Some act -> add_activation act

@@ -33,6 +33,11 @@ let canonical_module_name (b : Block.t) =
       Printf.sprintf "feature_buffer_%dx%d" words port_words
   | Block.Weight_buffer { words; port_words } ->
       Printf.sprintf "weight_buffer_%dx%d" words port_words
+  | Block.Transpose_port { rows; cols } ->
+      Printf.sprintf "transpose_port_%dx%d" rows cols
+  | Block.Grad_buffer { words; port_words; acc_bits } ->
+      Printf.sprintf "grad_buffer_%dx%d_w%d" words port_words acc_bits
+  | Block.Update_unit { lanes } -> Printf.sprintf "update_unit_l%d" lanes
 
 let net name width = { Rtl.net_name = name; net_width = width }
 

@@ -5,6 +5,10 @@
     the AGU programs and LUT contents, and assembles the RTL — hardware and
     software parts produced together, as the paper describes. *)
 
+val canonical_module_name : Db_blocks.Block.t -> string
+(** One RTL module serves every block instance with the same configuration;
+    the canonical name encodes the configuration. *)
+
 val generate :
   ?tiling_enabled:bool -> Constraints.t -> Db_nn.Network.t -> Design.t
 

@@ -1,0 +1,40 @@
+(** Training-mode hardware assembly: the inference design (FF processor
+    set) extended with BP/UP processor sets that share its weight
+    memories — per weighted layer a transposed read port and a gradient
+    accumulator bank sized by the DB-R003 range proof, plus one SGD
+    update unit — sequenced by the FF→BP→UP phase FSM. *)
+
+type t = {
+  base : Design.t;  (** the untouched inference design (FF set) *)
+  tgraph : Db_ir.Graph.t;  (** training-lowered graph (FF+BP+UP nodes) *)
+  tschedule : Db_sched.Train_schedule.t;
+  act_cache : Db_mem.Act_cache.plan;
+  grad_acc_bits : int;
+  train_blocks : Db_blocks.Block.t list;  (** BP/UP additions *)
+  train_resource : Db_fpga.Resource.t;  (** cost of the additions alone *)
+  train_rtl : Db_hdl.Rtl.design;  (** the BP/UP modules + phase FSM *)
+}
+
+val grad_acc_bits_for :
+  fmt:Db_fixed.Fixed.format -> batch:int -> Db_ir.Graph.t -> int
+(** DB-R003 minimum accumulator width of the forward graph plus
+    ceil(log2 batch) carry bits; floored at word+8, capped at 62. *)
+
+val build :
+  ?tiling_enabled:bool ->
+  ?batch:int ->
+  Constraints.t ->
+  Db_nn.Network.t ->
+  t
+(** Generates the inference design, training-lowers the network, builds
+    the three-phase schedule, the activation-cache plan and the BP/UP
+    block additions, and gates the added RTL on the semantic analyzer
+    like the inference generator does.  [?batch] (default 16) sizes the
+    gradient accumulators. *)
+
+val total_resource : t -> Db_fpga.Resource.t
+
+val verilog : t -> string
+(** Verilog of the BP/UP additions (the base design's RTL is unchanged). *)
+
+val pp_summary : Format.formatter -> t -> unit

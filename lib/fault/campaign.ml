@@ -37,6 +37,9 @@ let scheme_for p = function
   | Site.Data_buffer -> p.buffers
   | Site.Agu_config -> p.agu
   | Site.Control_fsm -> Protect.Unprotected
+  (* training-only storage: protection schemes are a Train_campaign
+     concern; the inference campaign never enables these classes *)
+  | Site.Grad_buffers | Site.Update_fsm -> Protect.Unprotected
 
 type engine = Generic | Specialized
 
@@ -330,7 +333,7 @@ let run ~design ~params ~input_blob ~inputs (config : config) =
   let input_words = Tensor.numel inputs.(0) in
   let space =
     Site.enumerate ~design ~params ~input_blob ~input_words ~stored_bits
-      ~targets:config.targets
+      ~targets:config.targets ()
   in
   let classify_output input_idx out =
     if tensors_equal out golden.(input_idx) then Masked
@@ -437,6 +440,10 @@ let run ~design ~params ~input_blob ~inputs (config : config) =
                       (qforward_spec ~bound:(Lazy.force bound0) ~eval:eval'
                          inputs.(input_idx))
               end)
+      | Site.P_grad _ | Site.P_upd_fsm _ ->
+          (* never enumerated without [?train]; inference campaigns
+             cannot reach these — training upsets live in Train_campaign *)
+          fail "training fault sites require the training campaign"
       | Site.P_buffer _ -> (
           let input = inputs.(input_idx) in
           let v = Fixed.of_float fmt (Tensor.get input word) in
@@ -554,6 +561,7 @@ let run ~design ~params ~input_blob ~inputs (config : config) =
     Site.enumerate ~design ~params ~input_blob ~input_words
       ~stored_bits:(fun _ ~word_bits -> word_bits)
       ~targets:[ Site.Weights; Site.Biases; Site.Data_buffer ]
+      ()
   in
   let degradation =
     List.mapi

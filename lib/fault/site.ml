@@ -12,9 +12,13 @@ type target_class =
   | Agu_config
   | Data_buffer
   | Control_fsm
+  | Grad_buffers
+  | Update_fsm
 
 let all_classes =
   [ Weights; Biases; Lut_tables; Agu_config; Data_buffer; Control_fsm ]
+
+let training_classes = all_classes @ [ Grad_buffers; Update_fsm ]
 
 let class_name = function
   | Weights -> "weights"
@@ -23,6 +27,8 @@ let class_name = function
   | Agu_config -> "agu-config"
   | Data_buffer -> "data-buffer"
   | Control_fsm -> "control-fsm"
+  | Grad_buffers -> "grad-buffers"
+  | Update_fsm -> "update-fsm"
 
 type agu_field = Start | X_length | Y_length | Stride | Offset | Repeat
 
@@ -38,6 +44,8 @@ type payload =
   | P_agu of { program : int; transfer : int }
   | P_buffer of { blob : string }
   | P_fsm of { program : int }
+  | P_grad of { node : string }
+  | P_upd_fsm of { node : string }
 
 type group = {
   g_class : target_class;
@@ -50,7 +58,8 @@ type group = {
 
 type space = { groups : group array; total_bits : int }
 
-let enumerate ~design ~params ~input_blob ~input_words ~stored_bits ~targets =
+let enumerate ?train ~design ~params ~input_blob ~input_words ~stored_bits
+    ~targets () =
   let ir = design.Design.ir in
   let word_bits =
     design.Design.datapath.Db_sched.Datapath.fmt.Db_fixed.Fixed.total_bits
@@ -145,6 +154,54 @@ let enumerate ~design ~params ~input_blob ~input_words ~stored_bits ~targets =
         g_word_bits = stored_bits Data_buffer ~word_bits;
         g_payload = P_buffer { blob = input_blob };
       };
+  (* Training-only storage: batch-gradient accumulator banks and the
+     per-layer update FSMs plus the FF→BP→UP phase FSM.  Only present
+     when the campaign hands us the training build — inference spaces
+     are unchanged. *)
+  (match train with
+  | None -> ()
+  | Some (tb : Db_core.Train_builder.t) ->
+      let acc_bits = tb.Db_core.Train_builder.grad_acc_bits in
+      Graph.iter tb.Db_core.Train_builder.tgraph (fun node ->
+          match node.Graph.op with
+          | Op.Sgd_update { target } ->
+              let words =
+                List.fold_left
+                  (fun acc t -> acc + Db_tensor.Tensor.numel t)
+                  0
+                  (Db_nn.Params.get params target)
+              in
+              if enabled Grad_buffers then
+                push
+                  {
+                    g_class = Grad_buffers;
+                    g_layer = Some target;
+                    g_label = target ^ "/grad-buffer";
+                    g_words = words;
+                    g_word_bits = stored_bits Grad_buffers ~word_bits:acc_bits;
+                    g_payload = P_grad { node = target };
+                  };
+              if enabled Update_fsm then
+                push
+                  {
+                    g_class = Update_fsm;
+                    g_layer = Some target;
+                    g_label = target ^ "/update-fsm";
+                    g_words = 1;
+                    g_word_bits = fsm_state_bits;
+                    g_payload = P_upd_fsm { node = target };
+                  }
+          | _ -> ());
+      if enabled Update_fsm then
+        push
+          {
+            g_class = Update_fsm;
+            g_layer = None;
+            g_label = "phase/fsm";
+            g_words = 1;
+            g_word_bits = fsm_state_bits;
+            g_payload = P_upd_fsm { node = "phase" };
+          });
   let groups = Array.of_list (List.rev !groups) in
   let total_bits =
     Array.fold_left (fun acc g -> acc + (g.g_words * g.g_word_bits)) 0 groups

@@ -16,8 +16,15 @@ type target_class =
   | Agu_config
   | Data_buffer
   | Control_fsm
+  | Grad_buffers  (** training: batch-gradient accumulator banks *)
+  | Update_fsm  (** training: per-layer update FSMs + the phase FSM *)
 
 val all_classes : target_class list
+(** The inference classes; campaigns over inference designs are
+    unchanged by the training extension. *)
+
+val training_classes : target_class list
+(** [all_classes] plus [Grad_buffers] and [Update_fsm]. *)
 
 val class_name : target_class -> string
 
@@ -39,6 +46,8 @@ type payload =
   | P_agu of { program : int; transfer : int }
   | P_buffer of { blob : string }
   | P_fsm of { program : int }  (** [-1] is the coordinator FSM *)
+  | P_grad of { node : string }  (** owning forward layer *)
+  | P_upd_fsm of { node : string }  (** forward layer, or ["phase"] *)
 
 type group = {
   g_class : target_class;
@@ -52,16 +61,21 @@ type group = {
 type space = { groups : group array; total_bits : int }
 
 val enumerate :
+  ?train:Db_core.Train_builder.t ->
   design:Db_core.Design.t ->
   params:Db_nn.Params.t ->
   input_blob:string ->
   input_words:int ->
   stored_bits:(target_class -> word_bits:int -> int) ->
   targets:target_class list ->
+  unit ->
   space
 (** Walk the design and build the group table for the enabled classes.
     [stored_bits] maps a class's architectural word width to its stored
-    width (protection check bits are fault targets too). *)
+    width (protection check bits are fault targets too).  [?train] adds
+    the training-only storage (gradient buffers sized at the build's
+    accumulator width, update FSMs); without it the space is exactly the
+    inference space. *)
 
 val class_words : space -> target_class -> int
 (** Total words the space holds for one class. *)

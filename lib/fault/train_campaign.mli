@@ -1,0 +1,63 @@
+(** Training-resilience campaigns over the training-only storage.
+
+    Where {!Campaign} judges an upset by one forward pass, a training
+    campaign injects a persistent upset into a gradient-accumulator bank
+    or an update FSM and judges the whole hardware-simulated SGD run by
+    its final loss against the fault-free baseline.  Deterministic for a
+    fixed seed at any [DEEPBURNING_JOBS] setting. *)
+
+type outcome =
+  | Benign  (** final loss within tolerance of the fault-free run *)
+  | Degraded  (** converged worse than tolerance allows *)
+  | Diverged  (** loss not finite, or an order of magnitude off *)
+
+val outcome_name : outcome -> string
+
+type config = {
+  seed : int;
+  trials : int;
+  train_seed : int;  (** RNG seed of every trial's training run *)
+  train_config : Db_train.Trainer.config;
+  degraded_tol : float;
+      (** relative final-loss increase over the baseline counted as
+          degradation (divergence at 10×) *)
+  targets : Site.target_class list;
+}
+
+val default_config : config
+(** 12 trials, 4 epochs per trial, 5% tolerance, gradient buffers and
+    update FSMs targeted. *)
+
+type trial = {
+  t_label : string;
+  t_class : Site.target_class;
+  t_word : int;
+  t_bit : int;
+  t_final_loss : float;
+  t_outcome : outcome;
+}
+
+type result = {
+  tc_seed : int;
+  tc_trials : int;
+  tc_space_bits : int;
+  tc_baseline_loss : float;
+  tc_benign : int;
+  tc_degraded : int;
+  tc_diverged : int;
+  tc_rows : trial array;  (** trial order *)
+}
+
+val run :
+  ?config:config ->
+  Db_core.Train_builder.t ->
+  Db_nn.Params.t ->
+  Db_train.Trainer.sample array ->
+  result
+(** Raises {!Db_util.Error.Deepburning_error} on a non-positive trial
+    count, an empty sample set or an empty fault space. *)
+
+val render_text : result -> string
+
+val render_json : result -> string
+(** Stable, timing-free JSON. *)

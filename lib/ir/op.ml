@@ -11,6 +11,12 @@ type activation = Relu | Sigmoid | Tanh | Sign
 
 type pool_method = Max_pool | Avg_pool
 
+(* What a backward op differentiates with respect to.  [Wrt_input]
+   produces the upstream activation gradient (the BP datapath);
+   [Wrt_params] produces the flattened weight/bias gradient vector the
+   update unit consumes (the UP datapath's input). *)
+type grad_wrt = Wrt_input | Wrt_params
+
 type t =
   | Input of { shape : Shape.t }
   | Conv of {
@@ -34,6 +40,14 @@ type t =
   | Associative of { cells_per_dim : int; active_cells : int }
   | Concat
   | Classifier of { top_k : int }
+  (* Training-mode ops, derived by [Lower.lower_training]; they never
+     appear in inference graphs.  [Backward] carries the forward op it
+     differentiates; by convention its inputs are [dY; ref] where [ref]
+     is the cached forward tensor the kernel needs (the forward input
+     for conv/FC/pool/relu, the forward output for sigmoid/tanh/softmax
+     — both share the shape the annotation layer cares about). *)
+  | Backward of { fwd : t; wrt : grad_wrt }
+  | Sgd_update of { target : string }
 
 let fail fmt = Db_util.Error.failf_at ~component:"ir-op" fmt
 
@@ -100,17 +114,29 @@ let to_layer = function
       Layer.Associative { cells_per_dim; active_cells }
   | Concat -> Layer.Concat
   | Classifier { top_k } -> Layer.Classifier { top_k }
+  | (Backward _ | Sgd_update _) as op ->
+      fail "training op %s has no frontend layer equivalent"
+        (match op with Backward _ -> "BACKWARD" | _ -> "SGD_UPDATE")
+
+let is_training = function
+  | Backward _ | Sgd_update _ -> true
+  | Input _ | Conv _ | Pool _ | Global_pool _ | Fc _ | Act _ | Lrn _ | Lcn _
+  | Dropout _ | Softmax | Recurrent _ | Associative _ | Concat | Classifier _ ->
+      false
 
 let fused_activation = function
   | Conv { fused; _ } | Fc { fused; _ } -> fused
   | Input _ | Pool _ | Global_pool _ | Act _ | Lrn _ | Lcn _ | Dropout _
-  | Softmax | Recurrent _ | Associative _ | Concat | Classifier _ ->
+  | Softmax | Recurrent _ | Associative _ | Concat | Classifier _
+  | Backward _ | Sgd_update _ ->
       None
 
 let with_fused op act =
   match op with
   | Conv c -> Conv { c with fused = Some act }
   | Fc f -> Fc { f with fused = Some act }
+  | Backward _ | Sgd_update _ ->
+      fail "cannot fuse an activation into a training op"
   | Input _ | Pool _ | Global_pool _ | Act _ | Lrn _ | Lcn _ | Dropout _
   | Softmax | Recurrent _ | Associative _ | Concat | Classifier _ ->
       fail "cannot fuse an activation into %s" (Layer.name (to_layer op))
@@ -122,6 +148,9 @@ let activation_name = function
   | Sign -> "SIGN"
 
 let name = function
+  | Backward { wrt = Wrt_input; _ } -> "BP_DX"
+  | Backward { wrt = Wrt_params; _ } -> "BP_DW"
+  | Sgd_update _ -> "SGD_UPDATE"
   | Input _ -> "INPUT"
   | Conv _ -> "CONV"
   | Pool _ -> "POOL"
@@ -148,13 +177,15 @@ let is_classifier = function
 let is_weighted = function
   | Conv _ | Fc _ | Recurrent _ -> true
   | Input _ | Pool _ | Global_pool _ | Act _ | Lrn _ | Lcn _ | Dropout _
-  | Softmax | Associative _ | Concat | Classifier _ ->
+  | Softmax | Associative _ | Concat | Classifier _ | Backward _
+  | Sgd_update _ ->
       false
 
 let has_bias = function
   | Conv { bias; _ } | Fc { bias; _ } | Recurrent { bias; _ } -> bias
   | Input _ | Pool _ | Global_pool _ | Act _ | Lrn _ | Lcn _ | Dropout _
-  | Softmax | Associative _ | Concat | Classifier _ ->
+  | Softmax | Associative _ | Concat | Classifier _ | Backward _
+  | Sgd_update _ ->
       false
 
 let num_output = function
@@ -162,7 +193,8 @@ let num_output = function
     ->
       Some num_output
   | Input _ | Pool _ | Global_pool _ | Act _ | Lrn _ | Lcn _ | Dropout _
-  | Softmax | Associative _ | Concat | Classifier _ ->
+  | Softmax | Associative _ | Concat | Classifier _ | Backward _
+  | Sgd_update _ ->
       None
 
 (* Kernel/stride of a sliding-window op (conv or pooling). *)
@@ -170,13 +202,16 @@ let window = function
   | Conv { kernel_size; stride; _ } | Pool { kernel_size; stride; _ } ->
       Some (kernel_size, stride)
   | Input _ | Global_pool _ | Fc _ | Act _ | Lrn _ | Lcn _ | Dropout _
-  | Softmax | Recurrent _ | Associative _ | Concat | Classifier _ ->
+  | Softmax | Recurrent _ | Associative _ | Concat | Classifier _ | Backward _
+  | Sgd_update _ ->
       None
 
 (* One-in/one-out arity mirror of [Db_nn.Network.expected_arity]. *)
 let expected_arity = function
   | Input _ -> `Exactly 0
   | Concat -> `At_least 2
+  | Backward _ -> `Exactly 2
+  | Sgd_update _ -> `Exactly 1
   | Conv _ | Pool _ | Global_pool _ | Fc _ | Act _ | Lrn _ | Lcn _ | Dropout _
   | Softmax | Recurrent _ | Associative _ | Classifier _ ->
       `Exactly 1
@@ -186,8 +221,13 @@ let equal a b =
   | Input { shape = sa }, Input { shape = sb } -> Shape.equal sa sb
   | a, b -> a = b
 
-let pp fmt op =
+let rec pp fmt op =
   (match op with
+  | Backward { fwd; wrt } ->
+      Format.fprintf fmt "%s[%a]"
+        (match wrt with Wrt_input -> "BP_DX" | Wrt_params -> "BP_DW")
+        pp fwd
+  | Sgd_update { target } -> Format.fprintf fmt "SGD_UPDATE(%s)" target
   | Conv { num_output; kernel_size; stride; pad; group; bias; fused = _ } ->
       Format.fprintf fmt "CONV(out=%d k=%d s=%d p=%d g=%d%s)" num_output
         kernel_size stride pad group

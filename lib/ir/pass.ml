@@ -171,3 +171,11 @@ let run_passes ?(verify = true) (g : Graph.t) passes =
 
 (* The canonical optimized form: lower, then the default pipeline. *)
 let optimize ?(verify = true) g = run_passes ~verify g default_pipeline
+
+(* Training consumers need the raw operator boundaries: activation fusion
+   would hide the per-op intermediates the backward pass replays.  Dropout
+   stays too — it is *not* the identity during training. *)
+let training_pipeline = [ annotate ]
+
+let lower_for_training ?fmt ?(verify = true) net =
+  run_passes ~verify (Lower.lower ?fmt net) training_pipeline

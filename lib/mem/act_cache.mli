@@ -1,0 +1,37 @@
+(** Inter-phase activation residency for training designs.
+
+    The BP phase replays forward tensors; within an on-chip budget the
+    plan keeps the earliest-consumed ones resident in the feature buffer
+    and spills the rest to DRAM (one write after FF + one read during BP
+    per training step). *)
+
+type entry = {
+  blob : string;  (** forward blob name *)
+  words : int;
+  resident : bool;  (** held on-chip between FF and BP *)
+}
+
+type plan = {
+  budget_words : int;
+  entries : entry list;  (** in BP consumption order *)
+  resident_words : int;
+  spilled_words : int;
+}
+
+val replayed_blobs : Db_ir.Graph.t -> (string * int) list
+(** Forward blobs the backward pass replays (each [Backward] node's [ref]
+    input), deduplicated, in BP consumption order, with word counts. *)
+
+val plan : Db_ir.Graph.t -> budget_words:int -> plan
+(** Greedy residency in BP consumption order. *)
+
+val total_words : plan -> int
+
+val dram_words_per_step : plan -> int
+(** Extra DRAM words per training step caused by spills (2× spilled). *)
+
+val resident : plan -> entry list
+
+val is_resident : plan -> string -> bool
+
+val pp : Format.formatter -> plan -> unit

@@ -25,6 +25,12 @@ let one_bottom op = function
   | shapes ->
       fail "op %s expects one bottom, got %d" (Op.name op) (List.length shapes)
 
+let two_bottoms op = function
+  | [ dy; reference ] -> (dy, reference)
+  | shapes ->
+      fail "op %s expects [dY; ref] bottoms, got %d" (Op.name op)
+        (List.length shapes)
+
 (* Spatial folding of [units] output units onto [lanes] lanes: fold i gets
    min(lanes, units - i*lanes) of them.  [per_unit] quantifies one unit's
    work and traffic; [shared] is re-streamed every fold. *)
@@ -163,6 +169,57 @@ let fold_op_plan dp op ~bottoms ~output ~node_name ~layer_index =
       in
       single_fold ~node_name ~layer_index ~macs:0 ~other_ops:(n * log_k)
         ~feature_words:n ~weight_words:0 ~output_words:top_k
+  | Op.Backward { fwd; wrt } -> begin
+      let dy, reference = two_bottoms op bottoms in
+      let dy_n = Shape.numel dy and ref_n = Shape.numel reference in
+      match fwd, wrt with
+      | Op.Fc _, Op.Wrt_input ->
+          (* dX = Wᵀ·dY: one transposed weight column per input word. *)
+          spatial_folds ~lanes ~units:ref_n ~node_name ~layer_index
+            ~per_unit:(dy_n, 0, dy_n, 1) ~shared_feature_words:dy_n
+      | Op.Fc _, Op.Wrt_params ->
+          (* dW = dY·Xᵀ: one outer-product MAC + accumulator flush per
+             gradient word. *)
+          spatial_folds ~lanes ~units:out_n ~node_name ~layer_index
+            ~per_unit:(1, 1, 0, 1) ~shared_feature_words:(dy_n + ref_n)
+      | Op.Conv { kernel_size = k; group; _ }, Op.Wrt_input ->
+          let cin = Shape.channels reference in
+          let cout_g = Shape.channels dy / group in
+          let oh = Shape.height dy and ow = Shape.width dy in
+          let ih = Shape.height reference and iw = Shape.width reference in
+          spatial_folds ~lanes ~units:cin ~node_name ~layer_index
+            ~per_unit:(oh * ow * cout_g * k * k, 0, cout_g * k * k, ih * iw)
+            ~shared_feature_words:dy_n
+      | Op.Conv _, Op.Wrt_params ->
+          let oh = Shape.height dy and ow = Shape.width dy in
+          spatial_folds ~lanes ~units:out_n ~node_name ~layer_index
+            ~per_unit:(oh * ow, 1, 0, 1) ~shared_feature_words:(dy_n + ref_n)
+      | Op.Pool { kernel_size = k; _ }, Op.Wrt_input ->
+          (* Max routes each dY word through the recorded argmax; avg
+             scatters it over the window. *)
+          single_fold ~node_name ~layer_index ~macs:0 ~other_ops:(dy_n * k * k)
+            ~feature_words:(dy_n + ref_n) ~weight_words:0 ~output_words:out_n
+      | Op.Global_pool _, Op.Wrt_input ->
+          single_fold ~node_name ~layer_index ~macs:0 ~other_ops:ref_n
+            ~feature_words:(dy_n + ref_n) ~weight_words:0 ~output_words:out_n
+      | Op.Lrn { local_size; _ }, Op.Wrt_input ->
+          single_fold ~node_name ~layer_index ~macs:(out_n * local_size)
+            ~other_ops:(2 * out_n) ~feature_words:(dy_n + ref_n) ~weight_words:0
+            ~output_words:out_n
+      | Op.Softmax, Op.Wrt_input ->
+          single_fold ~node_name ~layer_index ~macs:out_n
+            ~other_ops:(2 * out_n) ~feature_words:(dy_n + ref_n) ~weight_words:0
+            ~output_words:out_n
+      | (Op.Act _ | Op.Dropout _ | Op.Associative _), Op.Wrt_input ->
+          single_fold ~node_name ~layer_index ~macs:0 ~other_ops:out_n
+            ~feature_words:(dy_n + ref_n) ~weight_words:0 ~output_words:out_n
+      | _ -> fail "no backward fold plan for %s" (Op.name fwd)
+    end
+  | Op.Sgd_update _ ->
+      (* Per weight word: the eta·g multiply, the momentum blend, and the
+         write-back through the update unit's read-modify-write port. *)
+      spatial_folds ~lanes ~units:out_n ~node_name ~layer_index
+        ~per_unit:(2, 1, 1, 1) ~shared_feature_words:0
 
 let fold_graph dp (g : Graph.t) =
   let layer_index = ref 0 in

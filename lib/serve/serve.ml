@@ -30,6 +30,7 @@ type config = {
   cycle_budget : int;  (** watchdog budget for simulation requests *)
   max_body : int;
   store_dir : string option;  (** persistent design store root *)
+  store_max_bytes : int option;  (** LRU-compact the store to this size *)
 }
 
 let default_config =
@@ -43,6 +44,7 @@ let default_config =
     cycle_budget = 50_000_000;
     max_body = 4 * 1024 * 1024;
     store_dir = None;
+    store_max_bytes = None;
   }
 
 type job = {
@@ -465,7 +467,10 @@ let start cfg =
   let store =
     Option.map
       (fun dir ->
-        let s = Db_store.Disk_store.open_store ~dir () in
+        let s =
+          Db_store.Disk_store.open_store ?max_bytes:cfg.store_max_bytes ~dir
+            ()
+        in
         Db_store.Disk_store.attach s;
         s)
       cfg.store_dir

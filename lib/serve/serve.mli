@@ -27,6 +27,9 @@ type config = {
   cycle_budget : int;  (** default simulation watchdog budget *)
   max_body : int;  (** request-body cap; larger uploads answer 413 *)
   store_dir : string option;  (** persistent design store root *)
+  store_max_bytes : int option;
+      (** size-bound the store: every write-through LRU-compacts it
+          ([serve.store.evicted] counts the sweeps) *)
 }
 
 val default_config : config

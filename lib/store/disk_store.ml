@@ -43,17 +43,20 @@ type stats = {
   st_write_retries : int;
   st_write_failures : int;
   st_swept_tmp : int;
+  st_evicted : int;
 }
 
 type t = {
   dir : string;
   version : string;
+  max_bytes : int option;  (* LRU compaction threshold; [None] = unbounded *)
   hits : int Atomic.t;
   misses : int Atomic.t;
   corrupt : int Atomic.t;
   write_retries : int Atomic.t;
   write_failures : int Atomic.t;
   swept_tmp : int Atomic.t;
+  evicted : int Atomic.t;
   tmp_seq : int Atomic.t;
 }
 
@@ -67,6 +70,7 @@ let stats t =
     st_write_retries = Atomic.get t.write_retries;
     st_write_failures = Atomic.get t.write_failures;
     st_swept_tmp = Atomic.get t.swept_tmp;
+    st_evicted = Atomic.get t.evicted;
   }
 
 let rec mkdir_p dir =
@@ -114,18 +118,23 @@ let sweep_tmp t =
   Atomic.fetch_and_add t.swept_tmp !swept |> ignore;
   !swept
 
-let open_store ?(version_salt = "") ~dir () =
+let open_store ?(version_salt = "") ?max_bytes ~dir () =
+  (match max_bytes with
+  | Some b when b <= 0 -> fail "max_bytes must be positive"
+  | _ -> ());
   mkdir_p dir;
   let t =
     {
       dir;
       version = Sys.ocaml_version ^ version_salt;
+      max_bytes;
       hits = Atomic.make 0;
       misses = Atomic.make 0;
       corrupt = Atomic.make 0;
       write_retries = Atomic.make 0;
       write_failures = Atomic.make 0;
       swept_tmp = Atomic.make 0;
+      evicted = Atomic.make 0;
       tmp_seq = Atomic.make 0;
     }
   in
@@ -182,6 +191,10 @@ let lookup t ~key =
       | Some design ->
           Atomic.incr t.hits;
           Db_obs.Obs.incr "serve.store.hit";
+          (* Recency bump for the LRU sweep: both file times to "now".
+             Losing the race with a concurrent eviction is fine — the
+             entry is regenerated on the next miss. *)
+          (try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ());
           Some design
       | None -> None)
 
@@ -215,6 +228,63 @@ let write_once t ~path content =
     (try Sys.remove tmp with Sys_error _ -> ());
     raise e
 
+(* Size-bounded LRU sweep.  Walks every visible entry, and while the
+   store exceeds [max_bytes] unlinks the least-recently-used ones (mtime
+   order; [lookup] bumps it on every hit).  Eviction is loss-free by
+   construction: the generator is deterministic, so an evicted design is
+   recomputed bit-identically on its next request — the same property the
+   corrupt-entry path relies on. *)
+let compact ?max_bytes t =
+  let budget =
+    match max_bytes, t.max_bytes with
+    | Some b, _ | None, Some b -> b
+    | None, None -> fail "compact: no size bound (open with ?max_bytes)"
+  in
+  if budget <= 0 then fail "max_bytes must be positive";
+  let entries = ref [] in
+  let total = ref 0 in
+  let shards = try Sys.readdir t.dir with Sys_error _ -> [||] in
+  Array.iter
+    (fun shard ->
+      let sdir = Filename.concat t.dir shard in
+      if (try Sys.is_directory sdir with Sys_error _ -> false) then
+        Array.iter
+          (fun name ->
+            if (not (is_tmp name)) && Filename.check_suffix name ".db" then begin
+              let path = Filename.concat sdir name in
+              match Unix.stat path with
+              | exception Unix.Unix_error _ -> ()
+              | st ->
+                  total := !total + st.Unix.st_size;
+                  entries :=
+                    (st.Unix.st_mtime, st.Unix.st_size, path) :: !entries
+            end)
+          (try Sys.readdir sdir with Sys_error _ -> [||]))
+    shards;
+  let evicted = ref 0 in
+  if !total > budget then begin
+    let by_age =
+      List.sort
+        (fun (ma, _, pa) (mb, _, pb) ->
+          match compare (ma : float) mb with 0 -> compare pa pb | c -> c)
+        !entries
+    in
+    List.iter
+      (fun (_, size, path) ->
+        if !total > budget then (
+          match Sys.remove path with
+          | () ->
+              total := !total - size;
+              incr evicted
+          | exception Sys_error _ -> ()))
+      by_age
+  end;
+  if !evicted > 0 then begin
+    Atomic.fetch_and_add t.evicted !evicted |> ignore;
+    Db_obs.Obs.incr ~by:!evicted "serve.store.evicted"
+  end;
+  !evicted
+
 (* Best-effort write-through with jittered backoff.  Losing a write only
    costs a future regeneration, so after the retry budget the failure is
    counted and swallowed — a full disk must never fail a request that
@@ -228,7 +298,9 @@ let store t ~key design =
       mkdir_p (Filename.dirname path);
       write_once t ~path content
     with
-    | () -> Db_obs.Obs.incr "serve.store.write"
+    | () ->
+        Db_obs.Obs.incr "serve.store.write";
+        if t.max_bytes <> None then ignore (compact t)
     | exception (Sys_error _ | Unix.Unix_error _ | Db_util.Error.Deepburning_error _)
       when n < attempts ->
         (* Deterministic jitter from the attempt counter: enough to

@@ -20,12 +20,14 @@ val format_version : int
 (** Bumped whenever the on-disk layout changes; entries from another
     format are treated as corrupt and regenerated. *)
 
-val open_store : ?version_salt:string -> dir:string -> unit -> t
+val open_store : ?version_salt:string -> ?max_bytes:int -> dir:string -> unit -> t
 (** Create/open a store rooted at [dir] (created if missing, classified
     [io-store] error if impossible) and sweep tmp files left by writers
     that died mid-write.  [version_salt] is appended to the compiler
     version stamp — a test hook to provoke version skew without a second
-    compiler. *)
+    compiler.  [max_bytes] bounds the store's on-disk size: every
+    write-through runs the LRU sweep ({!compact}), so the store converges
+    to the bound instead of growing without limit. *)
 
 val lookup : t -> key:string -> Db_core.Design.t option
 (** The stored design for this exact cache key, or [None] on a miss or on
@@ -45,6 +47,15 @@ val attach : t -> unit
 val detach : unit -> unit
 (** Remove any attached second level. *)
 
+val compact : ?max_bytes:int -> t -> int
+(** Size-bounded LRU sweep: while the visible entries total more than
+    the bound ([?max_bytes], defaulting to the store's own), unlink the
+    least-recently-used ones ([lookup] bumps recency on every hit).
+    Returns the eviction count, mirrored to [serve.store.evicted].
+    Eviction is loss-free: the generator is deterministic, so an evicted
+    design is recomputed bit-identically on its next request.  Fails
+    classified ([io-store]) when neither bound exists. *)
+
 val entry_path : t -> key:string -> string
 (** Absolute path of the entry for [key] (exists only after a store). *)
 
@@ -61,6 +72,7 @@ type stats = {
   st_write_retries : int;  (** jittered-backoff retries of transient write failures *)
   st_write_failures : int;
   st_swept_tmp : int;
+  st_evicted : int;  (** entries removed by the LRU sweep *)
 }
 
 val stats : t -> stats

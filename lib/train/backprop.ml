@@ -38,7 +38,8 @@ let supported op =
   | Op.Conv _ | Op.Pool _ | Op.Global_pool _ | Op.Fc _ | Op.Act _
   | Op.Dropout _ | Op.Softmax | Op.Associative _ | Op.Lrn _ ->
       true
-  | Op.Input _ | Op.Lcn _ | Op.Recurrent _ | Op.Concat | Op.Classifier _ ->
+  | Op.Input _ | Op.Lcn _ | Op.Recurrent _ | Op.Concat | Op.Classifier _
+  | Op.Backward _ | Op.Sgd_update _ ->
       false
 
 let forward_op ~op ~params ~input =
@@ -307,5 +308,6 @@ let backward_layer cache ~grad_output =
           done);
       (Some gx, [])
   | Op.Associative _ -> (None, [])
-  | Op.Input _ | Op.Lcn _ | Op.Recurrent _ | Op.Concat | Op.Classifier _ ->
+  | Op.Input _ | Op.Lcn _ | Op.Recurrent _ | Op.Concat | Op.Classifier _
+  | Op.Backward _ | Op.Sgd_update _ ->
       fail "op %s is not differentiable here" (Op.name cache.c_op)

@@ -79,6 +79,12 @@ let () =
       ("datapath-sim", Simulation);
       ("trainer", Simulation);
       ("backprop", Simulation);
+      ("ir-lower", Validation);
+      ("train-sched", Validation);
+      ("act-cache", Validation);
+      ("train-builder", Resource);
+      ("train-sim", Simulation);
+      ("train-campaign", Simulation);
       ("fault", Simulation);
       ("serve-request", Validation);
       ("io-prototxt", Io);

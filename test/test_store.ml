@@ -164,6 +164,67 @@ let test_kill_mid_write_tmp_sweep () =
   Alcotest.(check bool) "entry absent, not half-visible" true
     (Store.lookup reopened ~key = None)
 
+(* --- size-bounded LRU compaction ----------------------------------------- *)
+
+(* Eviction must be loss-free: the generator is deterministic, so an
+   evicted design is recomputed bit-identically on its next request.  The
+   sweep is LRU by mtime, and [lookup] bumps the mtime, so a hot entry
+   survives a compaction that evicts colder ones. *)
+let test_lru_compaction_recomputes () =
+  let t = Store.open_store ~dir:(tmp_dir "lru") () in
+  let design = generate () in
+  let key = key () in
+  let cold = key ^ "#cold" and warm = key ^ "#warm" in
+  Store.store t ~key design;
+  Store.store t ~key:cold design;
+  Store.store t ~key:warm design;
+  let entry_size k = (Unix.stat (Store.entry_path t ~key:k)).Unix.st_size in
+  let total = entry_size key + entry_size cold + entry_size warm in
+  (* Age everything, then touch the hot entry the way a request would:
+     through [lookup]. *)
+  Unix.utimes (Store.entry_path t ~key:cold) 1000.0 1000.0;
+  Unix.utimes (Store.entry_path t ~key:warm) 2000.0 2000.0;
+  Unix.utimes (Store.entry_path t ~key) 3000.0 3000.0;
+  Alcotest.(check bool) "hot entry hit" true (Store.lookup t ~key <> None);
+  (* One byte over budget: exactly the least-recently-used entry goes. *)
+  let evicted = Store.compact ~max_bytes:(total - 1) t in
+  Alcotest.(check int) "one eviction" 1 evicted;
+  Alcotest.(check int) "eviction counted" 1 (Store.stats t).Store.st_evicted;
+  Alcotest.(check bool) "coldest entry evicted" false
+    (Sys.file_exists (Store.entry_path t ~key:cold));
+  Alcotest.(check bool) "warm entry kept" true
+    (Sys.file_exists (Store.entry_path t ~key:warm));
+  Alcotest.(check bool) "hot entry kept by the lookup bump" true
+    (Sys.file_exists (Store.entry_path t ~key));
+  (* The evicted key is now a miss; recompute and re-store — the design
+     coming back must be byte-identical to what was evicted. *)
+  Alcotest.(check bool) "evicted key is a miss" true
+    (Store.lookup t ~key:cold = None);
+  Store.store t ~key:cold (generate ());
+  (match Store.lookup t ~key:cold with
+  | None -> Alcotest.fail "recomputed entry not found"
+  | Some restored ->
+      Alcotest.(check string) "recompute is byte-identical" (rtl_sha design)
+        (rtl_sha restored));
+  Alcotest.(check int) "nothing counted corrupt" 0 (Store.stats t).Store.st_corrupt
+
+(* A store opened with [?max_bytes] compacts itself after every
+   successful write-through: the newest entry always survives. *)
+let test_auto_compaction_on_write () =
+  let dir = tmp_dir "auto-lru" in
+  let unbounded = Store.open_store ~dir () in
+  let design = generate () in
+  let key = key () in
+  Store.store unbounded ~key design;
+  let size = (Unix.stat (Store.entry_path unbounded ~key)).Unix.st_size in
+  Unix.utimes (Store.entry_path unbounded ~key) 1000.0 1000.0;
+  let bounded = Store.open_store ~dir ~max_bytes:(size + (size / 2)) () in
+  Store.store bounded ~key:(key ^ "#new") design;
+  Alcotest.(check bool) "write-through auto-compacted" true
+    ((Store.stats bounded).Store.st_evicted >= 1);
+  Alcotest.(check bool) "newest entry survives" true
+    (Store.lookup bounded ~key:(key ^ "#new") <> None)
+
 (* --- second-level wiring under Design_cache ------------------------------ *)
 
 let with_attached dir f =
@@ -239,6 +300,10 @@ let suite =
         Alcotest.test_case "version skew regenerates" `Quick test_version_skew;
         Alcotest.test_case "kill mid-write sweeps tmp" `Quick
           test_kill_mid_write_tmp_sweep;
+        Alcotest.test_case "LRU compaction recomputes losslessly" `Quick
+          test_lru_compaction_recomputes;
+        Alcotest.test_case "bounded store auto-compacts on write" `Quick
+          test_auto_compaction_on_write;
         Alcotest.test_case "design cache writes through" `Quick
           test_cache_write_through;
         Alcotest.test_case "poisoned entry silently recomputes" `Quick

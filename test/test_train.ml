@@ -226,6 +226,173 @@ let test_classification_accuracy_api () =
   let acc = Trainer.classification_accuracy net params samples in
   Alcotest.(check bool) "in range" true (acc >= 0.0 && acc <= 1.0)
 
+(* ------------------------------------------------------------------ *)
+(* Whole-graph gradient checks: central finite differences through a
+   multi-layer chain, against [Backprop] run over the trainer's own
+   no-fusion lowering ([Trainer.chain_of_network]).  Each graph gets a
+   few random seeds — the single-layer checks above pin the kernels,
+   these pin the chain-rule composition across ops. *)
+
+let graph_forward chain store input =
+  List.fold_left
+    (fun x (node : Db_ir.Graph.node) ->
+      fst
+        (Db_train.Backprop.forward_op ~op:node.Db_ir.Graph.op
+           ~params:(Params.get store node.Db_ir.Graph.node_name)
+           ~input:x))
+    input chain
+
+let graph_grad_check ~seed net ~epsilon ~tol =
+  let rng = Db_util.Rng.create seed in
+  let store = Params.init_xavier rng net in
+  let chain = Trainer.chain_of_network net in
+  let in_shape =
+    match (List.hd (Network.input_nodes net)).Network.layer with
+    | Layer.Input { shape } -> shape
+    | _ -> Alcotest.fail "first node is not the input"
+  in
+  let input = Tensor.random_uniform rng in_shape ~min:(-0.5) ~max:0.5 in
+  let probe = graph_forward chain store input in
+  let target =
+    Tensor.random_uniform rng (Tensor.shape probe) ~min:(-0.5) ~max:0.5
+  in
+  let loss_of store input =
+    Loss.forward Loss.Mean_squared_error
+      ~prediction:(graph_forward chain store input)
+      ~target
+  in
+  (* Analytic gradients through the whole chain. *)
+  let _, caches =
+    List.fold_left
+      (fun (x, acc) (node : Db_ir.Graph.node) ->
+        let y, cache =
+          Db_train.Backprop.forward_op ~op:node.Db_ir.Graph.op
+            ~params:(Params.get store node.Db_ir.Graph.node_name)
+            ~input:x
+        in
+        (y, (node, cache) :: acc))
+      (input, []) chain
+  in
+  let prediction = graph_forward chain store input in
+  let grad_out =
+    Loss.backward Loss.Mean_squared_error ~prediction ~target
+  in
+  let grads = Hashtbl.create 8 in
+  let grad_input = ref None in
+  let rec backprop grad = function
+    | [] -> grad_input := Some grad
+    | (node, cache) :: rest -> begin
+        let gi, gp = Db_train.Backprop.backward_layer cache ~grad_output:grad in
+        if gp <> [] then Hashtbl.replace grads node.Db_ir.Graph.node_name gp;
+        match gi with Some g -> backprop g rest | None -> ()
+      end
+  in
+  backprop grad_out caches;
+  let check what numeric analytic =
+    if Float.abs (numeric -. analytic) > tol then
+      Alcotest.failf "%s (seed %d): numeric %g vs analytic %g" what seed
+        numeric analytic
+  in
+  (* A handful of input entries. *)
+  (match !grad_input with
+  | None -> ()
+  | Some gi ->
+      for i = 0 to Stdlib.min 5 (Tensor.numel input) - 1 do
+        let plus = Tensor.copy input and minus = Tensor.copy input in
+        Tensor.set plus i (Tensor.get input i +. epsilon);
+        Tensor.set minus i (Tensor.get input i -. epsilon);
+        check
+          (Printf.sprintf "d loss/d input[%d]" i)
+          ((loss_of store plus -. loss_of store minus) /. (2.0 *. epsilon))
+          (Tensor.get gi i)
+      done);
+  (* A handful of entries of every parameter tensor of every layer. *)
+  Hashtbl.iter
+    (fun name gp ->
+      List.iteri
+        (fun pi g ->
+          let original = List.nth (Params.get store name) pi in
+          for i = 0 to Stdlib.min 5 (Tensor.numel original) - 1 do
+            let perturbed delta =
+              let store' = Params.copy store in
+              let t = List.nth (Params.get store' name) pi in
+              Tensor.set t i (Tensor.get t i +. delta);
+              loss_of store' input
+            in
+            check
+              (Printf.sprintf "d loss/d %s[%d][%d]" name pi i)
+              ((perturbed epsilon -. perturbed (-.epsilon))
+              /. (2.0 *. epsilon))
+              (Tensor.get g i)
+          done)
+        gp)
+    grads
+
+let seeds = [ 17; 29; 83 ]
+
+let test_graphcheck_mlp () =
+  List.iter
+    (fun seed ->
+      graph_grad_check ~seed ~epsilon:1e-4 ~tol:1e-3
+        (Network.create ~name:"g-mlp"
+           [
+             node "in" (Layer.Input { shape = Shape.vector 4 }) [] [ "x" ];
+             node "fc1" (Layer.Inner_product { num_output = 5; bias = true }) [ "x" ] [ "h" ];
+             node "s" (Layer.Activation Layer.Sigmoid) [ "h" ] [ "hs" ];
+             node "fc2" (Layer.Inner_product { num_output = 3; bias = true }) [ "hs" ] [ "y" ];
+           ]))
+    seeds
+
+let test_graphcheck_conv_pool () =
+  List.iter
+    (fun seed ->
+      graph_grad_check ~seed ~epsilon:1e-4 ~tol:2e-3
+        (Network.create ~name:"g-conv"
+           [
+             node "in"
+               (Layer.Input { shape = Shape.chw ~channels:2 ~height:5 ~width:5 })
+               [] [ "x" ];
+             node "c1"
+               (Layer.Convolution
+                  { num_output = 3; kernel_size = 3; stride = 1; pad = 1; group = 1; bias = true })
+               [ "x" ] [ "c" ];
+             node "r" (Layer.Activation Layer.Relu) [ "c" ] [ "cr" ];
+             node "p" (Layer.Pooling { method_ = Layer.Average; kernel_size = 2; stride = 2 })
+               [ "cr" ] [ "cp" ];
+             node "fc" (Layer.Inner_product { num_output = 4; bias = false }) [ "cp" ] [ "y" ];
+           ]))
+    seeds
+
+let test_graphcheck_softmax_tail () =
+  List.iter
+    (fun seed ->
+      graph_grad_check ~seed ~epsilon:1e-5 ~tol:1e-3
+        (Network.create ~name:"g-softmax"
+           [
+             node "in" (Layer.Input { shape = Shape.vector 6 }) [] [ "x" ];
+             node "fc" (Layer.Inner_product { num_output = 4; bias = true }) [ "x" ] [ "h" ];
+             node "t" (Layer.Activation Layer.Tanh) [ "h" ] [ "ht" ];
+             node "sm" Layer.Softmax [ "ht" ] [ "y" ];
+           ]))
+    seeds
+
+let test_graphcheck_lrn_pool () =
+  List.iter
+    (fun seed ->
+      graph_grad_check ~seed ~epsilon:1e-4 ~tol:2e-3
+        (Network.create ~name:"g-lrn"
+           [
+             node "in"
+               (Layer.Input { shape = Shape.chw ~channels:3 ~height:3 ~width:3 })
+               [] [ "x" ];
+             node "n"
+               (Layer.Lrn { local_size = 3; alpha = 1e-2; beta = 0.75; k = 1.0 })
+               [ "x" ] [ "xn" ];
+             node "g" (Layer.Global_pooling Layer.Average) [ "xn" ] [ "xg" ];
+             node "fc" (Layer.Inner_product { num_output = 2; bias = true }) [ "xg" ] [ "y" ];
+           ]))
+    seeds
+
 let suite =
   [
     ( "train.loss",
@@ -244,6 +411,10 @@ let suite =
         Alcotest.test_case "activations" `Quick test_gradcheck_activations;
         Alcotest.test_case "softmax" `Quick test_gradcheck_softmax;
         Alcotest.test_case "global pool" `Quick test_gradcheck_global_pool;
+        Alcotest.test_case "graph: mlp" `Quick test_graphcheck_mlp;
+        Alcotest.test_case "graph: conv+pool" `Quick test_graphcheck_conv_pool;
+        Alcotest.test_case "graph: softmax tail" `Quick test_graphcheck_softmax_tail;
+        Alcotest.test_case "graph: lrn+global pool" `Quick test_graphcheck_lrn_pool;
       ] );
     ( "train.sgd",
       [
